@@ -1,0 +1,256 @@
+(* The Choreographer design platform, command-line edition.
+
+   Subcommands mirror the design of Figure 4 of the paper:
+     pipeline   full extract -> solve -> reflect round trip on an XMI file
+     extract    produce the intermediate .pepanet (and .rates) artefacts
+     info       list the analysable diagrams of a document
+     strip      run only the Poseidon preprocessor *)
+
+open Cmdliner
+
+(* Inputs may be XMI documents or the plain-text notation of
+   [Uml.Diagram_text]; text models are converted to XMI at the door so
+   the rest of the pipeline is uniform. *)
+let read_document path =
+  let looks_like_xml =
+    In_channel.with_open_bin path (fun ic ->
+        match In_channel.input_char ic with Some '<' -> true | _ -> false)
+  in
+  if looks_like_xml then begin
+    try Xml_kit.Minixml.parse_file path
+    with Xml_kit.Minixml.Parse_error { line; col; message } ->
+      Printf.eprintf "%s: XML error at %d:%d: %s\n" path line col message;
+      exit 1
+  end
+  else begin
+    try
+      let activities, charts, interactions = Uml.Diagram_text.parse_document_file path in
+      Uml.Xmi_write.document_to_xml
+        ~model_name:(Filename.remove_extension (Filename.basename path))
+        ~interactions activities charts
+    with Uml.Diagram_text.Parse_error { line; message } ->
+      Printf.eprintf "%s: line %d: %s\n" path line message;
+      exit 1
+  end
+
+let load_rates = function
+  | None -> Uml.Rates_file.empty
+  | Some path -> (
+      try Uml.Rates_file.of_file path
+      with Uml.Rates_file.Syntax_error { line; message } ->
+        Printf.eprintf "%s: line %d: %s\n" path line message;
+        exit 1)
+
+let method_conv =
+  let parse = function
+    | "direct" -> Ok (Some Markov.Steady.Direct)
+    | "jacobi" -> Ok (Some Markov.Steady.Jacobi)
+    | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
+    | "power" -> Ok (Some Markov.Steady.Power)
+    | "auto" -> Ok None
+    | other -> Error (`Msg (Printf.sprintf "unknown method %s" other))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with None -> "auto" | Some m -> Markov.Steady.method_name m)
+  in
+  Arg.conv (parse, print)
+
+let input_arg =
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input XMI file.")
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "r"; "rates" ] ~docv:"FILE" ~doc:"Rates file (activity = rate lines).")
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv None
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel or power.")
+
+let absorb_arg =
+  Arg.(
+    value & flag
+    & info [ "absorb" ]
+        ~doc:
+          "Keep terminating behaviour instead of cycling tokens back to their initial activity.")
+
+let options_of rates_path method_ absorb =
+  {
+    Choreographer.Pipeline.default_options with
+    rates = load_rates rates_path;
+    method_;
+    restart = (if absorb then `Absorb else `Cycle);
+  }
+
+let handle_errors f =
+  try f () with
+  | Choreographer.Pipeline.Pipeline_error msg
+  | Choreographer.Workbench.Analysis_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let pipeline_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Reflected XMI output file.")
+  in
+  let xmltable_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "xmltable" ] ~docv:"FILE" ~doc:"Also write results as an .xmltable document.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained HTML report (the Figure 7 view).")
+  in
+  let run input output rates_path method_ absorb xmltable html =
+    handle_errors (fun () ->
+        let options = options_of rates_path method_ absorb in
+        let doc = read_document input in
+        let outcome = Choreographer.Pipeline.process_document ~options doc in
+        Xml_kit.Minixml.write_file output outcome.Choreographer.Pipeline.reflected;
+        List.iter
+          (fun results -> Format.printf "%a@." Choreographer.Results.pp results)
+          outcome.Choreographer.Pipeline.results;
+        (match xmltable with
+        | Some path ->
+            let tables =
+              List.map Choreographer.Results.to_xmltable
+                outcome.Choreographer.Pipeline.results
+            in
+            Xml_kit.Minixml.write_file path
+              (Xml_kit.Minixml.Element ("resultsets", [], tables))
+        | None -> ());
+        (match html with
+        | Some path -> Choreographer.Html_report.write ~path outcome
+        | None -> ());
+        Printf.printf "reflected model written to %s\n" output)
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Extract, analyse and reflect a UML model (the full tool chain).")
+    Term.(
+      const run $ input_arg $ output_arg $ rates_arg $ method_arg $ absorb_arg $ xmltable_arg
+      $ html_arg)
+
+let extract_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the extracted .pepanet model here (default: stdout).")
+  in
+  let rates_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rates-out" ] ~docv:"FILE"
+          ~doc:"Also write the resolved activity rates as a .rates file (the second \
+                artefact of the paper's Figure 4).")
+  in
+  let run input rates_path absorb output rates_out =
+    handle_errors (fun () ->
+        let doc = Uml.Poseidon.strip (read_document input) in
+        let rates = load_rates rates_path in
+        let restart = if absorb then `Absorb else `Cycle in
+        let activities = Uml.Xmi_read.activities_of_xml doc in
+        if activities = [] then begin
+          Printf.eprintf "error: no activity graph in %s\n" input;
+          exit 1
+        end;
+        List.iter
+          (fun diagram ->
+            let extraction = Extract.Ad_to_pepanet.extract ~rates ~restart diagram in
+            let text = Pepanet.Net_printer.net_to_string extraction.Extract.Ad_to_pepanet.net in
+            (match output with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc text;
+                close_out oc;
+                Printf.printf "extracted %s to %s\n" diagram.Uml.Activity.diagram_name path
+            | None -> print_string text);
+            (match rates_out with
+            | Some path ->
+                (* Recover name = value bindings from the generated rate
+                   definitions (r_<action> = v). *)
+                let resolved =
+                  List.filter_map
+                    (fun def ->
+                      match def with
+                      | Pepa.Syntax.Rate_def (name, Pepa.Syntax.Rnum v)
+                        when String.length name > 2 && String.sub name 0 2 = "r_" ->
+                          Some (String.sub name 2 (String.length name - 2), v)
+                      | _ -> None)
+                    extraction.Extract.Ad_to_pepanet.net.Pepanet.Net.definitions
+                in
+                let book =
+                  List.fold_left
+                    (fun acc (name, v) -> Uml.Rates_file.add acc name v)
+                    Uml.Rates_file.empty resolved
+                in
+                Out_channel.with_open_bin path (fun oc ->
+                    Out_channel.output_string oc (Uml.Rates_file.to_string book));
+                Printf.printf "rates written to %s\n" path
+            | None -> ()))
+          activities)
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Extract the PEPA net from an activity diagram (no analysis).")
+    Term.(const run $ input_arg $ rates_arg $ absorb_arg $ output_arg $ rates_out_arg)
+
+let info_cmd =
+  let run input =
+    let doc = Uml.Poseidon.strip (read_document input) in
+    let activities = Uml.Xmi_read.activities_of_xml doc in
+    let charts = Uml.Xmi_read.statecharts_of_xml doc in
+    List.iter
+      (fun (d : Uml.Activity.t) ->
+        Printf.printf "activity diagram %s: %d nodes, %d objects, %d locations\n"
+          d.Uml.Activity.diagram_name
+          (List.length d.Uml.Activity.nodes)
+          (List.length (Uml.Activity.object_names d))
+          (List.length (Uml.Activity.locations d)))
+      activities;
+    List.iter
+      (fun (c : Uml.Statechart.t) ->
+        Printf.printf "state diagram %s: %d states, %d transitions\n" c.Uml.Statechart.chart_name
+          (List.length c.Uml.Statechart.states)
+          (List.length c.Uml.Statechart.transitions))
+      charts;
+    if activities = [] && charts = [] then Printf.printf "no analysable diagram found\n"
+  in
+  Cmd.v (Cmd.info "info" ~doc:"List the diagrams in an XMI document.") Term.(const run $ input_arg)
+
+let strip_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Stripped XMI output file.")
+  in
+  let run input output =
+    let doc = read_document input in
+    Xml_kit.Minixml.write_file output (Uml.Poseidon.strip doc);
+    Printf.printf "metamodel-conformant XMI written to %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "strip" ~doc:"Run the Poseidon preprocessor only (remove tool-specific layout).")
+    Term.(const run $ input_arg $ output_arg)
+
+let () =
+  let doc = "performance analysis of mobile UML designs via PEPA nets" in
+  let info = Cmd.info "choreographer" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd ]))

@@ -1,0 +1,1 @@
+examples/code_mobility.ml: Choreographer List Pepanet Printf Scenarios

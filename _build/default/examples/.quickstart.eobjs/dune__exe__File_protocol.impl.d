@@ -1,0 +1,1 @@
+examples/file_protocol.ml: Choreographer Extract Format Option Pepa Pepanet Scenarios

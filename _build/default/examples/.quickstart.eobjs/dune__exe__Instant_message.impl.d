@@ -1,0 +1,1 @@
+examples/instant_message.ml: Choreographer Extract Format List Option Pepanet Scenarios

@@ -1,0 +1,1 @@
+examples/instant_message.mli:

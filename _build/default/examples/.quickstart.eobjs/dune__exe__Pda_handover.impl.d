@@ -1,0 +1,1 @@
+examples/pda_handover.ml: Choreographer Extract Filename Format List Option Out_channel Pepanet Printf Scenarios Sys Uml Xml_kit

@@ -1,0 +1,1 @@
+examples/pda_handover.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Choreographer Format List Pepa Pepanet

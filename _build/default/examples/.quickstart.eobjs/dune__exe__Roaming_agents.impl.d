@@ -1,0 +1,1 @@
+examples/roaming_agents.ml: Choreographer Format Fun List Markov Pepanet Printf Scenarios

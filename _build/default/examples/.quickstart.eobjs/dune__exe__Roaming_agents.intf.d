@@ -1,0 +1,1 @@
+examples/roaming_agents.mli:

@@ -1,0 +1,1 @@
+examples/web_server.ml: Choreographer Extract Format List Markov Pepa Printf Scenarios Uml

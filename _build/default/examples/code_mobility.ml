@@ -1,0 +1,47 @@
+(* Should the computation move to the data, or the data to the
+   computation?  The design question of the paper's introduction as a
+   quantitative study.
+
+     dune exec examples/code_mobility.exe
+
+   Two PEPA-net designs for the same job are solved across a bandwidth
+   sweep; the crossover bandwidth tells the designer when a mobile-agent
+   architecture pays off. *)
+
+let () =
+  print_string (Choreographer.Report.section "Mobile agent vs client-server");
+  let p = Scenarios.Code_mobility.default_parameters in
+  Printf.printf
+    "job: fetch %g data units (or move %g code units + %g result units),\n\
+     compute at %g jobs/s locally or %g jobs/s on the data host\n\n"
+    p.Scenarios.Code_mobility.data_size p.Scenarios.Code_mobility.code_size
+    p.Scenarios.Code_mobility.result_size p.Scenarios.Code_mobility.local_compute
+    p.Scenarios.Code_mobility.remote_compute;
+  let rows =
+    List.map
+      (fun bandwidth ->
+        let c = Scenarios.Code_mobility.compare_at ~bandwidth () in
+        let winner =
+          if c.Scenarios.Code_mobility.mobile_agent_jobs
+             > c.Scenarios.Code_mobility.client_server_jobs
+          then "mobile agent"
+          else "client-server"
+        in
+        [
+          Printf.sprintf "%.0f" bandwidth;
+          Printf.sprintf "%.4f" c.Scenarios.Code_mobility.client_server_jobs;
+          Printf.sprintf "%.4f" c.Scenarios.Code_mobility.mobile_agent_jobs;
+          winner;
+        ])
+      [ 1.0; 5.0; 10.0; 25.0; 50.0; 75.0; 100.0; 200.0; 400.0 ]
+  in
+  print_string
+    (Choreographer.Report.table
+       ~header:[ "bandwidth"; "client-server jobs/s"; "mobile-agent jobs/s"; "winner" ]
+       rows);
+  Printf.printf "\ncrossover bandwidth: %.2f units/s\n"
+    (Scenarios.Code_mobility.crossover_bandwidth ~lo:10.0 ~hi:200.0 ());
+  print_newline ();
+  print_string (Choreographer.Report.section "The mobile-agent net");
+  print_string
+    (Pepanet.Net_printer.net_to_string (Scenarios.Code_mobility.mobile_agent_net p))

@@ -1,0 +1,49 @@
+(* The paper's Figure 2 example: an instant message written at one
+   location, transmitted (a <<move>> activity) and read at another.
+
+     dune exec examples/instant_message.exe
+
+   Both routes of the paper are exercised: the hand-written PEPA net of
+   Section 2.2 and the net extracted automatically from the mobile
+   activity diagram; their steady-state measures agree on the shared
+   activities. *)
+
+let analyse_source () =
+  print_string (Choreographer.Report.section "Hand-written PEPA net (Section 2.2)");
+  let space = Pepanet.Net_statespace.of_string Scenarios.Instant_message.pepanet_source in
+  Format.printf "%a@." Pepanet.Net_statespace.pp_summary space;
+  let pi = Pepanet.Net_statespace.steady_state space in
+  List.iter
+    (fun (a, v) -> Format.printf "  throughput(%s) = %.6f@." a v)
+    (Pepanet.Net_measures.throughputs space pi);
+  List.iter
+    (fun (p, v) -> Format.printf "  P(message at %s) = %.6f@." p v)
+    (Pepanet.Net_measures.token_location_probabilities space pi ~token:0);
+  (space, pi)
+
+let analyse_extracted () =
+  print_string (Choreographer.Report.section "Extracted from the activity diagram (Figure 2)");
+  let extraction = Scenarios.Instant_message.extraction () in
+  print_string (Pepanet.Net_printer.net_to_string extraction.Extract.Ad_to_pepanet.net);
+  let analysis =
+    Choreographer.Workbench.analyse_net ~name:"InstantMessage"
+      extraction.Extract.Ad_to_pepanet.net
+  in
+  Format.printf "%a@." Choreographer.Results.pp analysis.Choreographer.Workbench.net_results;
+  analysis
+
+let () =
+  let space, pi = analyse_source () in
+  print_newline ();
+  let analysis = analyse_extracted () in
+  (* The transmit firing is the message's journey; in both models every
+     cycle transmits exactly once, so the throughput of transmit equals
+     the throughput of the (single) close-after-read. *)
+  let hand = Pepanet.Net_measures.throughput space pi "transmit" in
+  let extracted =
+    Option.value ~default:0.0
+      (Choreographer.Results.throughput analysis.Choreographer.Workbench.net_results "transmit")
+  in
+  Format.printf "transmit throughput: hand-written %.6f, extracted %.6f (%s)@." hand extracted
+    (if abs_float (hand -. extracted) < 1e-9 then "agree"
+     else "differ: the return rates of the two models were chosen differently")

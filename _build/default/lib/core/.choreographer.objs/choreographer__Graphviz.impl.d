@@ -1,0 +1,1 @@
+lib/core/graphviz.ml: Buffer List Option Pepa Pepanet Printf String

@@ -1,0 +1,1 @@
+lib/core/html_report.ml: Buffer Fun Graphviz List Option Pepanet Pipeline Printf Results String Uml

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Extract Format List Markov Option Pepa Pepanet Results String Uml Workbench Xml_kit

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Markov Pepa Pepanet Results Uml Xml_kit

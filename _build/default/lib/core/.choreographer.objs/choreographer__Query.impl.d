@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Format List Markov Option Pepa Pepanet Printf Results String Workbench

@@ -1,0 +1,1 @@
+lib/core/results.ml: Format List Option Printf Xml_kit

@@ -1,0 +1,1 @@
+lib/core/workbench.ml: Array Filename Format List Markov Pepa Pepanet Printf Results String

@@ -1,0 +1,1 @@
+lib/core/workbench.mli: Markov Pepa Pepanet Results

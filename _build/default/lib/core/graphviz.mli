@@ -1,0 +1,20 @@
+(** Graphviz (dot) rendering of the objects the tool chain manipulates:
+    derivation graphs, marking graphs and the net structure itself (the
+    paper draws its nets as places, transition bars and tokens — this is
+    the programmatic equivalent). *)
+
+val pepa_statespace : Pepa.Statespace.t -> string
+(** The derivation graph: one node per state (labelled with its
+    component vector), one edge per activity, labelled [action/rate].
+    The initial state is drawn with a double circle. *)
+
+val net_statespace : Pepanet.Net_statespace.t -> string
+(** The marking graph; firing edges are drawn bold. *)
+
+val net_structure : Pepanet.Net.t -> string
+(** The net itself: places as circles (annotated with their cells and
+    static components), net transitions as boxes, arcs from input places
+    and to output places. *)
+
+val escape : string -> string
+(** Escape a string for use inside a dot label. *)

@@ -1,0 +1,126 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|
+  body { font-family: Georgia, serif; margin: 2em auto; max-width: 60em; color: #222; }
+  h1 { border-bottom: 2px solid #444; padding-bottom: 0.2em; }
+  h2 { margin-top: 1.6em; color: #333; }
+  table { border-collapse: collapse; margin: 0.8em 0; }
+  th, td { border: 1px solid #bbb; padding: 0.3em 0.8em; text-align: left; }
+  th { background: #eee; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  pre { background: #f6f6f6; border: 1px solid #ddd; padding: 0.8em; overflow-x: auto; }
+  .move { color: #a00; font-weight: bold; }
+  .warn { color: #a60; }
+|}
+
+let table buf ~header rows =
+  Buffer.add_string buf "<table><tr>";
+  List.iter (fun h -> Buffer.add_string buf ("<th>" ^ escape h ^ "</th>")) header;
+  Buffer.add_string buf "</tr>\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf "<tr>";
+      List.iteri
+        (fun i cell ->
+          let numeric = i > 0 && cell <> "" && (cell.[0] = '-' || (cell.[0] >= '0' && cell.[0] <= '9')) in
+          Buffer.add_string buf
+            (Printf.sprintf "<td%s>%s</td>" (if numeric then " class=\"num\"" else "") cell))
+        row;
+      Buffer.add_string buf "</tr>\n")
+    rows;
+  Buffer.add_string buf "</table>\n"
+
+let results_section buf (results : Results.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>%s</h2>\n<p>%s model: %d states, %d transitions.</p>\n"
+       (escape results.Results.source)
+       (match results.Results.kind with
+       | Results.Pepa_model -> "PEPA"
+       | Results.Pepa_net -> "PEPA net")
+       results.Results.n_states results.Results.n_transitions);
+  if results.Results.throughputs <> [] then begin
+    Buffer.add_string buf "<h3>Throughput</h3>\n";
+    table buf ~header:[ "action type"; "throughput" ]
+      (List.map
+         (fun (name, v) -> [ escape name; Printf.sprintf "%.6f" v ])
+         results.Results.throughputs)
+  end;
+  if results.Results.state_probabilities <> [] then begin
+    Buffer.add_string buf "<h3>Steady-state probabilities</h3>\n";
+    table buf ~header:[ "state"; "probability" ]
+      (List.map
+         (fun (name, v) -> [ escape name; Printf.sprintf "%.6f" v ])
+         results.Results.state_probabilities)
+  end;
+  List.iter
+    (fun w ->
+      Buffer.add_string buf (Printf.sprintf "<p class=\"warn\">warning: %s</p>\n" (escape w)))
+    results.Results.warnings
+
+let annotated_activity_section buf (diagram : Uml.Activity.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "<h2>Annotated diagram: %s</h2>\n" (escape diagram.Uml.Activity.diagram_name));
+  let rows =
+    List.filter_map
+      (fun (n : Uml.Activity.node) ->
+        match n.Uml.Activity.kind with
+        | Uml.Activity.Action { name; move } ->
+            let throughput =
+              Option.value ~default:"&ndash;"
+                (Option.map escape
+                   (Uml.Activity.annotation diagram ~node_id:n.Uml.Activity.node_id
+                      ~tag:"throughput"))
+            in
+            Some
+              [
+                escape name;
+                (if move then "<span class=\"move\">&laquo;move&raquo;</span>" else "");
+                throughput;
+              ]
+        | _ -> None)
+      diagram.Uml.Activity.nodes
+  in
+  if rows <> [] then table buf ~header:[ "activity"; "stereotype"; "throughput" ] rows
+
+let net_section buf name net =
+  Buffer.add_string buf (Printf.sprintf "<h2>Extracted PEPA net: %s</h2>\n" (escape name));
+  Buffer.add_string buf
+    (Printf.sprintf "<pre>%s</pre>\n" (escape (Pepanet.Net_printer.net_to_string net)));
+  Buffer.add_string buf "<h3>Net structure (Graphviz)</h3>\n";
+  Buffer.add_string buf (Printf.sprintf "<pre>%s</pre>\n" (escape (Graphviz.net_structure net)))
+
+let of_outcome ?(title = "Choreographer analysis report") outcome =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
+  Buffer.add_string buf (Printf.sprintf "<title>%s</title>\n" (escape title));
+  Buffer.add_string buf (Printf.sprintf "<style>%s</style>\n</head>\n<body>\n" style);
+  Buffer.add_string buf (Printf.sprintf "<h1>%s</h1>\n" (escape title));
+  List.iter (results_section buf) outcome.Pipeline.results;
+  (* Annotated diagrams from the reflected document. *)
+  (try
+     List.iter
+       (annotated_activity_section buf)
+       (Uml.Xmi_read.activities_of_xml outcome.Pipeline.reflected)
+   with Uml.Xmi_read.Xmi_error _ -> ());
+  List.iter (fun (name, net) -> net_section buf name net) outcome.Pipeline.extracted_nets;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let write ?title ~path outcome =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (of_outcome ?title outcome))

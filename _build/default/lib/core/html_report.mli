@@ -1,0 +1,13 @@
+(** A self-contained HTML report of a pipeline run — the stand-in for
+    viewing the annotated model inside the drawing tool (the paper's
+    Figure 7 screenshot).  The page shows, per analysed diagram, the
+    annotated activity table, state probabilities, model statistics and
+    the extracted net in both textual and Graphviz form. *)
+
+val of_outcome : ?title:string -> Pipeline.outcome -> string
+(** Render the report as a single HTML page (no external assets). *)
+
+val write : ?title:string -> path:string -> Pipeline.outcome -> unit
+
+val escape : string -> string
+(** HTML-escape a string ([&], [<], [>], quotes). *)

@@ -1,0 +1,42 @@
+(** A small measure-specification language over solved models, in the
+    spirit of the property interfaces of the tools the paper wants
+    tighter integration with (PRISM, ipc, Möbius).
+
+    Grammar (usual precedence, ['%'] comments not supported — queries are
+    one-liners):
+    {v
+      query ::= "throughput" "(" name ")"
+              | "utilisation" "(" name ")"          % component state, e.g. Client.Client_WaitForResponse
+              | "located" "(" token "," place ")"   % PEPA nets: token location probability
+              | "passage" "(" name "->" name ")" "." passage-measure
+              | query ("+" | "-" | "*" | "/") query
+              | number | "(" query ")"
+      passage-measure ::= "mean" | "median" | "completion" | "cdf" "(" number ")"
+    v}
+
+    A [passage(a -> b)] runs from the states just after an [a] activity
+    to the states just after a [b] activity.  Example: the client's mean
+    response time is [passage(request -> response).mean]; the relative
+    benefit of an optimisation is a ratio of two such queries. *)
+
+type t
+
+exception Query_error of string
+
+val parse : string -> t
+(** Raises {!Query_error} on syntax errors. *)
+
+val to_string : t -> string
+
+(** The evaluation context: everything a query can observe about a
+    solved model. *)
+type context
+
+val context_of_pepa : Workbench.pepa_analysis -> context
+val context_of_net : Workbench.net_analysis -> context
+
+val eval : context -> t -> float
+(** Raises {!Query_error} when the query refers to an unknown action,
+    state or token, or uses [located] on a plain PEPA model. *)
+
+val eval_string : context -> string -> float

@@ -1,0 +1,49 @@
+let table ~header rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (try String.length (List.nth row i) with _ -> 0))
+      0 all
+  in
+  let widths = List.init columns width in
+  let rstrip s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let render_row row =
+    let padded = row @ List.init (columns - List.length row) (fun _ -> "") in
+    rstrip
+      (String.concat "  "
+         (List.mapi
+            (fun i cell -> cell ^ String.make (max 0 (List.nth widths i - String.length cell)) ' ')
+            padded))
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: separator :: List.map render_row rows) ^ "\n"
+
+let measures_table ~title measures =
+  title ^ "\n"
+  ^ table ~header:[ "measure"; "value" ]
+      (List.map (fun (name, v) -> [ name; Printf.sprintf "%.6f" v ]) measures)
+
+let comparison_table ~title ~columns:(c1, c2) rows =
+  title ^ "\n"
+  ^ table
+      ~header:[ "measure"; c1; c2; "ratio" ]
+      (List.map
+         (fun (name, a, b) ->
+           [
+             name;
+             Printf.sprintf "%.6g" a;
+             Printf.sprintf "%.6g" b;
+             (if a = 0.0 then "-" else Printf.sprintf "%.3f" (b /. a));
+           ])
+         rows)
+
+let section title = title ^ "\n" ^ String.make (String.length title) '=' ^ "\n"

@@ -1,0 +1,19 @@
+(** Plain-text reporting helpers shared by the command-line tools, the
+    examples and the benchmark harness: aligned tables in the style of
+    the annotated diagrams of Figure 7. *)
+
+val table : header:string list -> (string list) list -> string
+(** Render rows under a header with aligned columns. *)
+
+val measures_table : title:string -> (string * float) list -> string
+
+val comparison_table :
+  title:string ->
+  columns:string * string ->
+  (string * float * float) list ->
+  string
+(** Two-valued comparison rows (e.g. paper-reported vs measured), with a
+    ratio column. *)
+
+val section : string -> string
+(** An underlined section heading. *)

@@ -1,0 +1,107 @@
+module X = Xml_kit.Minixml
+
+type model_kind = Pepa_model | Pepa_net
+
+type t = {
+  source : string;
+  kind : model_kind;
+  n_states : int;
+  n_transitions : int;
+  throughputs : (string * float) list;
+  state_probabilities : (string * float) list;
+  warnings : string list;
+}
+
+exception Malformed_results of string
+
+let make ~source ~kind ~n_states ~n_transitions ?(throughputs = [])
+    ?(state_probabilities = []) ?(warnings = []) () =
+  { source; kind; n_states; n_transitions; throughputs; state_probabilities; warnings }
+
+let kind_string = function Pepa_model -> "pepa" | Pepa_net -> "pepanet"
+
+let kind_of_string = function
+  | "pepa" -> Pepa_model
+  | "pepanet" -> Pepa_net
+  | other -> raise (Malformed_results (Printf.sprintf "unknown model kind %S" other))
+
+let to_xmltable t =
+  let measure_row element (name, value) =
+    X.Element (element, [ ("name", name); ("value", Printf.sprintf "%.17g" value) ], [])
+  in
+  X.Element
+    ( "results",
+      [
+        ("source", t.source);
+        ("kind", kind_string t.kind);
+        ("states", string_of_int t.n_states);
+        ("transitions", string_of_int t.n_transitions);
+      ],
+      List.map (measure_row "throughput") t.throughputs
+      @ List.map (measure_row "probability") t.state_probabilities
+      @ List.map (fun w -> X.Element ("warning", [ ("text", w) ], [])) t.warnings )
+
+let of_xmltable doc =
+  if X.name doc <> "results" then
+    raise (Malformed_results (Printf.sprintf "expected <results>, found <%s>" (X.name doc)));
+  let attr key =
+    match X.attribute key doc with
+    | Some v -> v
+    | None -> raise (Malformed_results (Printf.sprintf "missing attribute %s" key))
+  in
+  let int_attr key =
+    match int_of_string_opt (attr key) with
+    | Some v -> v
+    | None -> raise (Malformed_results (Printf.sprintf "malformed integer attribute %s" key))
+  in
+  let measures element =
+    X.element_children doc
+    |> List.filter (fun c -> X.name c = element)
+    |> List.map (fun c ->
+           let name =
+             match X.attribute "name" c with
+             | Some n -> n
+             | None -> raise (Malformed_results "measure row without a name")
+           in
+           let value =
+             match Option.bind (X.attribute "value" c) float_of_string_opt with
+             | Some v -> v
+             | None -> raise (Malformed_results "measure row without a numeric value")
+           in
+           (name, value))
+  in
+  let warnings =
+    X.element_children doc
+    |> List.filter (fun c -> X.name c = "warning")
+    |> List.filter_map (fun c -> X.attribute "text" c)
+  in
+  {
+    source = attr "source";
+    kind = kind_of_string (attr "kind");
+    n_states = int_attr "states";
+    n_transitions = int_attr "transitions";
+    throughputs = measures "throughput";
+    state_probabilities = measures "probability";
+    warnings;
+  }
+
+let throughput t name = List.assoc_opt name t.throughputs
+let probability t name = List.assoc_opt name t.state_probabilities
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s (%s): %d states, %d transitions@," t.source (kind_string t.kind)
+    t.n_states t.n_transitions;
+  if t.throughputs <> [] then begin
+    Format.fprintf fmt "throughput:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-28s %12.6f@," name v)
+      t.throughputs
+  end;
+  if t.state_probabilities <> [] then begin
+    Format.fprintf fmt "steady-state probability:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-28s %12.6f@," name v)
+      t.state_probabilities
+  end;
+  List.iter (fun w -> Format.fprintf fmt "warning: %s@," w) t.warnings;
+  Format.fprintf fmt "@]"

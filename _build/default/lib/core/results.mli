@@ -1,0 +1,40 @@
+(** Analysis results: the data handed from the Workbench back to the
+    Reflector, and serialised as the [.xmltable] interchange documents of
+    the paper's Figure 4. *)
+
+type model_kind = Pepa_model | Pepa_net
+
+type t = {
+  source : string;  (** model or diagram name *)
+  kind : model_kind;
+  n_states : int;
+  n_transitions : int;
+  throughputs : (string * float) list;         (** per action type *)
+  state_probabilities : (string * float) list; (** per derivative/state constant *)
+  warnings : string list;
+}
+
+val make :
+  source:string ->
+  kind:model_kind ->
+  n_states:int ->
+  n_transitions:int ->
+  ?throughputs:(string * float) list ->
+  ?state_probabilities:(string * float) list ->
+  ?warnings:string list ->
+  unit ->
+  t
+
+val to_xmltable : t -> Xml_kit.Minixml.t
+(** A [<results>] document listing throughput and probability rows. *)
+
+val of_xmltable : Xml_kit.Minixml.t -> t
+(** Inverse of {!to_xmltable} (round-trip tested). *)
+
+exception Malformed_results of string
+
+val throughput : t -> string -> float option
+val probability : t -> string -> float option
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table. *)

@@ -1,0 +1,110 @@
+type pepa_analysis = {
+  space : Pepa.Statespace.t;
+  distribution : float array;
+  results : Results.t;
+}
+
+type net_analysis = {
+  net_space : Pepanet.Net_statespace.t;
+  net_distribution : float array;
+  net_results : Results.t;
+}
+
+exception Analysis_error of string
+
+let wrap name thunk =
+  let fail fmt = Format.kasprintf (fun msg -> raise (Analysis_error msg)) fmt in
+  try thunk () with
+  | Pepa.Parser.Parse_error { line; col; message } ->
+      fail "%s: parse error at %d:%d: %s" name line col message
+  | Pepanet.Net_parser.Parse_error { line; col; message } ->
+      fail "%s: parse error at %d:%d: %s" name line col message
+  | Pepa.Env.Semantic_error msg -> fail "%s: %s" name msg
+  | Pepa.Compile.Compile_error msg -> fail "%s: %s" name msg
+  | Pepanet.Net_compile.Net_error msg -> fail "%s: %s" name msg
+  | Pepa.Statespace.Too_many_states n -> fail "%s: state space exceeds %d states" name n
+  | Pepanet.Net_statespace.Too_many_markings n -> fail "%s: more than %d markings" name n
+  | Pepa.Statespace.Passive_transition { state; action } ->
+      fail "%s: passive action %s escapes to the top level in state %s" name action state
+  | Pepanet.Net_statespace.Passive_firing { marking; label } ->
+      fail "%s: passive activity %s has no active partner in marking %s" name label marking
+  | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
+  | Markov.Steady.Did_not_converge { iterations; residual } ->
+      fail "%s: solver did not converge after %d iterations (residual %g)" name iterations
+        residual
+
+let analyse_pepa ?(name = "model") ?method_ ?max_states model =
+  wrap name (fun () ->
+      let env = Pepa.Env.of_model model in
+      let compiled = Pepa.Compile.compile env in
+      let space = Pepa.Statespace.build ?max_states compiled in
+      let distribution = Pepa.Statespace.steady_state ?method_ space in
+      (* Component-state utilisations, one entry per (leaf, local state):
+         the measure the Reflector writes onto state diagrams. *)
+      let leaf_labels = Pepa.Compile.leaf_labels compiled in
+      let state_probabilities =
+        List.concat
+          (List.init (Array.length leaf_labels) (fun leaf ->
+               let component =
+                 compiled.Pepa.Compile.components.(compiled.Pepa.Compile.leaf_component.(leaf))
+               in
+               Array.to_list component.Pepa.Compile.labels
+               |> List.sort_uniq String.compare
+               |> List.map (fun label ->
+                      ( Printf.sprintf "%s.%s" leaf_labels.(leaf) label,
+                        Pepa.Statespace.local_state_probability space distribution ~leaf ~label
+                      ))))
+      in
+      let results =
+        Results.make ~source:name ~kind:Results.Pepa_model
+          ~n_states:(Pepa.Statespace.n_states space)
+          ~n_transitions:(Pepa.Statespace.n_transitions space)
+          ~throughputs:(Pepa.Statespace.throughputs space distribution)
+          ~state_probabilities
+          ~warnings:(Pepa.Env.warnings env) ()
+      in
+      { space; distribution; results })
+
+let analyse_pepa_string ?(name = "model") ?method_ ?max_states src =
+  let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
+  analyse_pepa ~name ?method_ ?max_states model
+
+let analyse_pepa_file ?method_ ?max_states path =
+  let name = Filename.basename path in
+  let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
+  analyse_pepa ~name ?method_ ?max_states model
+
+let analyse_net ?(name = "net") ?method_ ?max_markings net =
+  wrap name (fun () ->
+      let compiled = Pepanet.Net_compile.compile net in
+      let net_space = Pepanet.Net_statespace.build ?max_markings compiled in
+      let net_distribution = Pepanet.Net_statespace.steady_state ?method_ net_space in
+      let net_results =
+        Results.make ~source:name ~kind:Results.Pepa_net
+          ~n_states:(Pepanet.Net_statespace.n_markings net_space)
+          ~n_transitions:(Pepanet.Net_statespace.n_transitions net_space)
+          ~throughputs:(Pepanet.Net_measures.throughputs net_space net_distribution)
+          ~warnings:(Pepanet.Net_compile.warnings compiled) ()
+      in
+      { net_space; net_distribution; net_results })
+
+let analyse_net_string ?(name = "net") ?method_ ?max_markings src =
+  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
+  analyse_net ~name ?method_ ?max_markings net
+
+let analyse_net_file ?method_ ?max_markings path =
+  let name = Filename.basename path in
+  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_file path) in
+  analyse_net ~name ?method_ ?max_markings net
+
+let local_probabilities analysis ~leaf =
+  let compiled = Pepa.Statespace.compiled analysis.space in
+  let component =
+    compiled.Pepa.Compile.components.(compiled.Pepa.Compile.leaf_component.(leaf))
+  in
+  Array.to_list component.Pepa.Compile.labels
+  |> List.sort_uniq String.compare
+  |> List.map (fun label ->
+         ( label,
+           Pepa.Statespace.local_state_probability analysis.space analysis.distribution ~leaf
+             ~label ))

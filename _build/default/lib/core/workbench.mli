@@ -1,0 +1,49 @@
+(** The Workbench layer: solve PEPA models and PEPA nets for their
+    standard steady-state measures in one call, corresponding to the
+    "PEPA Workbench for PEPA nets" box of the paper's Figure 4. *)
+
+type pepa_analysis = {
+  space : Pepa.Statespace.t;
+  distribution : float array;
+  results : Results.t;
+}
+
+type net_analysis = {
+  net_space : Pepanet.Net_statespace.t;
+  net_distribution : float array;
+  net_results : Results.t;
+}
+
+exception Analysis_error of string
+(** Wraps parser, semantic, state-space and solver failures with
+    context. *)
+
+val analyse_pepa :
+  ?name:string ->
+  ?method_:Markov.Steady.method_ ->
+  ?max_states:int ->
+  Pepa.Syntax.model ->
+  pepa_analysis
+
+val analyse_pepa_string :
+  ?name:string -> ?method_:Markov.Steady.method_ -> ?max_states:int -> string -> pepa_analysis
+
+val analyse_pepa_file :
+  ?method_:Markov.Steady.method_ -> ?max_states:int -> string -> pepa_analysis
+
+val analyse_net :
+  ?name:string ->
+  ?method_:Markov.Steady.method_ ->
+  ?max_markings:int ->
+  Pepanet.Net.t ->
+  net_analysis
+
+val analyse_net_string :
+  ?name:string -> ?method_:Markov.Steady.method_ -> ?max_markings:int -> string -> net_analysis
+
+val analyse_net_file :
+  ?method_:Markov.Steady.method_ -> ?max_markings:int -> string -> net_analysis
+
+val local_probabilities : pepa_analysis -> leaf:int -> (string * float) list
+(** Distribution over the local derivative states of one sequential
+    component (used to reflect state-diagram probabilities). *)

@@ -1,0 +1,1 @@
+lib/ctmc/ctmc.ml: Array Float Format Fun List Printf Queue Sparse

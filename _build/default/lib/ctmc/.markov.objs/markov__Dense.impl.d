@@ -1,0 +1,1 @@
+lib/ctmc/dense.ml: Array

@@ -1,0 +1,1 @@
+lib/ctmc/dtmc.ml: Array Ctmc List Printf Sparse Steady

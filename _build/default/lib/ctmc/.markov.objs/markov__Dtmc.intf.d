@@ -1,0 +1,1 @@
+lib/ctmc/dtmc.mli: Ctmc

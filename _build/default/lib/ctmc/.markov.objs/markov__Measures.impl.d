@@ -1,0 +1,1 @@
+lib/ctmc/measures.ml: Array List

@@ -1,0 +1,1 @@
+lib/ctmc/passage.ml: Array Ctmc Dense Fun Hashtbl List Queue Transient

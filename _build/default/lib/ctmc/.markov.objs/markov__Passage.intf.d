@@ -1,0 +1,1 @@
+lib/ctmc/passage.mli: Ctmc

@@ -1,0 +1,1 @@
+lib/ctmc/prism.ml: Buffer Ctmc Fun Hashtbl List Option Printf String

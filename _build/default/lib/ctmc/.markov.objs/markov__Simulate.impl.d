@@ -1,0 +1,1 @@
+lib/ctmc/simulate.ml: Array Ctmc Float Int64 List

@@ -1,0 +1,1 @@
+lib/ctmc/sparse.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/ctmc/steady.ml: Array Ctmc Dense Printf Sparse

@@ -1,0 +1,80 @@
+type t = {
+  n : int;
+  rates : Sparse.t;  (* off-diagonal rate matrix, row = source *)
+  exit : float array;
+  mutable transposed : Sparse.t option;
+}
+
+let of_transitions ~n transitions =
+  List.iter
+    (fun (i, j, r) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg (Printf.sprintf "Ctmc.of_transitions: state (%d, %d) out of range" i j);
+      if r <= 0.0 || Float.is_nan r then
+        invalid_arg (Printf.sprintf "Ctmc.of_transitions: non-positive rate %g on %d -> %d" r i j))
+    transitions;
+  let off_diagonal = List.filter (fun (i, j, _) -> i <> j) transitions in
+  let rates = Sparse.of_triplets ~n_rows:n ~n_cols:n off_diagonal in
+  let exit = Sparse.row_sums rates in
+  { n; rates; exit; transposed = None }
+
+let n_states c = c.n
+
+let generator c =
+  let triplets = ref [] in
+  for i = 0 to c.n - 1 do
+    if c.exit.(i) > 0.0 then triplets := (i, i, -.c.exit.(i)) :: !triplets;
+    Sparse.iter_row c.rates i (fun j v -> triplets := (i, j, v) :: !triplets)
+  done;
+  Sparse.of_triplets ~n_rows:c.n ~n_cols:c.n !triplets
+
+let generator_transposed c =
+  match c.transposed with
+  | Some m -> m
+  | None ->
+      let m = Sparse.transpose (generator c) in
+      c.transposed <- Some m;
+      m
+
+let exit_rate c i = c.exit.(i)
+let exit_rates c = Array.copy c.exit
+
+let max_exit_rate c = Array.fold_left max 0.0 c.exit
+
+let rate c i j = Sparse.get c.rates i j
+
+let successors c i = List.rev (Sparse.fold_row c.rates i (fun acc j v -> (j, v) :: acc) [])
+
+let is_absorbing c i = c.exit.(i) = 0.0
+
+(* A finite CTMC is irreducible iff state 0 reaches every state and every
+   state reaches state 0 (single strongly-connected component). *)
+let is_irreducible c =
+  if c.n = 0 then true
+  else begin
+    let reaches matrix =
+      let seen = Array.make c.n false in
+      let queue = Queue.create () in
+      seen.(0) <- true;
+      Queue.add 0 queue;
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        Sparse.iter_row matrix i (fun j _ ->
+            if not seen.(j) then begin
+              seen.(j) <- true;
+              Queue.add j queue
+            end)
+      done;
+      Array.for_all Fun.id seen
+    in
+    reaches c.rates && reaches (Sparse.transpose c.rates)
+  end
+
+let embedded_probabilities c i =
+  let total = c.exit.(i) in
+  if total = 0.0 then []
+  else List.map (fun (j, r) -> (j, r /. total)) (successors c i)
+
+let pp_stats fmt c =
+  Format.fprintf fmt "%d states, %d transitions, max exit rate %g" c.n (Sparse.nnz c.rates)
+    (max_exit_rate c)

@@ -1,0 +1,49 @@
+(** Continuous-time Markov chains.
+
+    A chain is built from a list of labelled-rate transitions between
+    integer states; the infinitesimal generator [Q] is derived with
+    [Q(i,i) = -sum_j Q(i,j)].  Self-loops are dropped at construction:
+    they have no effect on the behaviour of a CTMC. *)
+
+type t
+
+val of_transitions : n:int -> (int * int * float) list -> t
+(** [of_transitions ~n ts] builds an [n]-state chain from
+    [(source, target, rate)] triples.  Parallel transitions between the
+    same pair of states are summed.  Raises [Invalid_argument] on a
+    non-positive rate or an out-of-range state. *)
+
+val n_states : t -> int
+
+val generator : t -> Sparse.t
+(** The generator matrix [Q], including the negative diagonal. *)
+
+val generator_transposed : t -> Sparse.t
+(** [Q] transposed; the orientation iterative solvers consume.  Computed
+    once and cached. *)
+
+val exit_rate : t -> int -> float
+(** Total outgoing rate of a state (0 for an absorbing state). *)
+
+val exit_rates : t -> float array
+
+val max_exit_rate : t -> float
+
+val rate : t -> int -> int -> float
+(** [rate c i j] is the transition rate from [i] to [j] ([i <> j]). *)
+
+val successors : t -> int -> (int * float) list
+(** Outgoing transitions of a state as [(target, rate)] pairs. *)
+
+val is_absorbing : t -> int -> bool
+
+val is_irreducible : t -> bool
+(** Whether the chain is a single strongly-connected component, i.e. has
+    a unique positive steady-state distribution. *)
+
+val embedded_probabilities : t -> int -> (int * float) list
+(** Jump-chain probabilities out of a state; [[]] for an absorbing
+    state. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: states, transitions, max exit rate. *)

@@ -1,0 +1,63 @@
+exception Singular of int
+
+let mul_vec a x =
+  Array.map
+    (fun row ->
+      let s = ref 0.0 in
+      Array.iteri (fun j v -> s := !s +. (v *. x.(j))) row;
+      !s)
+    a
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0))
+
+let lu_solve a b =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    if Array.length b <> n then invalid_arg "Dense.lu_solve: dimension mismatch";
+    let m = Array.map Array.copy a in
+    let x = Array.copy b in
+    for k = 0 to n - 1 do
+      (* Partial pivoting: bring the largest magnitude entry to the pivot. *)
+      let pivot_row = ref k in
+      for i = k + 1 to n - 1 do
+        if abs_float m.(i).(k) > abs_float m.(!pivot_row).(k) then pivot_row := i
+      done;
+      if abs_float m.(!pivot_row).(k) < 1e-300 then raise (Singular k);
+      if !pivot_row <> k then begin
+        let tmp = m.(k) in
+        m.(k) <- m.(!pivot_row);
+        m.(!pivot_row) <- tmp;
+        let t = x.(k) in
+        x.(k) <- x.(!pivot_row);
+        x.(!pivot_row) <- t
+      end;
+      let pivot = m.(k).(k) in
+      for i = k + 1 to n - 1 do
+        let factor = m.(i).(k) /. pivot in
+        if factor <> 0.0 then begin
+          m.(i).(k) <- 0.0;
+          for j = k + 1 to n - 1 do
+            m.(i).(j) <- m.(i).(j) -. (factor *. m.(k).(j))
+          done;
+          x.(i) <- x.(i) -. (factor *. x.(k))
+        end
+      done
+    done;
+    (* Back substitution. *)
+    for i = n - 1 downto 0 do
+      let s = ref x.(i) in
+      for j = i + 1 to n - 1 do
+        s := !s -. (m.(i).(j) *. x.(j))
+      done;
+      x.(i) <- !s /. m.(i).(i)
+    done;
+    x
+  end
+
+let residual_inf a x b =
+  let ax = mul_vec a x in
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := max !worst (abs_float (v -. b.(i)))) ax;
+  !worst

@@ -1,0 +1,19 @@
+(** Small dense linear-algebra kernel used by the direct steady-state
+    solver.  Matrices are row-major [float array array]. *)
+
+exception Singular of int
+(** Raised by {!lu_solve} when elimination finds a pivot column with no
+    usable pivot; the payload is the elimination step. *)
+
+val lu_solve : float array array -> float array -> float array
+(** [lu_solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] and [b] are not modified.  Raises {!Singular} if [a]
+    is (numerically) singular. *)
+
+val mul_vec : float array array -> float array -> float array
+
+val identity : int -> float array array
+
+val residual_inf : float array array -> float array -> float array -> float
+(** [residual_inf a x b] is [||a x - b||_inf]; useful for checking solver
+    output in tests. *)

@@ -1,0 +1,61 @@
+type t = { n : int; matrix : Sparse.t }
+
+let of_rows rows =
+  let n = Array.length rows in
+  let triplets = ref [] in
+  Array.iteri
+    (fun i row ->
+      match row with
+      | [] -> triplets := (i, i, 1.0) :: !triplets
+      | _ ->
+          let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 row in
+          if abs_float (total -. 1.0) > 1e-9 then
+            invalid_arg (Printf.sprintf "Dtmc.of_rows: row %d sums to %g" i total);
+          List.iter
+            (fun (j, p) ->
+              if j < 0 || j >= n then invalid_arg "Dtmc.of_rows: state out of range";
+              if p < 0.0 then invalid_arg "Dtmc.of_rows: negative probability";
+              triplets := (i, j, p) :: !triplets)
+            row)
+    rows;
+  { n; matrix = Sparse.of_triplets ~n_rows:n ~n_cols:n !triplets }
+
+let embedded_of_ctmc c =
+  of_rows (Array.init (Ctmc.n_states c) (Ctmc.embedded_probabilities c))
+
+let uniformised_of_ctmc ?(factor = 1.02) c =
+  let n = Ctmc.n_states c in
+  let lambda = (Ctmc.max_exit_rate c *. factor) +. 1e-9 in
+  let rows =
+    Array.init n (fun i ->
+        let out = Ctmc.successors c i in
+        let escape = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 out in
+        (i, 1.0 -. (escape /. lambda)) :: List.map (fun (j, r) -> (j, r /. lambda)) out)
+  in
+  of_rows rows
+
+let n_states d = d.n
+
+let step d pi = Sparse.vec_mul pi d.matrix
+
+let distribution_after d ~initial ~steps =
+  let pi = ref (Array.copy initial) in
+  for _ = 1 to steps do
+    pi := step d !pi
+  done;
+  !pi
+
+let steady ?(tolerance = 1e-12) ?(max_iterations = 1_000_000) d =
+  let pi = ref (Array.make d.n (1.0 /. float_of_int d.n)) in
+  let delta = ref infinity in
+  let iterations = ref 0 in
+  while !delta > tolerance do
+    if !iterations >= max_iterations then
+      raise (Steady.Did_not_converge { iterations = !iterations; residual = !delta });
+    let next = step d !pi in
+    delta := 0.0;
+    Array.iteri (fun i v -> delta := max !delta (abs_float (v -. !pi.(i)))) next;
+    pi := next;
+    incr iterations
+  done;
+  !pi

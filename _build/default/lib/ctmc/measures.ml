@@ -1,0 +1,20 @@
+let expectation pi reward =
+  let s = ref 0.0 in
+  Array.iteri (fun i p -> s := !s +. (p *. reward i)) pi;
+  !s
+
+let probability pi pred = expectation pi (fun i -> if pred i then 1.0 else 0.0)
+
+let flow pi transitions select =
+  List.fold_left
+    (fun acc ((src, _, rate) as t) -> if select t then acc +. (pi.(src) *. rate) else acc)
+    0.0 transitions
+
+let mean_recurrence_time pi i = if pi.(i) <= 0.0 then infinity else 1.0 /. pi.(i)
+
+let distribution_distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Measures.distribution_distance: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := max !worst (abs_float (v -. b.(i)))) a;
+  !worst

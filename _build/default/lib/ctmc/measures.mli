@@ -1,0 +1,24 @@
+(** Reward-style measures over a probability distribution.
+
+    The action-labelled measures used by the PEPA layers (throughput of
+    an action type, utilisation of a component state) all reduce to the
+    generic combinators here. *)
+
+val expectation : float array -> (int -> float) -> float
+(** [expectation pi reward] is [sum_i pi.(i) * reward i]. *)
+
+val probability : float array -> (int -> bool) -> float
+(** Total probability of the states satisfying the predicate. *)
+
+val flow : float array -> (int * int * float) list -> ((int * int * float) -> bool) -> float
+(** [flow pi transitions select] is the steady-state rate of occurrence
+    of the selected transitions: [sum pi.(src) * rate] over transitions
+    for which [select] holds.  Throughput of an action type is [flow]
+    over that action's transitions. *)
+
+val mean_recurrence_time : float array -> int -> float
+(** [1 / pi.(i)] expressed in expected visits; [infinity] for an
+    unvisited state. *)
+
+val distribution_distance : float array -> float array -> float
+(** Total-variation-style max-norm distance between two distributions. *)

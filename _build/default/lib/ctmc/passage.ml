@@ -1,0 +1,204 @@
+let check_query c ~sources ~targets =
+  let n = Ctmc.n_states c in
+  if sources = [] then invalid_arg "Passage: no source state";
+  if targets = [] then invalid_arg "Passage: no target state";
+  List.iter
+    (fun (i, w) ->
+      if i < 0 || i >= n then invalid_arg "Passage: source out of range";
+      if w < 0.0 then invalid_arg "Passage: negative source weight")
+    sources;
+  List.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Passage: target out of range")
+    targets;
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 sources in
+  if total <= 0.0 then invalid_arg "Passage: source weights sum to zero";
+  total
+
+(* The passage chain: target states become absorbing. *)
+let absorbing_chain c ~targets =
+  let is_target = Array.make (Ctmc.n_states c) false in
+  List.iter (fun i -> is_target.(i) <- true) targets;
+  let transitions = ref [] in
+  for i = 0 to Ctmc.n_states c - 1 do
+    if not is_target.(i) then
+      List.iter (fun (j, r) -> transitions := (i, j, r) :: !transitions) (Ctmc.successors c i)
+  done;
+  (Ctmc.of_transitions ~n:(Ctmc.n_states c) !transitions, is_target)
+
+let initial_distribution c ~sources ~total =
+  let pi0 = Array.make (Ctmc.n_states c) 0.0 in
+  List.iter (fun (i, w) -> pi0.(i) <- pi0.(i) +. (w /. total)) sources;
+  pi0
+
+(* States from which some target is reachable (reverse search). *)
+let can_reach_targets c ~targets =
+  let n = Ctmc.n_states c in
+  let predecessors = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun (j, _) -> predecessors.(j) <- i :: predecessors.(j)) (Ctmc.successors c i)
+  done;
+  let reach = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun t ->
+      if not reach.(t) then begin
+        reach.(t) <- true;
+        Queue.add t queue
+      end)
+    targets;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    List.iter
+      (fun i ->
+        if not reach.(i) then begin
+          reach.(i) <- true;
+          Queue.add i queue
+        end)
+      predecessors.(j)
+  done;
+  reach
+
+let cdf c ~sources ~targets ~t =
+  let total = check_query c ~sources ~targets in
+  (* A source that is already a target completes instantly. *)
+  let chain, is_target = absorbing_chain c ~targets in
+  let pi0 = initial_distribution c ~sources ~total in
+  let pi = Transient.probabilities chain ~initial:pi0 ~t in
+  let hit = ref 0.0 in
+  Array.iteri (fun i p -> if is_target.(i) then hit := !hit +. p) pi;
+  !hit
+
+let cdf_curve c ~sources ~targets ~times =
+  List.map (fun t -> (t, cdf c ~sources ~targets ~t)) times
+
+let density c ~sources ~targets ~times =
+  let curve = cdf_curve c ~sources ~targets ~times in
+  let rec differentiate = function
+    | (t1, f1) :: ((t2, f2) :: _ as rest) ->
+        ((t1 +. t2) /. 2.0, (f2 -. f1) /. (t2 -. t1)) :: differentiate rest
+    | [ _ ] | [] -> []
+  in
+  differentiate curve
+
+let mean c ~sources ~targets =
+  let total = check_query c ~sources ~targets in
+  let n = Ctmc.n_states c in
+  let is_target = Array.make n false in
+  List.iter (fun i -> is_target.(i) <- true) targets;
+  let reach = can_reach_targets c ~targets in
+  (* A passage that may never complete has infinite mean. *)
+  if List.exists (fun (i, w) -> w > 0.0 && not reach.(i)) sources then infinity
+  else begin
+    let leaks i =
+      (* Mass escaping to never-reaching states makes the mean infinite
+         too; detect it while filling the system. *)
+      List.exists (fun (j, _) -> not reach.(j)) (Ctmc.successors c i)
+    in
+    (* Hitting-time system over non-target states that can reach:
+       exit_i h_i - sum_{j not target} q_ij h_j = 1. *)
+    let kept =
+      List.filter (fun i -> (not is_target.(i)) && reach.(i)) (List.init n Fun.id)
+    in
+    if List.exists leaks kept then infinity
+    else begin
+      let index = Hashtbl.create 16 in
+      List.iteri (fun k i -> Hashtbl.add index i k) kept;
+      let m = List.length kept in
+      if m = 0 then 0.0
+      else begin
+        let a = Array.make_matrix m m 0.0 in
+        let b = Array.make m 1.0 in
+        List.iteri
+          (fun k i ->
+            a.(k).(k) <- Ctmc.exit_rate c i;
+            List.iter
+              (fun (j, r) ->
+                if not is_target.(j) then begin
+                  let kj = Hashtbl.find index j in
+                  a.(k).(kj) <- a.(k).(kj) -. r
+                end)
+              (Ctmc.successors c i))
+          kept;
+        match Dense.lu_solve a b with
+        | exception Dense.Singular _ -> infinity
+        | h ->
+            List.fold_left
+              (fun acc (i, w) ->
+                let hi = if is_target.(i) then 0.0 else h.(Hashtbl.find index i) in
+                acc +. (w /. total *. hi))
+              0.0 sources
+      end
+    end
+  end
+
+(* Probability of ever completing the passage, from the linear system of
+   absorption probabilities (a = 1 on targets; a_i = 0 on non-target
+   absorbing states; balance elsewhere). *)
+let completion_probability c ~sources ~targets =
+  let total = check_query c ~sources ~targets in
+  let n = Ctmc.n_states c in
+  let is_target = Array.make n false in
+  List.iter (fun i -> is_target.(i) <- true) targets;
+  (* States from which the targets are unreachable have absorption
+     probability 0; excluding them up front keeps the linear system
+     non-singular (closed classes away from the targets would otherwise
+     make it degenerate). *)
+  let reach = can_reach_targets c ~targets in
+  let kept =
+    List.filter (fun i -> (not is_target.(i)) && reach.(i)) (List.init n Fun.id)
+  in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun k i -> Hashtbl.add index i k) kept;
+  let m = List.length kept in
+  let a = Array.make_matrix m m 0.0 in
+  let b = Array.make m 0.0 in
+  List.iteri
+    (fun k i ->
+      a.(k).(k) <- Ctmc.exit_rate c i;
+      List.iter
+        (fun (j, r) ->
+          if is_target.(j) then b.(k) <- b.(k) +. r
+          else if reach.(j) then begin
+            let kj = Hashtbl.find index j in
+            a.(k).(kj) <- a.(k).(kj) -. r
+          end)
+        (Ctmc.successors c i))
+    kept;
+  let solution = if m = 0 then [||] else Dense.lu_solve a b in
+  List.fold_left
+    (fun acc (i, w) ->
+      let ai =
+        if is_target.(i) then 1.0
+        else if reach.(i) then solution.(Hashtbl.find index i)
+        else 0.0
+      in
+      acc +. (w /. total *. ai))
+    0.0 sources
+
+let quantile c ~sources ~targets ~p ~epsilon =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Passage.quantile: p must lie in (0, 1)";
+  if epsilon <= 0.0 then invalid_arg "Passage.quantile: epsilon must be positive";
+  (* Passages that complete with probability below p have no finite
+     p-quantile; decide that algebraically rather than by chasing the
+     CDF towards an unreachable level. *)
+  if completion_probability c ~sources ~targets <= p +. 1e-12 then infinity
+  else begin
+    let f t = cdf c ~sources ~targets ~t in
+    let rec bracket hi attempts =
+      if f hi >= p then Some hi
+      else if attempts = 0 then None
+      else bracket (hi *. 2.0) (attempts - 1)
+    in
+    (* The completion check guarantees a finite quantile; the cap only
+       guards against pathological stiffness. *)
+    match bracket 1.0 30 with
+    | None -> infinity
+    | Some hi ->
+        let rec bisect lo hi =
+          if hi -. lo <= epsilon then (lo +. hi) /. 2.0
+          else
+            let mid = (lo +. hi) /. 2.0 in
+            if f mid >= p then bisect lo mid else bisect mid hi
+        in
+        bisect 0.0 hi
+  end

@@ -1,0 +1,41 @@
+(** First-passage-time analysis, in the spirit of the Imperial PEPA
+    Compiler's passage-time computations (the paper's Section 6 points to
+    ipc for "derivation of passage-time densities").
+
+    A passage is specified by weighted source states and a set of target
+    states.  The target states are made absorbing; the cumulative
+    distribution of the passage time is then the transient probability of
+    having been absorbed. *)
+
+val cdf : Ctmc.t -> sources:(int * float) list -> targets:int list -> t:float -> float
+(** [cdf c ~sources ~targets ~t] is the probability that a passage
+    starting in the [sources] distribution (weights are normalised)
+    reaches some target state within time [t].  Raises
+    [Invalid_argument] on empty sources or targets, or weights summing
+    to zero. *)
+
+val cdf_curve :
+  Ctmc.t -> sources:(int * float) list -> targets:int list -> times:float list -> (float * float) list
+(** The CDF sampled at several time points, as [(t, F(t))] pairs. *)
+
+val density :
+  Ctmc.t -> sources:(int * float) list -> targets:int list -> times:float list -> (float * float) list
+(** A finite-difference estimate of the passage-time density at the
+    given (strictly increasing) time points. *)
+
+val mean : Ctmc.t -> sources:(int * float) list -> targets:int list -> float
+(** The mean first-passage time, computed exactly from the linear
+    system of hitting times ([h = 0] on targets,
+    [exit_i h_i - sum_j q_ij h_j = 1] elsewhere).  Returns [infinity]
+    when a source cannot reach any target. *)
+
+val completion_probability : Ctmc.t -> sources:(int * float) list -> targets:int list -> float
+(** The probability that the passage ever completes, from the exact
+    linear system of absorption probabilities. *)
+
+val quantile :
+  Ctmc.t -> sources:(int * float) list -> targets:int list -> p:float -> epsilon:float -> float
+(** [quantile c ~sources ~targets ~p ~epsilon] is the time [t] (within
+    absolute tolerance [epsilon]) at which the CDF reaches [p], found by
+    bisection.  Raises [Invalid_argument] unless [0 < p < 1].  Returns
+    [infinity] if the passage completes with probability below [p]. *)

@@ -1,0 +1,62 @@
+let tra_string c =
+  let buf = Buffer.create 1024 in
+  let n = Ctmc.n_states c in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    count := !count + List.length (Ctmc.successors c i)
+  done;
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" n !count);
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (j, r) -> Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" i j r))
+      (Ctmc.successors c i)
+  done;
+  Buffer.contents buf
+
+let sta_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "(s)\n";
+  for i = 0 to Ctmc.n_states c - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d:(%d)\n" i i)
+  done;
+  Buffer.contents buf
+
+let lab_string ?(labels = []) ~initial c =
+  let buf = Buffer.create 1024 in
+  let declarations =
+    [ (0, "init"); (1, "deadlock") ]
+    @ List.mapi (fun k (name, _) -> (k + 2, name)) labels
+  in
+  Buffer.add_string buf
+    (String.concat " " (List.map (fun (i, name) -> Printf.sprintf "%d=\"%s\"" i name) declarations));
+  Buffer.add_char buf '\n';
+  let per_state = Hashtbl.create 16 in
+  let mark state label =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt per_state state) in
+    Hashtbl.replace per_state state (existing @ [ label ])
+  in
+  mark initial 0;
+  for i = 0 to Ctmc.n_states c - 1 do
+    if Ctmc.is_absorbing c i then mark i 1
+  done;
+  List.iteri (fun k (_, states) -> List.iter (fun s -> mark s (k + 2)) states) labels;
+  List.sort compare (Hashtbl.fold (fun s ls acc -> (s, ls) :: acc) per_state [])
+  |> List.iter (fun (s, ls) ->
+         Buffer.add_string buf
+           (Printf.sprintf "%d: %s\n" s (String.concat " " (List.map string_of_int ls))));
+  Buffer.contents buf
+
+let export ?labels ~initial ~basename c =
+  let write suffix contents =
+    let path = basename ^ suffix in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    path
+  in
+  [
+    write ".tra" (tra_string c);
+    write ".sta" (sta_string c);
+    write ".lab" (lab_string ?labels ~initial c);
+  ]

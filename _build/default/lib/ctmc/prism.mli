@@ -1,0 +1,25 @@
+(** Export of a CTMC in PRISM's explicit-state interchange format, the
+    route to the "tighter integration with tools such as PRISM"
+    the paper's Section 6 calls for.
+
+    Three files make up an explicit PRISM model:
+    - [.tra]: the transition matrix — a header line ["n m"] followed by
+      one ["src dst rate"] line per transition;
+    - [.sta]: state descriptors — ["(s)"] header and ["i:(i)"] lines (we
+      export the state index as the single variable, with human-readable
+      labels carried in the .lab file);
+    - [.lab]: label declarations ["i=\"name\""] followed by
+      ["state: i ..."] assignments; label 0 is always ["init"] and
+      label 1 ["deadlock"], as PRISM expects. *)
+
+val tra_string : Ctmc.t -> string
+
+val sta_string : Ctmc.t -> string
+
+val lab_string : ?labels:(string * int list) list -> initial:int -> Ctmc.t -> string
+(** Extra labels map a label name to the states carrying it. *)
+
+val export :
+  ?labels:(string * int list) list -> initial:int -> basename:string -> Ctmc.t -> string list
+(** Write [basename.tra], [basename.sta] and [basename.lab]; returns the
+    paths written. *)

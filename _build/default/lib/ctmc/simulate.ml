@@ -1,0 +1,166 @@
+module Rng = struct
+  (* splitmix64: tiny, fast, and good enough for Monte-Carlo use. *)
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = seed }
+
+  let next_int64 rng =
+    rng.state <- Int64.add rng.state 0x9E3779B97F4A7C15L;
+    let z = rng.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let uniform rng =
+    (* 53 random bits into (0, 1); never returns 0 (log safety). *)
+    let bits = Int64.shift_right_logical (next_int64 rng) 11 in
+    (Int64.to_float bits +. 1.0) /. 9007199254740994.0
+
+  let exponential rng ~rate =
+    if rate <= 0.0 then invalid_arg "Rng.exponential: non-positive rate";
+    -.log (uniform rng) /. rate
+
+  let split rng = { state = next_int64 rng }
+end
+
+type event = { time : float; state : int }
+
+(* Sample the next jump from [state]: exponential holding time at the
+   exit rate, then a target chosen with probability proportional to its
+   rate. *)
+let step c rng state =
+  let exit = Ctmc.exit_rate c state in
+  if exit = 0.0 then None
+  else begin
+    let holding = Rng.exponential rng ~rate:exit in
+    let u = Rng.uniform rng *. exit in
+    let rec pick acc = function
+      | [] -> state (* numerically unreachable fallback *)
+      | (j, r) :: rest -> if acc +. r >= u then j else pick (acc +. r) rest
+    in
+    Some (holding, pick 0.0 (Ctmc.successors c state))
+  end
+
+let trajectory c ~rng ~initial ~horizon =
+  if initial < 0 || initial >= Ctmc.n_states c then invalid_arg "Simulate: initial out of range";
+  if horizon < 0.0 then invalid_arg "Simulate: negative horizon";
+  let rec go time state acc =
+    match step c rng state with
+    | None -> acc
+    | Some (holding, target) ->
+        let time = time +. holding in
+        if time > horizon then acc else go time target ({ time; state = target } :: acc)
+  in
+  List.rev (go 0.0 initial [ { time = 0.0; state = initial } ])
+
+type estimate = { mean : float; half_width : float; samples : int }
+
+(* Two-sided 95% Student-t quantiles (degrees of freedom 1..30, then
+   normal). *)
+let t_quantile_95 df =
+  let table =
+    [|
+      12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228; 2.201; 2.179;
+      2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086; 2.080; 2.074; 2.069; 2.064;
+      2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+    |]
+  in
+  if df <= 0 then infinity else if df <= 30 then table.(df - 1) else 1.96
+
+let estimate_of_samples samples =
+  let n = List.length samples in
+  if n < 2 then invalid_arg "Simulate: need at least two samples";
+  let nf = float_of_int n in
+  let mean = List.fold_left ( +. ) 0.0 samples /. nf in
+  let variance =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. (nf -. 1.0)
+  in
+  let half_width = t_quantile_95 (n - 1) *. sqrt (variance /. nf) in
+  { mean; half_width; samples = n }
+
+(* Run one simulation, folding a visitor over (state, holding-time spent
+   in it, jump target option) triples until the horizon. *)
+let fold_path c rng ~initial ~horizon ~init ~visit =
+  let rec go time state acc =
+    if time >= horizon then acc
+    else
+      match step c rng state with
+      | None ->
+          (* absorbed: the remaining time is spent here *)
+          visit acc state (horizon -. time) None
+      | Some (holding, target) ->
+          let slice = Float.min holding (horizon -. time) in
+          let acc =
+            visit acc state slice (if time +. holding <= horizon then Some target else None)
+          in
+          go (time +. holding) target acc
+  in
+  go 0.0 initial init
+
+let steady_state_estimate c ~rng ~initial ?(batches = 20) ?(batch_time = 50.0) ?(warmup = 10.0)
+    ~reward () =
+  if batches < 2 then invalid_arg "Simulate: need at least two batches";
+  (* One long run; warmup discarded; batch boundaries by simulated time.
+     Accumulate time-weighted reward per batch. *)
+  let horizon = warmup +. (float_of_int batches *. batch_time) in
+  let totals = Array.make batches 0.0 in
+  let _ =
+    fold_path c rng ~initial ~horizon ~init:0.0 ~visit:(fun clock state slice _target ->
+        (* distribute [slice] across the batch windows it overlaps *)
+        let rec spread t remaining =
+          if remaining <= 1e-15 then ()
+          else begin
+            let batch = int_of_float ((t -. warmup) /. batch_time) in
+            if t < warmup then begin
+              let step = Float.min remaining (warmup -. t) in
+              spread (t +. step) (remaining -. step)
+            end
+            else if batch >= batches then ()
+            else begin
+              let window_end = warmup +. (float_of_int (batch + 1) *. batch_time) in
+              let step = Float.min remaining (window_end -. t) in
+              totals.(batch) <- totals.(batch) +. (reward state *. step);
+              spread (t +. step) (remaining -. step)
+            end
+          end
+        in
+        spread clock slice;
+        clock +. slice)
+  in
+  estimate_of_samples (Array.to_list (Array.map (fun v -> v /. batch_time) totals))
+
+let transient_estimate c ~rng ~initial ?(replications = 1000) ~t ~reward () =
+  if replications < 2 then invalid_arg "Simulate: need at least two replications";
+  let samples =
+    List.init replications (fun _ ->
+        let stream = Rng.split rng in
+        (* state occupied at time t: last event before t *)
+        let rec advance time state =
+          match step c stream state with
+          | None -> state
+          | Some (holding, target) ->
+              if time +. holding > t then state else advance (time +. holding) target
+        in
+        reward (advance 0.0 initial))
+  in
+  estimate_of_samples samples
+
+let throughput_estimate c ~rng ~initial ?(batches = 20) ?(batch_time = 50.0) ?(warmup = 10.0)
+    ~counts () =
+  if batches < 2 then invalid_arg "Simulate: need at least two batches";
+  let horizon = warmup +. (float_of_int batches *. batch_time) in
+  let tallies = Array.make batches 0 in
+  let _ =
+    fold_path c rng ~initial ~horizon ~init:0.0 ~visit:(fun clock state slice target ->
+        let jump_time = clock +. slice in
+        (match target with
+        | Some dst when jump_time >= warmup && counts state dst ->
+            let batch =
+              min (batches - 1) (int_of_float ((jump_time -. warmup) /. batch_time))
+            in
+            tallies.(batch) <- tallies.(batch) + 1
+        | _ -> ());
+        jump_time)
+  in
+  estimate_of_samples
+    (Array.to_list (Array.map (fun k -> float_of_int k /. batch_time) tallies))

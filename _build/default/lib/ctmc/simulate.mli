@@ -1,0 +1,79 @@
+(** Discrete-event Monte-Carlo simulation of CTMCs.
+
+    The paper contrasts its exact numerical solution with the simulation
+    approach of UML-Psi: "approximate solutions require the calculation
+    of confidence intervals, but large state-space size is tolerated" —
+    and suggests the two complement each other.  This module provides
+    that complement: trajectory sampling, long-run estimation with batch
+    means and confidence intervals, and transient estimation by
+    independent replications.
+
+    All randomness comes from an explicit seeded generator (splitmix64),
+    so simulations are reproducible. *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int64 -> t
+  val uniform : t -> float
+  (** Uniform on (0, 1). *)
+
+  val exponential : t -> rate:float -> float
+  val split : t -> t
+  (** An independent stream (for replications). *)
+end
+
+type event = { time : float; state : int }
+(** A jump: the chain entered [state] at [time]. *)
+
+val trajectory : Ctmc.t -> rng:Rng.t -> initial:int -> horizon:float -> event list
+(** One sample path from time 0 to [horizon]; the first event is
+    [(0, initial)].  A path that reaches an absorbing state ends
+    there. *)
+
+type estimate = {
+  mean : float;
+  half_width : float;  (** of the 95% confidence interval *)
+  samples : int;
+}
+
+val steady_state_estimate :
+  Ctmc.t ->
+  rng:Rng.t ->
+  initial:int ->
+  ?batches:int ->
+  ?batch_time:float ->
+  ?warmup:float ->
+  reward:(int -> float) ->
+  unit ->
+  estimate
+(** Long-run average of a state reward by the batch-means method:
+    simulate [warmup] (discarded), then [batches] consecutive windows of
+    [batch_time]; the batch averages give the mean and Student-t
+    confidence interval.  Defaults: 20 batches of 50 time units after a
+    warmup of 10. *)
+
+val transient_estimate :
+  Ctmc.t ->
+  rng:Rng.t ->
+  initial:int ->
+  ?replications:int ->
+  t:float ->
+  reward:(int -> float) ->
+  unit ->
+  estimate
+(** Mean instantaneous reward at time [t] over independent replications
+    (default 1000). *)
+
+val throughput_estimate :
+  Ctmc.t ->
+  rng:Rng.t ->
+  initial:int ->
+  ?batches:int ->
+  ?batch_time:float ->
+  ?warmup:float ->
+  counts:(int -> int -> bool) ->
+  unit ->
+  estimate
+(** Long-run rate of jumps selected by [counts src dst] (e.g. the jumps
+    carrying a given action), by batch means over jump counts. *)

@@ -1,0 +1,108 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;
+  col_index : int array;
+  values : float array;
+}
+
+let of_triplets ~n_rows ~n_cols triplets =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
+        invalid_arg (Printf.sprintf "Sparse.of_triplets: index (%d, %d) out of range" i j))
+    triplets;
+  let sorted =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+      triplets
+  in
+  (* Merge duplicates by summation. *)
+  let merged =
+    List.fold_left
+      (fun acc (i, j, v) ->
+        match acc with
+        | (i', j', v') :: rest when i = i' && j = j' -> (i, j, v +. v') :: rest
+        | _ -> (i, j, v) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let count = List.length merged in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_index = Array.make count 0 in
+  let values = Array.make count 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_index.(k) <- j;
+      values.(k) <- v)
+    merged;
+  for i = 1 to n_rows do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  { n_rows; n_cols; row_ptr; col_index; values }
+
+let zero ~n_rows ~n_cols = of_triplets ~n_rows ~n_cols []
+
+let nnz m = Array.length m.values
+
+let get m i j =
+  if i < 0 || i >= m.n_rows then invalid_arg "Sparse.get: row out of range";
+  let rec bisect lo hi =
+    if lo >= hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      let c = m.col_index.(mid) in
+      if c = j then m.values.(mid) else if c < j then bisect (mid + 1) hi else bisect lo mid
+  in
+  bisect m.row_ptr.(i) m.row_ptr.(i + 1)
+
+let iter_row m i f =
+  for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+    f m.col_index.(k) m.values.(k)
+  done
+
+let fold_row m i f init =
+  let acc = ref init in
+  iter_row m i (fun j v -> acc := f !acc j v);
+  !acc
+
+let mul_vec m x =
+  if Array.length x <> m.n_cols then invalid_arg "Sparse.mul_vec: dimension mismatch";
+  let y = Array.make m.n_rows 0.0 in
+  for i = 0 to m.n_rows - 1 do
+    let s = ref 0.0 in
+    iter_row m i (fun j v -> s := !s +. (v *. x.(j)));
+    y.(i) <- !s
+  done;
+  y
+
+let vec_mul x m =
+  if Array.length x <> m.n_rows then invalid_arg "Sparse.vec_mul: dimension mismatch";
+  let y = Array.make m.n_cols 0.0 in
+  for i = 0 to m.n_rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then iter_row m i (fun j v -> y.(j) <- y.(j) +. (xi *. v))
+  done;
+  y
+
+let transpose m =
+  let triplets = ref [] in
+  for i = 0 to m.n_rows - 1 do
+    iter_row m i (fun j v -> triplets := (j, i, v) :: !triplets)
+  done;
+  of_triplets ~n_rows:m.n_cols ~n_cols:m.n_rows !triplets
+
+let diagonal m =
+  let n = min m.n_rows m.n_cols in
+  Array.init n (fun i -> get m i i)
+
+let to_dense m =
+  let dense = Array.make_matrix m.n_rows m.n_cols 0.0 in
+  for i = 0 to m.n_rows - 1 do
+    iter_row m i (fun j v -> dense.(i).(j) <- dense.(i).(j) +. v)
+  done;
+  dense
+
+let row_sums m =
+  Array.init m.n_rows (fun i -> fold_row m i (fun acc _ v -> acc +. v) 0.0)

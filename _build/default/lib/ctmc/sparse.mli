@@ -1,0 +1,53 @@
+(** Compressed sparse row (CSR) matrices over [float].
+
+    This is the storage format for CTMC generator matrices.  Construction
+    goes through {!of_triplets}, which sorts entries, merges duplicates by
+    summation and drops explicit zeros, so callers can emit transitions in
+    any order. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;  (** length [n_rows + 1] *)
+  col_index : int array;
+  values : float array;
+}
+
+val of_triplets : n_rows:int -> n_cols:int -> (int * int * float) list -> t
+(** Build a matrix from [(row, col, value)] triplets.  Duplicate
+    coordinates are summed; resulting zeros are kept (a stored zero is
+    harmless and preserves structure).  Raises [Invalid_argument] if an
+    index is out of range. *)
+
+val zero : n_rows:int -> n_cols:int -> t
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] is entry [(i, j)], zero when not stored.  Logarithmic in
+    the row length. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** [iter_row m i f] applies [f col value] to every stored entry of row
+    [i], in increasing column order. *)
+
+val fold_row : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m x] is the matrix-vector product [m x]. *)
+
+val vec_mul : float array -> t -> float array
+(** [vec_mul x m] is the vector-matrix product [x m] (row vector times
+    matrix), the natural operation for probability vectors. *)
+
+val transpose : t -> t
+
+val diagonal : t -> float array
+(** The main diagonal as a dense vector (zero where not stored). *)
+
+val to_dense : t -> float array array
+(** Expand to a dense row-major matrix.  Intended for small systems and
+    tests. *)
+
+val row_sums : t -> float array

@@ -1,0 +1,144 @@
+type method_ = Direct | Jacobi | Gauss_seidel | Power
+
+type options = { tolerance : float; max_iterations : int; direct_limit : int }
+
+let default_options = { tolerance = 1e-12; max_iterations = 100_000; direct_limit = 3000 }
+
+exception Did_not_converge of { iterations : int; residual : float }
+exception Not_solvable of string
+
+let method_name = function
+  | Direct -> "direct"
+  | Jacobi -> "jacobi"
+  | Gauss_seidel -> "gauss-seidel"
+  | Power -> "power"
+
+let residual c pi =
+  let qt = Ctmc.generator_transposed c in
+  let defect = Sparse.mul_vec qt pi in
+  Array.fold_left (fun acc v -> max acc (abs_float v)) 0.0 defect
+
+let normalise pi =
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  if total <= 0.0 then raise (Not_solvable "iteration collapsed to the zero vector");
+  Array.map (fun v -> v /. total) pi
+
+(* --------------------------------------------------------------- *)
+(* Direct method                                                    *)
+(* --------------------------------------------------------------- *)
+
+let solve_direct options c =
+  let n = Ctmc.n_states c in
+  if n > options.direct_limit then
+    raise
+      (Not_solvable
+         (Printf.sprintf "chain has %d states, above the direct solver limit of %d" n
+            options.direct_limit));
+  if n = 0 then [||]
+  else begin
+    (* Solve Q^T pi = 0 with the last equation replaced by sum pi = 1. *)
+    let a = Sparse.to_dense (Ctmc.generator_transposed c) in
+    let b = Array.make n 0.0 in
+    for j = 0 to n - 1 do
+      a.(n - 1).(j) <- 1.0
+    done;
+    b.(n - 1) <- 1.0;
+    let pi =
+      try Dense.lu_solve a b
+      with Dense.Singular _ ->
+        raise (Not_solvable "singular system: the chain has no unique steady state")
+    in
+    (* Clamp tiny negative values produced by rounding. *)
+    normalise (Array.map (fun v -> if v < 0.0 && v > -1e-9 then 0.0 else v) pi)
+  end
+
+(* --------------------------------------------------------------- *)
+(* Iterative methods on Q^T pi = 0                                  *)
+(* --------------------------------------------------------------- *)
+
+let check_no_absorbing c =
+  for i = 0 to Ctmc.n_states c - 1 do
+    if Ctmc.is_absorbing c i then
+      raise
+        (Not_solvable
+           (Printf.sprintf "state %d is absorbing; use the direct method for reducible chains" i))
+  done
+
+let iterate ~options ~c ~update =
+  let n = Ctmc.n_states c in
+  let pi = ref (Array.make n (1.0 /. float_of_int n)) in
+  let iterations = ref 0 in
+  let res = ref (residual c !pi) in
+  while !res > options.tolerance do
+    if !iterations >= options.max_iterations then
+      raise (Did_not_converge { iterations = !iterations; residual = !res });
+    pi := normalise (update !pi);
+    incr iterations;
+    res := residual c !pi
+  done;
+  !pi
+
+(* Damped (weighted) Jacobi: plain Jacobi oscillates on chains whose
+   iteration matrix has eigenvalues on the unit circle (e.g. any 2-state
+   chain), while the 1/2-damped variant converges whenever the plain
+   iteration does not diverge. *)
+let solve_jacobi options c =
+  check_no_absorbing c;
+  let qt = Ctmc.generator_transposed c in
+  let n = Ctmc.n_states c in
+  let omega = 0.5 in
+  let update pi =
+    let next = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let off = ref 0.0 in
+      Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. pi.(j)));
+      next.(i) <- ((1.0 -. omega) *. pi.(i)) +. (omega *. (!off /. Ctmc.exit_rate c i))
+    done;
+    next
+  in
+  iterate ~options ~c ~update
+
+let solve_gauss_seidel options c =
+  check_no_absorbing c;
+  let qt = Ctmc.generator_transposed c in
+  let n = Ctmc.n_states c in
+  let update pi =
+    let x = Array.copy pi in
+    for i = 0 to n - 1 do
+      let off = ref 0.0 in
+      Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. x.(j)));
+      x.(i) <- !off /. Ctmc.exit_rate c i
+    done;
+    x
+  in
+  iterate ~options ~c ~update
+
+let solve_power options c =
+  let n = Ctmc.n_states c in
+  let lambda = (Ctmc.max_exit_rate c *. 1.02) +. 1e-9 in
+  let qt = Ctmc.generator_transposed c in
+  (* pi <- pi (I + Q / lambda), computed through the transpose. *)
+  let update pi =
+    let flow = Sparse.mul_vec qt pi in
+    Array.init n (fun i -> pi.(i) +. (flow.(i) /. lambda))
+  in
+  iterate ~options ~c ~update
+
+let solve ?method_ ?(options = default_options) c =
+  if Ctmc.n_states c = 0 then [||]
+  else
+    match method_ with
+    | Some Direct -> solve_direct options c
+    | Some Jacobi -> solve_jacobi options c
+    | Some Gauss_seidel -> solve_gauss_seidel options c
+    | Some Power -> solve_power options c
+    | None -> (
+        (* Default policy: Gauss-Seidel, falling back to the direct solver
+           for chains it cannot handle (absorbing states, slow mixing). *)
+        let fallback () =
+          if Ctmc.n_states c <= options.direct_limit then solve_direct options c
+          else raise (Not_solvable "iteration failed and the chain is too large for LU")
+        in
+        try solve_gauss_seidel options c with
+        | Not_solvable _ -> fallback ()
+        | Did_not_converge _ -> fallback ())

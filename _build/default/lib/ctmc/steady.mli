@@ -1,0 +1,43 @@
+(** Steady-state solution of a CTMC: the probability vector [pi] with
+    [pi Q = 0] and [sum pi = 1].
+
+    Four solution methods are provided, mirroring the PEPA Workbench:
+    a direct dense LU solver (exact up to rounding, limited to small
+    chains), Jacobi and Gauss–Seidel iterations on the normal equations,
+    and the power method on the uniformised jump chain. *)
+
+type method_ =
+  | Direct       (** dense Gaussian elimination on [Q^T] with the
+                     normalisation condition replacing one equation *)
+  | Jacobi
+  | Gauss_seidel
+  | Power        (** power iteration on [P = I + Q / Lambda] *)
+
+type options = {
+  tolerance : float;      (** convergence threshold on the residual
+                              [||pi Q||_inf] (default [1e-12]) *)
+  max_iterations : int;   (** iteration cap (default [100_000]) *)
+  direct_limit : int;     (** largest chain the direct method accepts
+                              (default [3000]) *)
+}
+
+val default_options : options
+
+exception Did_not_converge of { iterations : int; residual : float }
+
+exception Not_solvable of string
+(** Raised when the chain has no unique steady-state distribution that
+    the requested method can find (e.g. an iterative method applied to a
+    chain with an absorbing state, or a reducible chain given to the
+    direct solver). *)
+
+val solve : ?method_:method_ -> ?options:options -> Ctmc.t -> float array
+(** Compute the steady-state distribution.  The default method is
+    {!Gauss_seidel} with a fallback to {!Direct} for chains within
+    [direct_limit] when iteration fails to converge. *)
+
+val residual : Ctmc.t -> float array -> float
+(** [residual c pi] is [||pi Q||_inf], the defect of a candidate
+    solution. *)
+
+val method_name : method_ -> string

@@ -1,0 +1,94 @@
+let poisson_weights ~lambda_t ~epsilon =
+  if lambda_t < 0.0 then invalid_arg "Transient.poisson_weights: negative lambda_t";
+  if lambda_t = 0.0 then (0, [| 1.0 |])
+  else begin
+    let mode = int_of_float (floor lambda_t) in
+    (* Unnormalised weights by recurrence from the mode in both directions;
+       stop when a weight falls below [cutoff] relative to the mode.  The
+       Poisson mass concentrates within a few standard deviations of the
+       mode, so bound both loops explicitly: without the bound the
+       downward loop would be O(mode), which matters for huge horizons. *)
+    let cutoff = 1e-30 in
+    let spread = int_of_float ((12.0 *. sqrt lambda_t) +. 100.0) in
+    let floor_k = max 0 (mode - spread) in
+    let down = ref [] in
+    let w = ref 1.0 in
+    let k = ref mode in
+    while !k > floor_k && !w > cutoff do
+      (* w(k-1) = w(k) * k / lambda_t *)
+      w := !w *. float_of_int !k /. lambda_t;
+      decr k;
+      down := !w :: !down
+    done;
+    let lowest = !k in
+    let up = ref [] in
+    let w = ref 1.0 in
+    let k = ref mode in
+    let continue = ref true in
+    while !continue do
+      (* w(k+1) = w(k) * lambda_t / (k+1) *)
+      w := !w *. lambda_t /. float_of_int (!k + 1);
+      incr k;
+      if !w <= cutoff && float_of_int !k > lambda_t then continue := false
+      else up := !w :: !up
+    done;
+    let weights = Array.of_list (!down @ [ 1.0 ] @ List.rev !up) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let weights = Array.map (fun v -> v /. total) weights in
+    (* Trim the tails whose cumulative mass is below epsilon / 2 each. *)
+    let n = Array.length weights in
+    let lo = ref 0 and acc = ref 0.0 in
+    while !acc +. weights.(!lo) < epsilon /. 2.0 && !lo < n - 1 do
+      acc := !acc +. weights.(!lo);
+      incr lo
+    done;
+    let hi = ref (n - 1) and acc = ref 0.0 in
+    while !acc +. weights.(!hi) < epsilon /. 2.0 && !hi > !lo do
+      acc := !acc +. weights.(!hi);
+      decr hi
+    done;
+    let kept = Array.sub weights !lo (!hi - !lo + 1) in
+    let total = Array.fold_left ( +. ) 0.0 kept in
+    (lowest + !lo, Array.map (fun v -> v /. total) kept)
+  end
+
+let probabilities c ~initial ~t =
+  let n = Ctmc.n_states c in
+  if Array.length initial <> n then invalid_arg "Transient.probabilities: dimension mismatch";
+  let total = Array.fold_left ( +. ) 0.0 initial in
+  if abs_float (total -. 1.0) > 1e-6 then
+    invalid_arg "Transient.probabilities: initial distribution does not sum to 1";
+  if t < 0.0 then invalid_arg "Transient.probabilities: negative time";
+  if t = 0.0 || n = 0 then Array.copy initial
+  else begin
+    let lambda = (Ctmc.max_exit_rate c *. 1.02) +. 1e-9 in
+    let qt = Ctmc.generator_transposed c in
+    let step pi =
+      (* pi P = pi + (pi Q) / lambda, computed through Q^T. *)
+      let flow = Sparse.mul_vec qt pi in
+      Array.init n (fun i -> pi.(i) +. (flow.(i) /. lambda))
+    in
+    let offset, weights = poisson_weights ~lambda_t:(lambda *. t) ~epsilon:1e-12 in
+    let result = Array.make n 0.0 in
+    let pi = ref (Array.copy initial) in
+    (* Advance to the first retained Poisson term. *)
+    for _ = 1 to offset do
+      pi := step !pi
+    done;
+    Array.iteri
+      (fun k w ->
+        if k > 0 then pi := step !pi;
+        Array.iteri (fun i v -> result.(i) <- result.(i) +. (w *. v)) !pi)
+      weights;
+    result
+  end
+
+let point_probability c ~initial ~t ~state = (probabilities c ~initial ~t).(state)
+
+let expected_reward c ~initial ~rewards ~t =
+  let pi = probabilities c ~initial ~t in
+  if Array.length rewards <> Array.length pi then
+    invalid_arg "Transient.expected_reward: dimension mismatch";
+  let s = ref 0.0 in
+  Array.iteri (fun i v -> s := !s +. (v *. rewards.(i))) pi;
+  !s

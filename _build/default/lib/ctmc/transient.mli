@@ -1,0 +1,23 @@
+(** Transient analysis of a CTMC by uniformisation.
+
+    [pi(t) = sum_k Poisson(Lambda t; k) . pi(0) P^k] where
+    [P = I + Q / Lambda] is the uniformised jump chain.  Poisson weights
+    are computed by the standard stable recurrence outward from the mode
+    with tail truncation, so large [Lambda t] values do not underflow. *)
+
+val probabilities : Ctmc.t -> initial:float array -> t:float -> float array
+(** State-probability vector at time [t >= 0] starting from the
+    distribution [initial].  Raises [Invalid_argument] if [initial] has
+    the wrong length, does not sum to (approximately) 1, or [t] is
+    negative. *)
+
+val point_probability : Ctmc.t -> initial:float array -> t:float -> state:int -> float
+
+val expected_reward : Ctmc.t -> initial:float array -> rewards:float array -> t:float -> float
+(** Instantaneous expected reward [sum_i pi_i(t) r_i]. *)
+
+val poisson_weights : lambda_t:float -> epsilon:float -> int * float array
+(** Exposed for testing: [(offset, weights)] such that [weights.(k)] is
+    the probability of [offset + k] Poisson events, truncated so that
+    the discarded tail mass is below [epsilon], and the retained weights
+    are renormalised to sum to 1. *)

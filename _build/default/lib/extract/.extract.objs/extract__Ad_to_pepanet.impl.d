@@ -1,0 +1,1 @@
+lib/extract/ad_to_pepanet.ml: Format Hashtbl List Names Option Pepa Pepanet Printf Uml

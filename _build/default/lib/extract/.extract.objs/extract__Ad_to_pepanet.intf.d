@@ -1,0 +1,1 @@
+lib/extract/ad_to_pepanet.mli: Pepanet Uml

@@ -1,0 +1,1 @@
+lib/extract/names.ml: Buffer Char Hashtbl Printf String

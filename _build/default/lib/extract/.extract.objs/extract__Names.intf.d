@@ -1,0 +1,1 @@
+lib/extract/names.mli:

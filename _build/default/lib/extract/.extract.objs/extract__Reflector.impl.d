@@ -1,0 +1,1 @@
+lib/extract/reflector.ml: Ad_to_pepanet List Printf Sc_to_pepa Uml

@@ -1,0 +1,1 @@
+lib/extract/reflector.mli: Ad_to_pepanet Sc_to_pepa Uml

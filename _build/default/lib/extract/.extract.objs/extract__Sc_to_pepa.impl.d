@@ -1,0 +1,1 @@
+lib/extract/sc_to_pepa.ml: Format List Names Option Pepa Printf Uml

@@ -1,0 +1,1 @@
+lib/extract/sc_to_pepa.mli: Pepa Uml

@@ -1,0 +1,65 @@
+(** The Extractor: the Section 3 mapping from mobility-annotated UML
+    activity diagrams to PEPA nets.
+
+    Following the paper's summary table:
+    - every location appearing in an [atloc] tag becomes a net-level
+      place (a diagram with no locations gets the single implicit place
+      [Global], making the result an ordinary PEPA model in net
+      clothing);
+    - every [<<move>>] activity becomes a net-level transition whose
+      input/output places come from the locations of the object
+      occurrences flowing in/out of it;
+    - every object becomes a PEPA token; its behaviour strings together
+      the activities associated with that object — prefix for sequential
+      composition, choice for decision diamonds or multiple outgoing
+      control edges;
+    - activities with no associated object become activities of a static
+      component placed at the last location a move was made to;
+    - each place gets one cell per object that ever exhibits its
+      location; cells (and static components) cooperate on shared
+      activities;
+    - the first recorded location of each object determines the initial
+      marking.
+
+    {b Recurrence.}  The diagrams of the paper terminate, yet the tool
+    reports steady-state throughputs, so the extractor closes each
+    token's behaviour into a cycle: reaching a final node performs a
+    synthetic [reset_<object>] activity returning the token to its first
+    activity.  When the final and initial locations differ the reset is
+    itself a net transition (the object travels back); otherwise it is a
+    local activity.  Pass [~restart:`Absorb] to keep the literal
+    terminating behaviour instead (useful for transient analysis). *)
+
+type extraction = {
+  net : Pepanet.Net.t;
+  action_of_node : (string * string) list;
+      (** activity node id -> PEPA action name *)
+  token_of_object : (string * string) list;
+      (** object name -> token family root constant *)
+  place_of_location : (string * string) list;
+      (** [atloc] location -> place name *)
+}
+
+exception Extraction_error of string
+
+val extract :
+  ?rates:Uml.Rates_file.t ->
+  ?restart:[ `Cycle | `Absorb ] ->
+  ?interactions:Uml.Interaction.t list ->
+  Uml.Activity.t ->
+  extraction
+(** When [interactions] are supplied (the Section 6 extension of basing
+    extraction on more than one diagram type), two objects cooperate on
+    a shared activity only if some interaction carries a message with
+    that name between them; without interactions every shared activity
+    is a cooperation, as in the paper's tool.
+
+    Raises {!Extraction_error} on diagrams outside the supported subset
+    (the restrictions the paper's Section 6 acknowledges): a [<<move>>]
+    activity with no object flow, an object occurrence without a
+    location when the diagram is mobile, or conflicting locations for an
+    object-less activity. *)
+
+val action_rate : Uml.Rates_file.t -> string -> float
+(** Rate assigned to a mangled action name: the rates file binding for
+    the mangled name, falling back to its default. *)

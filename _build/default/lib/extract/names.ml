@@ -1,0 +1,51 @@
+let sanitise s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | ' ' | '-' | '.' | ':' | '/' -> Buffer.add_char buf '_'
+      | _ -> ())
+    s;
+  let out = Buffer.contents buf in
+  if out = "" then "x" else out
+
+let action_name s =
+  let s = sanitise s in
+  match s.[0] with
+  | 'A' .. 'Z' -> String.make 1 (Char.lowercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+  | '0' .. '9' | '_' -> "a" ^ s
+  | _ -> s
+
+let constant_name s =
+  let s = sanitise s in
+  match s.[0] with
+  | 'a' .. 'z' -> String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+  | '0' .. '9' | '_' -> "C" ^ s
+  | _ -> s
+
+let rate_name action = "r_" ^ action_name action
+
+module Allocator = struct
+  type t = {
+    mangle : string -> string;
+    assigned : (string, string) Hashtbl.t;  (* source -> identifier *)
+    taken : (string, unit) Hashtbl.t;
+  }
+
+  let create mangle = { mangle; assigned = Hashtbl.create 16; taken = Hashtbl.create 16 }
+
+  let get t source =
+    match Hashtbl.find_opt t.assigned source with
+    | Some id -> id
+    | None ->
+        let base = t.mangle source in
+        let rec pick candidate k =
+          if Hashtbl.mem t.taken candidate then pick (Printf.sprintf "%s_%d" base k) (k + 1)
+          else candidate
+        in
+        let id = pick base 2 in
+        Hashtbl.add t.assigned source id;
+        Hashtbl.add t.taken id ();
+        id
+end

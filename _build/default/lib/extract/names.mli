@@ -1,0 +1,25 @@
+(** Identifier mangling between the UML world (free-form names such as
+    ["download file"] or ["Transmitter 1"]) and the PEPA world, where
+    action types and rate parameters are lower-case identifiers and
+    process constants are upper-case identifiers. *)
+
+val action_name : string -> string
+(** Lower-case identifier from a free-form activity name:
+    ["download file"] becomes ["download_file"]. *)
+
+val constant_name : string -> string
+(** Upper-case identifier: ["transmitter 1"] becomes ["Transmitter_1"]. *)
+
+val rate_name : string -> string
+(** The conventional rate parameter for an action: ["r_" ^ action]. *)
+
+module Allocator : sig
+  (** Injective renaming: repeated requests for the same source string
+      return the same identifier, distinct sources never collide (a
+      numeric suffix is appended on clashes). *)
+
+  type t
+
+  val create : (string -> string) -> t
+  val get : t -> string -> string
+end

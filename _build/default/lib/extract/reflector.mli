@@ -1,0 +1,33 @@
+(** The Reflector: writing computed performance results back into the
+    UML model, so that "the results are returned in the language in
+    which they were submitted" (Figures 6 and 7 of the paper).
+
+    Activity diagrams are annotated per action state with the
+    steady-state [throughput] of the corresponding PEPA action type;
+    state diagrams are annotated per state with its
+    [steadyStateProbability]. *)
+
+val throughput_tag : string
+(** ["throughput"]. *)
+
+val probability_tag : string
+(** ["steadyStateProbability"]. *)
+
+val reflect_activity :
+  Ad_to_pepanet.extraction ->
+  throughputs:(string * float) list ->
+  Uml.Activity.t ->
+  Uml.Activity.t
+(** Annotate every action state whose extracted action type has a
+    computed throughput.  Values are printed with six significant
+    digits, as the Workbench displayed them. *)
+
+val reflect_statecharts :
+  Sc_to_pepa.extraction ->
+  probabilities:(string * float) list ->
+  Uml.Statechart.t list ->
+  Uml.Statechart.t list
+(** [probabilities] maps PEPA constants (local derivative names) to
+    steady-state probabilities. *)
+
+val format_measure : float -> string

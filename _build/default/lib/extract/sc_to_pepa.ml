@@ -1,0 +1,115 @@
+module S = Pepa.Syntax
+module String_set = Pepa.Syntax.String_set
+
+type extraction = {
+  model : Pepa.Syntax.model;
+  constant_of_state : (string * (string * string) list) list;
+  chart_leaf : (string * int) list;
+  shared_actions : string list;
+}
+
+exception Extraction_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Extraction_error msg)) fmt
+
+let extract ?(rates = Uml.Rates_file.empty) charts =
+  if charts = [] then fail "no state diagram to extract";
+  List.iter Uml.Statechart.validate charts;
+  let names = List.map (fun c -> c.Uml.Statechart.chart_name) charts in
+  let duplicates = List.filter (fun n -> List.length (List.filter (( = ) n) names) > 1) names in
+  if duplicates <> [] then fail "duplicate chart name %s" (List.hd duplicates);
+  (* Action sharing: an action type is shared when it appears in more
+     than one chart's alphabet. *)
+  let alphabet_of chart =
+    String_set.of_list (List.map Names.action_name (Uml.Statechart.alphabet chart))
+  in
+  let all_alphabets = List.map alphabet_of charts in
+  let shared =
+    let rec pairwise = function
+      | [] -> String_set.empty
+      | a :: rest ->
+          List.fold_left
+            (fun acc b -> String_set.union acc (String_set.inter a b))
+            (pairwise rest) rest
+    in
+    pairwise all_alphabets
+  in
+  let consts = Names.Allocator.create Names.constant_name in
+  let constant_of_state =
+    List.map
+      (fun chart ->
+        ( chart.Uml.Statechart.chart_name,
+          List.map
+            (fun (s : Uml.Statechart.state) ->
+              ( s.Uml.Statechart.state_id,
+                Names.Allocator.get consts
+                  (Printf.sprintf "%s_%s" chart.Uml.Statechart.chart_name
+                     s.Uml.Statechart.state_name) ))
+            chart.Uml.Statechart.states ))
+      charts
+  in
+  let const_of chart_name state_id =
+    match List.assoc_opt state_id (List.assoc chart_name constant_of_state) with
+    | Some c -> c
+    | None -> fail "chart %s: unknown state id %s" chart_name state_id
+  in
+  (* One definition per state: the choice over its outgoing transitions. *)
+  let definitions =
+    List.concat_map
+      (fun chart ->
+        let chart_name = chart.Uml.Statechart.chart_name in
+        List.map
+          (fun (s : Uml.Statechart.state) ->
+            let outgoing =
+              List.filter
+                (fun (t : Uml.Statechart.transition) -> t.Uml.Statechart.source = s.Uml.Statechart.state_id)
+                chart.Uml.Statechart.transitions
+            in
+            let branch (t : Uml.Statechart.transition) =
+              let action = Names.action_name t.Uml.Statechart.trigger in
+              let rate =
+                match t.Uml.Statechart.rate with
+                | Some r -> S.Rnum r
+                | None -> (
+                    match Uml.Rates_file.rate_opt rates action with
+                    | Some r -> S.Rnum r
+                    | None ->
+                        if String_set.mem action shared then S.Rpassive 1.0
+                        else S.Rnum (Uml.Rates_file.rate rates action))
+              in
+              S.Prefix
+                (Pepa.Action.act action, rate, S.Var (const_of chart_name t.Uml.Statechart.target))
+            in
+            let body =
+              match outgoing with
+              | [] -> S.Stop
+              | first :: rest ->
+                  List.fold_left (fun acc t -> S.Choice (acc, branch t)) (branch first) rest
+            in
+            S.Proc_def (const_of chart_name s.Uml.Statechart.state_id, body))
+          chart.Uml.Statechart.states)
+      charts
+  in
+  (* System equation: left-fold cooperation, synchronising each new chart
+     on the actions it shares with any chart already composed. *)
+  let initial_const chart = const_of chart.Uml.Statechart.chart_name chart.Uml.Statechart.initial in
+  let system, _ =
+    List.fold_left
+      (fun (system, covered) (chart, alphabet) ->
+        match system with
+        | None -> (Some (S.Var (initial_const chart)), alphabet)
+        | Some sys ->
+            let coop_set = String_set.inter covered alphabet in
+            ( Some (S.Coop (sys, coop_set, S.Var (initial_const chart))),
+              String_set.union covered alphabet ))
+      (None, String_set.empty)
+      (List.combine charts all_alphabets)
+  in
+  let system = Option.get system in
+  let chart_leaf = List.mapi (fun i chart -> (chart.Uml.Statechart.chart_name, i)) charts in
+  {
+    model = { S.definitions; system };
+    constant_of_state;
+    chart_leaf;
+    shared_actions = String_set.elements shared;
+  }

@@ -1,0 +1,27 @@
+(** Mapping of UML state diagrams to a PEPA model (the paper's Section 5
+    client/server analysis).
+
+    Each state diagram becomes one sequential PEPA component whose
+    derivative states are the diagram's states; each transition becomes
+    an activity named after its trigger.  Diagrams are composed with
+    cooperation over the action types they share pairwise — the
+    request/response pattern of Figures 8 and 9.
+
+    Rates come from the transition's own [rate] tag when present, then
+    from the rates file; a shared activity left unrated on one side
+    becomes passive there (it inherits the rate of the active
+    partner), matching PEPA modelling practice for client/server
+    cooperation. *)
+
+type extraction = {
+  model : Pepa.Syntax.model;
+  constant_of_state : (string * (string * string) list) list;
+      (** chart name -> (state id -> PEPA constant) *)
+  chart_leaf : (string * int) list;
+      (** chart name -> leaf index in the compiled model *)
+  shared_actions : string list;
+}
+
+exception Extraction_error of string
+
+val extract : ?rates:Uml.Rates_file.t -> Uml.Statechart.t list -> extraction

@@ -1,0 +1,1 @@
+lib/pepa/action.ml: Format Set String

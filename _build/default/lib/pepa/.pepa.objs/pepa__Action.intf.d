@@ -1,0 +1,1 @@
+lib/pepa/action.mli: Format Set

@@ -1,0 +1,1 @@
+lib/pepa/analysis.ml: Action Array Format Hashtbl List Markov Queue Statespace String

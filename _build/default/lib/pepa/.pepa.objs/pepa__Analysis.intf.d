@@ -1,0 +1,1 @@
+lib/pepa/analysis.mli: Format Statespace

@@ -1,0 +1,1 @@
+lib/pepa/compile.ml: Action Array Env Format Hashtbl List Option Parser Printf Rate String String_set Syntax

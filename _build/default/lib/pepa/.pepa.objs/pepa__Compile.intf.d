@@ -1,0 +1,1 @@
+lib/pepa/compile.mli: Action Env Rate Syntax

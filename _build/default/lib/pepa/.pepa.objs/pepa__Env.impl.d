@@ -1,0 +1,1 @@
+lib/pepa/env.ml: Action Float Format List Map Printf Rate String String_set Syntax

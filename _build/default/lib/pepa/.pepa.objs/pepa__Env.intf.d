@@ -1,0 +1,1 @@
+lib/pepa/env.mli: Rate Syntax

@@ -1,0 +1,1 @@
+lib/pepa/equivalence.ml: Action Array Float Hashtbl List Markov Option Statespace

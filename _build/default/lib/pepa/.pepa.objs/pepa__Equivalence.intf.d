@@ -1,0 +1,1 @@
+lib/pepa/equivalence.mli: Action Markov Statespace

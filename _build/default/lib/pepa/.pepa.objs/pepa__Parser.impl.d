@@ -1,0 +1,1 @@
+lib/pepa/parser.ml: Action Array Buffer Fun List Printf String String_set Syntax

@@ -1,0 +1,1 @@
+lib/pepa/parser.mli: Syntax

@@ -1,0 +1,1 @@
+lib/pepa/printer.ml: Action Format List String String_set Syntax

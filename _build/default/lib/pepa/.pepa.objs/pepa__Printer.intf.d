@@ -1,0 +1,1 @@
+lib/pepa/printer.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/pepa/rate.mli: Format

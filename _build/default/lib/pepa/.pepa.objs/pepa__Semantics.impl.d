@@ -1,0 +1,1 @@
+lib/pepa/semantics.ml: Action Array Compile List Rate String_set Syntax

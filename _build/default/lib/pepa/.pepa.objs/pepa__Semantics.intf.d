@@ -1,0 +1,1 @@
+lib/pepa/semantics.mli: Action Compile Rate

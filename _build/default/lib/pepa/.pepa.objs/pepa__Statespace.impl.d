@@ -1,0 +1,1 @@
+lib/pepa/statespace.ml: Action Array Compile Format Hashtbl List Markov Queue Rate Semantics String

@@ -1,0 +1,1 @@
+lib/pepa/statespace.mli: Action Compile Format Markov Syntax

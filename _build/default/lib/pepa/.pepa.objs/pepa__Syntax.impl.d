@@ -1,0 +1,1 @@
+lib/pepa/syntax.ml: Action List Set String

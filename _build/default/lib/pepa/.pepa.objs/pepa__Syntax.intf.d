@@ -1,0 +1,1 @@
+lib/pepa/syntax.mli: Action Set

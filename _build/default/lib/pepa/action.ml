@@ -1,0 +1,33 @@
+type t = Tau | Act of string
+
+let tau = Tau
+
+let act name =
+  if name = "" then invalid_arg "Action.act: empty name";
+  if name = "tau" then invalid_arg "Action.act: \"tau\" is reserved for the silent action";
+  Act name
+
+let is_tau = function Tau -> true | Act _ -> false
+let name = function Tau -> None | Act n -> Some n
+
+let equal a b =
+  match (a, b) with Tau, Tau -> true | Act n1, Act n2 -> n1 = n2 | _, _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Tau, Tau -> 0
+  | Tau, Act _ -> -1
+  | Act _, Tau -> 1
+  | Act n1, Act n2 -> String.compare n1 n2
+
+let pp fmt = function
+  | Tau -> Format.pp_print_string fmt "tau"
+  | Act n -> Format.pp_print_string fmt n
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,23 @@
+(** Activity (action) types.
+
+    PEPA activities carry an action type drawn from a countable set of
+    names, plus the distinguished silent type [tau] produced by hiding.
+    [tau] never appears in cooperation sets. *)
+
+type t = Tau | Act of string
+
+val tau : t
+val act : string -> t
+(** Raises [Invalid_argument] on the empty string or the reserved name
+    ["tau"] (write {!tau} explicitly instead). *)
+
+val is_tau : t -> bool
+val name : t -> string option
+(** The action-type name, [None] for [tau]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

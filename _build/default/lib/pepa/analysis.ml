@@ -1,0 +1,56 @@
+let deadlock_free space = Statespace.deadlocks space = []
+
+let reachable_action space name =
+  List.exists
+    (fun tr -> Action.equal tr.Statespace.action (Action.Act name))
+    (Statespace.transitions space)
+
+let states_enabling space name =
+  let enabled = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      if Action.equal tr.Statespace.action (Action.Act name) then
+        Hashtbl.replace enabled tr.Statespace.src ())
+    (Statespace.transitions space);
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) enabled [])
+
+let never_follows space ~first ~then_ =
+  let after_first = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      if Action.equal tr.Statespace.action (Action.Act first) then
+        Hashtbl.replace after_first tr.Statespace.dst ())
+    (Statespace.transitions space);
+  not
+    (List.exists
+       (fun tr ->
+         Action.equal tr.Statespace.action (Action.Act then_)
+         && Hashtbl.mem after_first tr.Statespace.src)
+       (Statespace.transitions space))
+
+let eventually_reaches space ~from name =
+  let n = Statespace.n_states space in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(from) <- true;
+  Queue.add from queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun tr ->
+        if Action.equal tr.Statespace.action (Action.Act name) then found := true;
+        if not seen.(tr.Statespace.dst) then begin
+          seen.(tr.Statespace.dst) <- true;
+          Queue.add tr.Statespace.dst queue
+        end)
+      (Statespace.transitions_from space s)
+  done;
+  !found
+
+let strongly_connected space = Markov.Ctmc.is_irreducible (Statespace.ctmc space)
+
+let pp_report fmt space =
+  Format.fprintf fmt "@[<v>%a@,deadlock-free: %b@,strongly connected: %b@,actions: %s@]"
+    Statespace.pp_summary space (deadlock_free space) (strongly_connected space)
+    (String.concat ", " (Statespace.action_names space))

@@ -1,0 +1,75 @@
+(** Compilation of a checked model to the static-structure representation
+    used by the semantics.
+
+    The cooperation/hiding structure of a PEPA model never changes during
+    evolution; only the sequential components at its leaves move between
+    their derivatives.  Compilation therefore produces:
+
+    - one {!component} (a local labelled transition system) per distinct
+      sequential behaviour, shared between leaves with the same initial
+      term;
+    - a {!structure} tree of cooperation and hiding nodes over leaves;
+    - the initial local state of every leaf.
+
+    A global state of the model is an [int array] giving each leaf's
+    current local state index. *)
+
+(** Resolved sequential terms: rates are evaluated, constants are kept
+    for naming but always resolvable. *)
+type lterm =
+  | Lstop
+  | Lprefix of Action.t * Rate.t * lterm
+  | Lchoice of lterm * lterm
+  | Lvar of string
+
+type component = {
+  root_label : string;  (** printable name of the defining term *)
+  states : lterm array;
+  labels : string array;  (** printable name per local state *)
+  local_moves : (Action.t * Rate.t * int) array array;
+      (** [local_moves.(s)] lists the activities enabled in local state
+          [s] with their target local state *)
+}
+
+type structure =
+  | Leaf of { leaf : int; comp : int }
+  | Coop of structure * Syntax.String_set.t * structure
+  | Hide of structure * Syntax.String_set.t
+
+type t = private {
+  env : Env.t;
+  components : component array;
+  structure : structure;
+  leaf_component : int array;  (** component index per leaf *)
+  initial : int array;         (** initial local state per leaf *)
+}
+
+exception Compile_error of string
+(** Unguarded recursion ([P = P + ...]) and similar construction-time
+    failures. *)
+
+val compile : Env.t -> t
+val of_model : Syntax.model -> t
+val of_string : string -> t
+(** Parse, check and compile in one step. *)
+
+val n_leaves : t -> int
+val initial_state : t -> int array
+
+val state_label : t -> int array -> string
+(** Human-readable rendering of a global state, e.g.
+    ["(File, FileReader)"]. *)
+
+val local_label : t -> leaf:int -> local:int -> string
+
+val leaf_labels : t -> string array
+(** A short name per leaf (the root label of its component, disambiguated
+    with an index when repeated). *)
+
+val seq_term_of_expr : Env.t -> Syntax.expr -> lterm
+(** Resolve a sequential expression (exposed for the PEPA nets layer,
+    which compiles token behaviours with the same machinery). *)
+
+val build_component : Env.t -> lterm -> component
+(** Build the local LTS of a sequential term, raising {!Compile_error}
+    on unguarded recursion. *)

@@ -1,0 +1,299 @@
+open Syntax
+module String_map = Map.Make (String)
+
+exception Semantic_error of string
+
+type t = {
+  model : Syntax.model;
+  rates : float String_map.t;
+  rate_order : string list;
+  procs : Syntax.expr String_map.t;
+  sequential : String_set.t;
+  warning_list : string list;
+}
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Semantic_error msg)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Rate evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let eval_rate_with rates expr =
+  let rec eval = function
+    | Rnum v -> Rate.Active v
+    | Rpassive w ->
+        if w <= 0.0 || not (Float.is_finite w) then fail "passive weight must be positive";
+        Rate.Passive w
+    | Rvar name -> (
+        match String_map.find_opt name rates with
+        | Some v -> Rate.Active v
+        | None -> fail "unknown rate parameter %s" name)
+    | Radd (a, b) -> arith ( +. ) "+" a b
+    | Rsub (a, b) -> arith ( -. ) "-" a b
+    | Rmul (a, b) -> arith ( *. ) "*" a b
+    | Rdiv (a, b) -> arith ( /. ) "/" a b
+  and arith op symbol a b =
+    match (eval a, eval b) with
+    | Rate.Active x, Rate.Active y -> Rate.Active (op x y)
+    | _ -> fail "passive rates cannot appear under the %s operator" symbol
+  in
+  match eval expr with
+  | Rate.Active v when v <= 0.0 || not (Float.is_finite v) ->
+      fail "rate expression evaluates to the non-positive value %g" v
+  | rate -> rate
+
+let resolve_rates definitions =
+  (* Rate definitions may reference earlier rate definitions only, which
+     rules out cycles by construction. *)
+  List.fold_left
+    (fun (rates, order) def ->
+      match def with
+      | Proc_def _ -> (rates, order)
+      | Rate_def (name, body) ->
+          if String_map.mem name rates then fail "duplicate rate definition %s" name;
+          let value =
+            match eval_rate_with rates body with
+            | Rate.Active v -> v
+            | Rate.Passive _ -> fail "rate parameter %s cannot be passive" name
+          in
+          (String_map.add name value rates, name :: order))
+    (String_map.empty, []) definitions
+  |> fun (rates, order) -> (rates, List.rev order)
+
+(* ------------------------------------------------------------------ *)
+(* Process classification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let collect_procs definitions =
+  List.fold_left
+    (fun procs def ->
+      match def with
+      | Rate_def _ -> procs
+      | Proc_def (name, body) ->
+          if String_map.mem name procs then fail "duplicate process definition %s" name;
+          String_map.add name body procs)
+    String_map.empty definitions
+
+let check_defined procs system =
+  let check_expr context expr =
+    String_set.iter
+      (fun v ->
+        if not (String_map.mem v procs) then
+          fail "undefined process constant %s (referenced from %s)" v context)
+      (free_vars expr)
+  in
+  String_map.iter (fun name body -> check_expr name body) procs;
+  check_expr "the system equation" system
+
+(* A name is model-level if its body uses cooperation, hiding or
+   replication, or (transitively) references a model-level name. *)
+let classify procs =
+  let model_level = ref String_set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    String_map.iter
+      (fun name body ->
+        if not (String_set.mem name !model_level) then begin
+          let refs_model =
+            String_set.exists (fun v -> String_set.mem v !model_level) (free_vars body)
+          in
+          if (not (is_sequential_shape body)) || refs_model then begin
+            model_level := String_set.add name !model_level;
+            changed := true
+          end
+        end)
+      procs
+  done;
+  String_map.fold
+    (fun name _ acc -> if String_set.mem name !model_level then acc else String_set.add name acc)
+    procs String_set.empty
+
+(* Choice and prefix continuations must be sequential: their operands may
+   only use sequential operators and sequential constants. *)
+let check_operators sequential procs system =
+  let check_sequential context expr =
+    if not (is_sequential_shape expr) then
+      fail "%s must be sequential but uses cooperation, hiding or replication" context;
+    String_set.iter
+      (fun v ->
+        if not (String_set.mem v sequential) then
+          fail "%s refers to the model-level constant %s" context v)
+      (free_vars expr)
+  in
+  let rec walk context expr =
+    match expr with
+    | Stop | Var _ -> ()
+    | Prefix (_, _, cont) ->
+        check_sequential (Printf.sprintf "the continuation of a prefix in %s" context) cont
+    | Choice (a, b) ->
+        check_sequential (Printf.sprintf "the left operand of a choice in %s" context) a;
+        check_sequential (Printf.sprintf "the right operand of a choice in %s" context) b
+    | Coop (a, _, b) ->
+        walk context a;
+        walk context b
+    | Hide (p, _) | Array_rep (p, _) -> walk context p
+  in
+  String_map.iter (fun name body -> walk (Printf.sprintf "definition %s" name) body) procs;
+  walk "the system equation" system
+
+(* Model-level recursion is illegal: inlining model-level constants must
+   terminate. *)
+let check_model_recursion sequential procs system =
+  let rec visit trail name =
+    if List.mem name trail then
+      fail "recursion through the model-level constant %s (cycle: %s)" name
+        (String.concat " -> " (List.rev (name :: trail)))
+    else
+      let body = String_map.find name procs in
+      expand (name :: trail) body
+  and expand trail expr =
+    match expr with
+    | Stop | Prefix _ | Choice _ -> ()
+    | Var v -> if not (String_set.mem v sequential) then visit trail v
+    | Coop (a, _, b) ->
+        expand trail a;
+        expand trail b
+    | Hide (p, _) | Array_rep (p, _) -> expand trail p
+  in
+  expand [] system;
+  String_map.iter
+    (fun name body -> if not (String_set.mem name sequential) then expand [ name ] body)
+    procs
+
+(* ------------------------------------------------------------------ *)
+(* Alphabets                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let alphabets procs =
+  (* Fixpoint: alphabet of a definition includes those of referenced
+     definitions. *)
+  let current = ref (String_map.map (fun _ -> String_set.empty) procs) in
+  let alphabet_of_expr expr table =
+    let direct =
+      Action.Set.fold
+        (fun a acc -> match Action.name a with Some n -> String_set.add n acc | None -> acc)
+        (actions expr) String_set.empty
+    in
+    String_set.fold
+      (fun v acc ->
+        match String_map.find_opt v table with
+        | Some set -> String_set.union set acc
+        | None -> acc)
+      (free_vars expr) direct
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    String_map.iter
+      (fun name body ->
+        let updated = alphabet_of_expr body !current in
+        if not (String_set.equal updated (String_map.find name !current)) then begin
+          current := String_map.add name updated !current;
+          changed := true
+        end)
+      procs
+  done;
+  (!current, alphabet_of_expr)
+
+(* ------------------------------------------------------------------ *)
+(* Warnings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compute_warnings procs system alphabet_table alphabet_of_expr =
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun msg -> warnings := msg :: !warnings) fmt in
+  (* Cooperation sets should intersect both participants' alphabets. *)
+  let rec scan context expr =
+    match expr with
+    | Stop | Var _ | Prefix _ | Choice _ -> ()
+    | Coop (a, set, b) ->
+        let alpha_a = alphabet_of_expr a alphabet_table in
+        let alpha_b = alphabet_of_expr b alphabet_table in
+        String_set.iter
+          (fun action ->
+            if not (String_set.mem action alpha_a) || not (String_set.mem action alpha_b) then
+              warn
+                "cooperation on %s in %s: the action is not in both participants' alphabets, \
+                 so it can never occur"
+                action context)
+          set;
+        scan context a;
+        scan context b
+    | Hide (p, _) | Array_rep (p, _) -> scan context p
+  in
+  String_map.iter (fun name body -> scan (Printf.sprintf "definition %s" name) body) procs;
+  scan "the system equation" system;
+  (* Unreferenced definitions. *)
+  let reachable = ref (free_vars system) in
+  let frontier = ref (free_vars system) in
+  while not (String_set.is_empty !frontier) do
+    let next =
+      String_set.fold
+        (fun name acc ->
+          match String_map.find_opt name procs with
+          | Some body -> String_set.union acc (String_set.diff (free_vars body) !reachable)
+          | None -> acc)
+        !frontier String_set.empty
+    in
+    reachable := String_set.union !reachable next;
+    frontier := next
+  done;
+  String_map.iter
+    (fun name _ ->
+      if not (String_set.mem name !reachable) then
+        warn "process %s is never reachable from the system equation" name)
+    procs;
+  List.rev !warnings
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_model model =
+  let rates, rate_order = resolve_rates model.definitions in
+  let procs = collect_procs model.definitions in
+  check_defined procs model.system;
+  let sequential = classify procs in
+  check_operators sequential procs model.system;
+  check_model_recursion sequential procs model.system;
+  (* Force evaluation of every activity rate so errors surface here. *)
+  let rec check_rates expr =
+    match expr with
+    | Stop | Var _ -> ()
+    | Prefix (_, rate, cont) ->
+        ignore (eval_rate_with rates rate);
+        check_rates cont
+    | Choice (a, b) | Coop (a, _, b) ->
+        check_rates a;
+        check_rates b
+    | Hide (p, _) | Array_rep (p, _) -> check_rates p
+  in
+  String_map.iter (fun _ body -> check_rates body) procs;
+  check_rates model.system;
+  let alphabet_table, alphabet_of_expr = alphabets procs in
+  let warning_list = compute_warnings procs model.system alphabet_table alphabet_of_expr in
+  { model; rates; rate_order; procs; sequential; warning_list }
+
+let model t = t.model
+let system t = t.model.system
+
+let rate_parameters t =
+  List.map (fun name -> (name, String_map.find name t.rates)) t.rate_order
+
+let eval_rate t expr = eval_rate_with t.rates expr
+
+let lookup_process t name =
+  match String_map.find_opt name t.procs with
+  | Some body -> body
+  | None -> fail "undefined process constant %s" name
+
+let is_sequential t name = String_set.mem name t.sequential
+
+let process_names t = List.map fst (String_map.bindings t.procs)
+
+let alphabet t expr =
+  let table, alphabet_of_expr = alphabets t.procs in
+  alphabet_of_expr expr table
+
+let warnings t = t.warning_list

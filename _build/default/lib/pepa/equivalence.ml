@@ -1,0 +1,103 @@
+type partition = { n_blocks : int; block_of_state : int array; representatives : int array }
+
+(* Signature of a state under a candidate partition: the total rate to
+   each (action, block) pair, sorted.  Rates are rounded to a fixed
+   number of significant digits so that floating-point noise from rate
+   arithmetic does not split genuinely equivalent states. *)
+let round_rate r =
+  if r = 0.0 then 0.0
+  else
+    let magnitude = 10.0 ** (12.0 -. Float.round (log10 (abs_float r))) in
+    Float.round (r *. magnitude) /. magnitude
+
+let signature space block_of_state s =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun tr ->
+      let key = (tr.Statespace.action, block_of_state.(tr.Statespace.dst)) in
+      let existing = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
+      Hashtbl.replace totals key (existing +. tr.Statespace.rate))
+    (Statespace.transitions_from space s);
+  Hashtbl.fold (fun (action, block) rate acc -> (action, block, round_rate rate) :: acc) totals []
+  |> List.sort compare
+
+let refine space block_of_state =
+  let n = Statespace.n_states space in
+  let keys = Hashtbl.create n in
+  let next = Array.make n (-1) in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    (* A state may only stay with states of its current block that also
+       share its signature. *)
+    let key = (block_of_state.(s), signature space block_of_state s) in
+    match Hashtbl.find_opt keys key with
+    | Some b -> next.(s) <- b
+    | None ->
+        Hashtbl.add keys key !count;
+        next.(s) <- !count;
+        incr count
+  done;
+  (next, !count)
+
+let strong_equivalence space =
+  let n = Statespace.n_states space in
+  let block_of_state = ref (Array.make n 0) in
+  let n_blocks = ref (min 1 n) in
+  let changed = ref true in
+  while !changed do
+    let next, count = refine space !block_of_state in
+    changed := count <> !n_blocks;
+    block_of_state := next;
+    n_blocks := count
+  done;
+  let representatives = Array.make !n_blocks (-1) in
+  Array.iteri
+    (fun s b -> if representatives.(b) = -1 then representatives.(b) <- s)
+    !block_of_state;
+  { n_blocks = !n_blocks; block_of_state = !block_of_state; representatives }
+
+let initial_block partition = partition.block_of_state.(0)
+
+type lumped = {
+  partition : partition;
+  transitions : (int * Action.t * float * int) list;
+  chain : Markov.Ctmc.t;
+}
+
+let lump space =
+  let partition = strong_equivalence space in
+  let transitions =
+    Array.to_list partition.representatives
+    |> List.concat_map (fun representative ->
+           let block = partition.block_of_state.(representative) in
+           (* Aggregate the representative's moves per (action, block). *)
+           let totals = Hashtbl.create 8 in
+           List.iter
+             (fun tr ->
+               let key =
+                 (tr.Statespace.action, partition.block_of_state.(tr.Statespace.dst))
+               in
+               let existing = Option.value ~default:0.0 (Hashtbl.find_opt totals key) in
+               Hashtbl.replace totals key (existing +. tr.Statespace.rate))
+             (Statespace.transitions_from space representative);
+           Hashtbl.fold
+             (fun (action, target) rate acc -> (block, action, rate, target) :: acc)
+             totals [])
+  in
+  let chain =
+    Markov.Ctmc.of_transitions ~n:partition.n_blocks
+      (List.map (fun (b, _, r, b') -> (b, b', r)) transitions)
+  in
+  { partition; transitions; chain }
+
+let lumped_steady_state ?method_ lumped = Markov.Steady.solve ?method_ lumped.chain
+
+let lumped_throughput lumped pi name =
+  List.fold_left
+    (fun acc (block, action, rate, _) ->
+      match action with
+      | Action.Act n when n = name -> acc +. (pi.(block) *. rate)
+      | Action.Act _ | Action.Tau -> acc)
+    0.0 lumped.transitions
+
+let block_probability_of_state lumped pi s = pi.(lumped.partition.block_of_state.(s))

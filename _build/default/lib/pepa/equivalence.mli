@@ -1,0 +1,49 @@
+(** Strong equivalence (Markovian bisimulation) and lumping.
+
+    Two states of the derivation graph are strongly equivalent when, for
+    every action type and every equivalence class, they reach that class
+    by that action type at the same total rate (Hillston's strong
+    equivalence, the PEPA analogue of ordinary lumpability).  The
+    quotient of the CTMC by the coarsest such partition is a smaller
+    chain with identical steady-state measures on class-invariant
+    rewards — the classical remedy for the state-space explosion the
+    paper's related-work section highlights.
+
+    The partition is computed by signature-based refinement: states are
+    split by their vector of (action, target class, total rate) until a
+    fixpoint is reached. *)
+
+type partition = private {
+  n_blocks : int;
+  block_of_state : int array;
+  representatives : int array;  (** one state per block *)
+}
+
+val strong_equivalence : Statespace.t -> partition
+(** The coarsest strong-equivalence partition of the reachable states. *)
+
+val initial_block : partition -> int
+(** The block containing the initial state. *)
+
+type lumped = {
+  partition : partition;
+  transitions : (int * Action.t * float * int) list;
+      (** [(block, action, rate, block)] *)
+  chain : Markov.Ctmc.t;
+}
+
+val lump : Statespace.t -> lumped
+(** The quotient chain.  By strong equivalence the conditional rates out
+    of a block are well defined; they are read off the block's
+    representative. *)
+
+val lumped_steady_state : ?method_:Markov.Steady.method_ -> lumped -> float array
+(** Steady-state distribution over blocks. *)
+
+val lumped_throughput : lumped -> float array -> string -> float
+(** Throughput of a named action computed on the quotient; equal to the
+    full chain's throughput (tested). *)
+
+val block_probability_of_state : lumped -> float array -> int -> float
+(** [block_probability_of_state l pi s] is the probability of the block
+    containing state [s]. *)

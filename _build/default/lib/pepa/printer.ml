@@ -1,0 +1,68 @@
+open Syntax
+
+(* Precedence levels for rate expressions: additive 1, multiplicative 2,
+   atoms 3.  Parenthesise when a child has lower precedence than its
+   context requires. *)
+let rec pp_rate_prec prec fmt e =
+  let paren p body =
+    if p < prec then Format.fprintf fmt "(%t)" body else body fmt
+  in
+  match e with
+  | Rnum v -> Format.fprintf fmt "%g" v
+  | Rvar v -> Format.pp_print_string fmt v
+  | Rpassive 1.0 -> Format.pp_print_string fmt "infty"
+  | Rpassive w -> Format.fprintf fmt "infty[%g]" w
+  | Radd (a, b) ->
+      paren 1 (fun fmt -> Format.fprintf fmt "%a + %a" (pp_rate_prec 1) a (pp_rate_prec 2) b)
+  | Rsub (a, b) ->
+      paren 1 (fun fmt -> Format.fprintf fmt "%a - %a" (pp_rate_prec 1) a (pp_rate_prec 2) b)
+  | Rmul (a, b) ->
+      paren 2 (fun fmt -> Format.fprintf fmt "%a * %a" (pp_rate_prec 2) a (pp_rate_prec 3) b)
+  | Rdiv (a, b) ->
+      paren 2 (fun fmt -> Format.fprintf fmt "%a / %a" (pp_rate_prec 2) a (pp_rate_prec 3) b)
+
+let pp_rate_expr fmt e = pp_rate_prec 0 fmt e
+
+let pp_action_set fmt set =
+  Format.pp_print_string fmt (String.concat ", " (String_set.elements set))
+
+(* Expression precedence, matching the parser: cooperation 1 < choice 2
+   < prefix 3 < postfix operators (hiding, replication) 4.  A prefix term
+   under a postfix operator must be parenthesised: in "(a, r).P / {x}"
+   the hiding binds to the continuation, not to the whole prefix. *)
+let rec pp_expr_prec prec fmt e =
+  let paren p body =
+    if p < prec then Format.fprintf fmt "(%t)" body else body fmt
+  in
+  match e with
+  | Stop -> Format.pp_print_string fmt "Stop"
+  | Var v -> Format.pp_print_string fmt v
+  | Prefix (action, rate, cont) ->
+      paren 3 (fun fmt ->
+          Format.fprintf fmt "(%a, %a).%a" Action.pp action pp_rate_expr rate (pp_expr_prec 3)
+            cont)
+  | Choice (a, b) ->
+      paren 2 (fun fmt ->
+          Format.fprintf fmt "%a + %a" (pp_expr_prec 2) a (pp_expr_prec 3) b)
+  | Coop (a, set, b) ->
+      paren 1 (fun fmt ->
+          Format.fprintf fmt "%a <%a> %a" (pp_expr_prec 1) a pp_action_set set (pp_expr_prec 2) b)
+  | Hide (p, set) ->
+      paren 4 (fun fmt ->
+          Format.fprintf fmt "%a / {%a}" (pp_expr_prec 4) p pp_action_set set)
+  | Array_rep (p, n) ->
+      paren 4 (fun fmt -> Format.fprintf fmt "%a[%d]" (pp_expr_prec 4) p n)
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_definition fmt = function
+  | Rate_def (name, e) -> Format.fprintf fmt "%s = %a;" name pp_rate_expr e
+  | Proc_def (name, e) -> Format.fprintf fmt "%s = %a;" name pp_expr e
+
+let pp_model fmt model =
+  List.iter (fun def -> Format.fprintf fmt "%a@." pp_definition def) model.definitions;
+  Format.fprintf fmt "system %a;@." pp_expr model.system
+
+let rate_expr_to_string e = Format.asprintf "%a" pp_rate_expr e
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let model_to_string m = Format.asprintf "%a" pp_model m

@@ -1,0 +1,12 @@
+(** Pretty-printing of PEPA syntax in the concrete syntax accepted by
+    {!Parser}, so that [parse (print m)] is the identity on abstract
+    syntax (tested property). *)
+
+val pp_rate_expr : Format.formatter -> Syntax.rate_expr -> unit
+val pp_expr : Format.formatter -> Syntax.expr -> unit
+val pp_definition : Format.formatter -> Syntax.definition -> unit
+val pp_model : Format.formatter -> Syntax.model -> unit
+
+val rate_expr_to_string : Syntax.rate_expr -> string
+val expr_to_string : Syntax.expr -> string
+val model_to_string : Syntax.model -> string

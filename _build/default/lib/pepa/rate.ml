@@ -1,0 +1,80 @@
+type t = Active of float | Passive of float
+
+exception Mixed_rates
+
+let check_positive what v =
+  if not (Float.is_finite v) || v <= 0.0 then
+    invalid_arg (Printf.sprintf "Rate.%s: expected a finite positive value, got %g" what v)
+
+let active r =
+  check_positive "active" r;
+  Active r
+
+let passive = Passive 1.0
+
+let passive_weighted w =
+  check_positive "passive_weighted" w;
+  Passive w
+
+let zero = Active 0.0
+
+let is_passive = function Passive _ -> true | Active _ -> false
+let is_zero = function Active 0.0 -> true | _ -> false
+
+let sum a b =
+  match (a, b) with
+  | Active 0.0, other | other, Active 0.0 -> other
+  | Active r1, Active r2 -> Active (r1 +. r2)
+  | Passive w1, Passive w2 -> Passive (w1 +. w2)
+  | Active _, Passive _ | Passive _, Active _ -> raise Mixed_rates
+
+let min_rate a b =
+  match (a, b) with
+  | Active r1, Active r2 -> Active (Float.min r1 r2)
+  | Active r, Passive _ | Passive _, Active r -> Active r
+  | Passive w1, Passive w2 -> Passive (Float.min w1 w2)
+
+(* The probability that this particular instance is the one chosen among
+   all enabled instances on its side of the cooperation. *)
+let share instance apparent =
+  match (instance, apparent) with
+  | Active r, Active ra when ra > 0.0 -> r /. ra
+  | Passive w, Passive wa when wa > 0.0 -> w /. wa
+  | Active _, Active _ | Passive _, Passive _ ->
+      invalid_arg "Rate.cooperation: zero apparent rate"
+  | Active _, Passive _ | Passive _, Active _ -> raise Mixed_rates
+
+let share instance ~apparent = share instance apparent
+
+let cooperation r1 ~apparent1 r2 ~apparent2 =
+  let q = share r1 ~apparent:apparent1 *. share r2 ~apparent:apparent2 in
+  match min_rate apparent1 apparent2 with
+  | Active m -> Active (q *. m)
+  | Passive m -> Passive (q *. m)
+
+let scale factor = function
+  | Active r -> Active (factor *. r)
+  | Passive w -> Passive (factor *. w)
+
+let value_exn = function
+  | Active r -> r
+  | Passive _ -> invalid_arg "Rate.value_exn: passive rate"
+
+let equal a b =
+  match (a, b) with
+  | Active r1, Active r2 | Passive r1, Passive r2 -> Float.equal r1 r2
+  | Active _, Passive _ | Passive _, Active _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Active r1, Active r2 -> Float.compare r1 r2
+  | Passive w1, Passive w2 -> Float.compare w1 w2
+  | Active _, Passive _ -> -1
+  | Passive _, Active _ -> 1
+
+let pp fmt = function
+  | Active r -> Format.fprintf fmt "%g" r
+  | Passive 1.0 -> Format.pp_print_string fmt "infty"
+  | Passive w -> Format.fprintf fmt "infty[%g]" w
+
+let to_string r = Format.asprintf "%a" pp r

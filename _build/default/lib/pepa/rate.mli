@@ -1,0 +1,71 @@
+(** Activity rates and Hillston's apparent-rate algebra.
+
+    A rate is either [Active r] with [r > 0] (the parameter of an
+    exponential delay) or [Passive w]: the unbounded rate "T" ("top"),
+    weighted so that several passive instances of the same action split
+    the cooperation probability in proportion to their weights.
+
+    Apparent rates are represented by the same type: the apparent rate of
+    an action in a component is the {!sum} of the rates of its enabled
+    instances.  Summing an active and a passive instance of the same
+    action type is rejected ({!Mixed_rates}), as in the PEPA Workbench:
+    such models have no well-defined apparent rate. *)
+
+type t = Active of float | Passive of float
+
+exception Mixed_rates
+(** Raised when active and (non-trivially) passive rates meet where a
+    single apparent rate is required. *)
+
+val active : float -> t
+(** Raises [Invalid_argument] unless the argument is finite and [> 0]. *)
+
+val passive : t
+(** The unweighted passive rate (weight 1). *)
+
+val passive_weighted : float -> t
+(** Raises [Invalid_argument] unless the weight is finite and [> 0]. *)
+
+val zero : t
+(** The identity of {!sum}: "no enabled instances".  Represented as
+    [Active 0.]; {!is_zero} recognises it. *)
+
+val is_passive : t -> bool
+val is_zero : t -> bool
+
+val sum : t -> t -> t
+(** Apparent-rate addition.  [zero] is the identity; actives add their
+    rates, passives add their weights; a mixed sum raises
+    {!Mixed_rates}. *)
+
+val min_rate : t -> t -> t
+(** Apparent-rate minimum: passive is greater than every active rate;
+    two passives compare by weight. *)
+
+val cooperation : t -> apparent1:t -> t -> apparent2:t -> t
+(** [cooperation r1 ~apparent1 r2 ~apparent2] is the rate of a shared
+    activity built from an instance of rate [r1] (out of apparent rate
+    [apparent1] on its side) and an instance of rate [r2] on the other:
+    [(r1/ra1) * (r2/ra2) * min ra1 ra2], with the standard passive
+    extensions.  Two active participants give an active result; one
+    passive participant defers to the active side; two passives stay
+    passive. *)
+
+val share : t -> apparent:t -> float
+(** The probability that this instance is the one chosen among all
+    instances making up the apparent rate on its side: [r/ra] for
+    actives, [w/wa] for passives.  Raises {!Mixed_rates} on a mixed
+    pair, [Invalid_argument] on a zero apparent rate. *)
+
+val scale : float -> t -> t
+(** Multiply an active rate (or passive weight) by a positive factor. *)
+
+val value_exn : t -> float
+(** The float rate of an active rate; raises [Invalid_argument] on a
+    passive rate (a passive rate at the top level of a model is a
+    modelling error, reported upstream with context). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

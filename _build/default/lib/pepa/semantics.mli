@@ -1,0 +1,30 @@
+(** The structured operational semantics of PEPA over compiled models.
+
+    Global states are leaf-state vectors; {!moves} computes the enabled
+    activities of a state with their rates, applying Hillston's
+    apparent-rate cooperation rule at each [Coop] node and relabelling to
+    [tau] at each [Hide] node. *)
+
+type move = {
+  action : Action.t;
+  rate : Rate.t;
+  deltas : (int * int) list;
+      (** [(leaf, new_local_state)] updates; leaves not listed are
+          unchanged *)
+}
+
+val moves : Compile.t -> int array -> move list
+(** All activities enabled in the given global state.  Distinct
+    derivations are distinct list elements (their rates are summed only
+    when the CTMC is built). *)
+
+val apparent_rate : Compile.t -> int array -> string -> Rate.t
+(** The apparent rate of a named action type in a global state, i.e. the
+    total rate at which the whole model can perform it.  Raises
+    [Rate.Mixed_rates] if active and passive instances meet outside a
+    cooperation that resolves them. *)
+
+val apply : int array -> (int * int) list -> int array
+(** [apply state deltas] is the successor state (a fresh array). *)
+
+val enabled_actions : Compile.t -> int array -> Action.Set.t

@@ -1,0 +1,120 @@
+type transition = { src : int; action : Action.t; rate : float; dst : int }
+
+type t = {
+  compiled : Compile.t;
+  states : int array array;
+  transition_list : transition list;
+  outgoing : transition list array;
+  mutable chain : Markov.Ctmc.t option;
+}
+
+exception Too_many_states of int
+exception Passive_transition of { state : string; action : string }
+
+let build ?(max_states = 1_000_000) compiled =
+  let index = Hashtbl.create 1024 in
+  let states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern vec =
+    match Hashtbl.find_opt index vec with
+    | Some i -> i
+    | None ->
+        if !count >= max_states then raise (Too_many_states max_states);
+        let i = !count in
+        Hashtbl.add index vec i;
+        states := vec :: !states;
+        incr count;
+        Queue.add (i, vec) queue;
+        i
+  in
+  ignore (intern (Compile.initial_state compiled));
+  let transitions = ref [] in
+  while not (Queue.is_empty queue) do
+    let src, vec = Queue.pop queue in
+    let moves = Semantics.moves compiled vec in
+    List.iter
+      (fun move ->
+        let rate =
+          match move.Semantics.rate with
+          | Rate.Active r -> r
+          | Rate.Passive _ ->
+              raise
+                (Passive_transition
+                   {
+                     state = Compile.state_label compiled vec;
+                     action = Action.to_string move.Semantics.action;
+                   })
+        in
+        let dst = intern (Semantics.apply vec move.Semantics.deltas) in
+        transitions := { src; action = move.Semantics.action; rate; dst } :: !transitions)
+      moves
+  done;
+  let states = Array.of_list (List.rev !states) in
+  let transition_list = List.rev !transitions in
+  let outgoing = Array.make (Array.length states) [] in
+  List.iter (fun t -> outgoing.(t.src) <- t :: outgoing.(t.src)) transition_list;
+  Array.iteri (fun i ts -> outgoing.(i) <- List.rev ts) outgoing;
+  { compiled; states; transition_list; outgoing; chain = None }
+
+let of_model ?max_states model = build ?max_states (Compile.of_model model)
+let of_string ?max_states src = build ?max_states (Compile.of_string src)
+
+let compiled t = t.compiled
+let n_states t = Array.length t.states
+let n_transitions t = List.length t.transition_list
+let state t i = Array.copy t.states.(i)
+let state_label t i = Compile.state_label t.compiled t.states.(i)
+let initial_index _ = 0
+let transitions t = t.transition_list
+let transitions_from t i = t.outgoing.(i)
+
+let deadlocks t =
+  let result = ref [] in
+  Array.iteri (fun i out -> if out = [] then result := i :: !result) t.outgoing;
+  List.rev !result
+
+let action_names t =
+  List.sort_uniq String.compare
+    (List.filter_map (fun tr -> Action.name tr.action) t.transition_list)
+
+let ctmc t =
+  match t.chain with
+  | Some c -> c
+  | None ->
+      let triples = List.map (fun tr -> (tr.src, tr.dst, tr.rate)) t.transition_list in
+      let c = Markov.Ctmc.of_transitions ~n:(n_states t) triples in
+      t.chain <- Some c;
+      c
+
+let steady_state ?method_ ?options t = Markov.Steady.solve ?method_ ?options (ctmc t)
+
+let transient t ~time =
+  let n = n_states t in
+  let initial = Array.make n 0.0 in
+  initial.(0) <- 1.0;
+  Markov.Transient.probabilities (ctmc t) ~initial ~t:time
+
+let throughput t pi name =
+  List.fold_left
+    (fun acc tr ->
+      match tr.action with
+      | Action.Act n when n = name -> acc +. (pi.(tr.src) *. tr.rate)
+      | Action.Act _ | Action.Tau -> acc)
+    0.0 t.transition_list
+
+let throughputs t pi = List.map (fun name -> (name, throughput t pi name)) (action_names t)
+
+let local_state_probability t pi ~leaf ~label =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i vec ->
+      if Compile.local_label t.compiled ~leaf ~local:vec.(leaf) = label then
+        total := !total +. pi.(i))
+    t.states;
+  !total
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%d states, %d transitions, %d deadlock state(s)" (n_states t)
+    (n_transitions t)
+    (List.length (deadlocks t))

@@ -1,0 +1,62 @@
+(** Exhaustive state-space exploration and CTMC derivation.
+
+    The derivation graph is built breadth-first from the initial state,
+    treating every distinct leaf-state vector as a CTMC state, exactly as
+    in the PEPA Workbench.  The resulting labelled transition system
+    retains action labels so that action-type measures (throughput) can
+    be computed after the steady-state solution. *)
+
+type transition = { src : int; action : Action.t; rate : float; dst : int }
+
+type t
+
+exception Too_many_states of int
+(** Raised when exploration exceeds the [max_states] bound. *)
+
+exception Passive_transition of { state : string; action : string }
+(** Raised when a passive activity survives to the top level of the
+    model: its rate is unspecified, so no CTMC exists.  The offending
+    state and action are reported. *)
+
+val build : ?max_states:int -> Compile.t -> t
+(** Explore the full state space (default bound: 1_000_000 states). *)
+
+val of_model : ?max_states:int -> Syntax.model -> t
+val of_string : ?max_states:int -> string -> t
+
+val compiled : t -> Compile.t
+val n_states : t -> int
+val n_transitions : t -> int
+val state : t -> int -> int array
+val state_label : t -> int -> string
+val initial_index : t -> int
+val transitions : t -> transition list
+val transitions_from : t -> int -> transition list
+val deadlocks : t -> int list
+(** Indices of states with no outgoing transitions. *)
+
+val action_names : t -> string list
+(** Named action types occurring on reachable transitions, sorted. *)
+
+val ctmc : t -> Markov.Ctmc.t
+(** The derived CTMC (transition rates between identical state pairs are
+    summed; computed once and cached). *)
+
+val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
+
+val transient : t -> time:float -> float array
+(** Transient distribution starting from the initial state. *)
+
+val throughput : t -> float array -> string -> float
+(** [throughput space pi action] is the steady-state throughput of the
+    named action type: the expected number of completions per time
+    unit. *)
+
+val throughputs : t -> float array -> (string * float) list
+(** Throughput of every reachable action type, sorted by name. *)
+
+val local_state_probability : t -> float array -> leaf:int -> label:string -> float
+(** Probability that the given leaf component is in the local state with
+    the given label (a component-state "utilisation" measure). *)
+
+val pp_summary : Format.formatter -> t -> unit

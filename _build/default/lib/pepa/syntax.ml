@@ -1,0 +1,81 @@
+module String_set = Set.Make (String)
+
+type rate_expr =
+  | Rnum of float
+  | Rvar of string
+  | Rpassive of float
+  | Radd of rate_expr * rate_expr
+  | Rsub of rate_expr * rate_expr
+  | Rmul of rate_expr * rate_expr
+  | Rdiv of rate_expr * rate_expr
+
+type expr =
+  | Stop
+  | Var of string
+  | Prefix of Action.t * rate_expr * expr
+  | Choice of expr * expr
+  | Coop of expr * String_set.t * expr
+  | Hide of expr * String_set.t
+  | Array_rep of expr * int
+
+type definition = Rate_def of string * rate_expr | Proc_def of string * expr
+
+type model = { definitions : definition list; system : expr }
+
+let rec rate_vars = function
+  | Rnum _ | Rpassive _ -> String_set.empty
+  | Rvar v -> String_set.singleton v
+  | Radd (a, b) | Rsub (a, b) | Rmul (a, b) | Rdiv (a, b) ->
+      String_set.union (rate_vars a) (rate_vars b)
+
+let rec free_vars = function
+  | Stop -> String_set.empty
+  | Var v -> String_set.singleton v
+  | Prefix (_, _, cont) -> free_vars cont
+  | Choice (a, b) | Coop (a, _, b) -> String_set.union (free_vars a) (free_vars b)
+  | Hide (p, _) | Array_rep (p, _) -> free_vars p
+
+let rec actions = function
+  | Stop | Var _ -> Action.Set.empty
+  | Prefix (a, _, cont) -> Action.Set.add a (actions cont)
+  | Choice (p, q) | Coop (p, _, q) -> Action.Set.union (actions p) (actions q)
+  | Hide (p, _) | Array_rep (p, _) -> actions p
+
+let rec is_sequential_shape = function
+  | Stop | Var _ -> true
+  | Prefix (_, _, cont) -> is_sequential_shape cont
+  | Choice (a, b) -> is_sequential_shape a && is_sequential_shape b
+  | Coop _ | Hide _ | Array_rep _ -> false
+
+(* Plain [=] is wrong here: [String_set.t] values with equal contents can
+   have different internal tree shapes. *)
+let rec equal_expr a b =
+  match (a, b) with
+  | Stop, Stop -> true
+  | Var x, Var y -> x = y
+  | Prefix (a1, r1, c1), Prefix (a2, r2, c2) ->
+      Action.equal a1 a2 && r1 = r2 && equal_expr c1 c2
+  | Choice (a1, b1), Choice (a2, b2) -> equal_expr a1 a2 && equal_expr b1 b2
+  | Coop (a1, s1, b1), Coop (a2, s2, b2) ->
+      String_set.equal s1 s2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Hide (p1, s1), Hide (p2, s2) -> String_set.equal s1 s2 && equal_expr p1 p2
+  | Array_rep (p1, n1), Array_rep (p2, n2) -> n1 = n2 && equal_expr p1 p2
+  | (Stop | Var _ | Prefix _ | Choice _ | Coop _ | Hide _ | Array_rep _), _ -> false
+
+let equal_definition a b =
+  match (a, b) with
+  | Rate_def (n1, e1), Rate_def (n2, e2) -> n1 = n2 && e1 = e2
+  | Proc_def (n1, e1), Proc_def (n2, e2) -> n1 = n2 && equal_expr e1 e2
+  | (Rate_def _ | Proc_def _), _ -> false
+
+let equal_model m1 m2 =
+  List.length m1.definitions = List.length m2.definitions
+  && List.for_all2 equal_definition m1.definitions m2.definitions
+  && equal_expr m1.system m2.system
+
+let defined_names model =
+  List.fold_left
+    (fun acc def ->
+      match def with
+      | Rate_def (name, _) | Proc_def (name, _) -> String_set.add name acc)
+    String_set.empty model.definitions

@@ -1,0 +1,59 @@
+(** Abstract syntax of PEPA models.
+
+    The grammar follows the PEPA Workbench:
+    {v
+      S ::= (alpha, r).S  |  S + S  |  I           sequential components
+      P ::= P <L> P  |  P / {L}  |  P[n]  |  I  |  S    model components
+    v}
+    The parser produces a single [expr] type; classification into
+    sequential and model-level terms happens in {!Env}. *)
+
+module String_set : Set.S with type elt = string
+
+(** Rate expressions: arithmetic over literals and named rate
+    parameters, plus the passive rate. *)
+type rate_expr =
+  | Rnum of float
+  | Rvar of string
+  | Rpassive of float  (** passive with the given weight *)
+  | Radd of rate_expr * rate_expr
+  | Rsub of rate_expr * rate_expr
+  | Rmul of rate_expr * rate_expr
+  | Rdiv of rate_expr * rate_expr
+
+type expr =
+  | Stop                                   (** the deadlocked component *)
+  | Var of string
+  | Prefix of Action.t * rate_expr * expr
+  | Choice of expr * expr
+  | Coop of expr * String_set.t * expr     (** [P <L> Q]; empty set = parallel *)
+  | Hide of expr * String_set.t
+  | Array_rep of expr * int                (** [P\[n\]]: n independent copies *)
+
+type definition = Rate_def of string * rate_expr | Proc_def of string * expr
+
+type model = {
+  definitions : definition list;
+  system : expr;  (** the system equation to analyse *)
+}
+
+val rate_vars : rate_expr -> String_set.t
+(** Named rate parameters referenced by a rate expression. *)
+
+val free_vars : expr -> String_set.t
+(** Process constants referenced by an expression. *)
+
+val actions : expr -> Action.Set.t
+(** Action types syntactically occurring in prefixes of an expression
+    (not following constant references). *)
+
+val is_sequential_shape : expr -> bool
+(** Whether the expression uses only sequential operators (prefix,
+    choice, constants, [Stop]); constant references are not chased. *)
+
+val equal_expr : expr -> expr -> bool
+(** Structural equality (action-set contents, not representation). *)
+
+val equal_model : model -> model -> bool
+
+val defined_names : model -> String_set.t

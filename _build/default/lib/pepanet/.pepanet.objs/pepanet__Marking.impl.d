@@ -1,0 +1,1 @@
+lib/pepanet/marking.ml: Array Format List Net_compile Option Pepa Printf String

@@ -1,0 +1,1 @@
+lib/pepanet/marking.mli: Format Net_compile

@@ -1,0 +1,1 @@
+lib/pepanet/net.ml: List Pepa

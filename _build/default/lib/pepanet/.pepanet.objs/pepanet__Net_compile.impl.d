@@ -1,0 +1,1 @@
+lib/pepanet/net_compile.ml: Array Format Fun Hashtbl List Net Net_parser Option Pepa Printf String

@@ -1,0 +1,1 @@
+lib/pepanet/net_compile.mli: Net Pepa

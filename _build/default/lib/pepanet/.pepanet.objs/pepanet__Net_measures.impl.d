@@ -1,0 +1,1 @@
+lib/pepanet/net_measures.ml: Array Float List Marking Net_compile Net_semantics Net_statespace Pepa

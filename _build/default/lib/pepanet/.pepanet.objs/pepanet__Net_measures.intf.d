@@ -1,0 +1,1 @@
+lib/pepanet/net_measures.mli: Net_statespace

@@ -1,0 +1,1 @@
+lib/pepanet/net_parser.mli: Net

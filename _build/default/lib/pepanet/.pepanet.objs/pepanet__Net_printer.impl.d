@@ -1,0 +1,1 @@
+lib/pepanet/net_printer.ml: Format List Net Option Pepa String

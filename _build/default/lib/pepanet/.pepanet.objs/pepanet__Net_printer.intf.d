@@ -1,0 +1,1 @@
+lib/pepanet/net_printer.mli: Format Net

@@ -1,0 +1,1 @@
+lib/pepanet/net_semantics.ml: Array Fun List Marking Net_compile Pepa

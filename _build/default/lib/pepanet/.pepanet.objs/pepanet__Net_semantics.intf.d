@@ -1,0 +1,1 @@
+lib/pepanet/net_semantics.mli: Marking Net_compile Pepa

@@ -1,0 +1,1 @@
+lib/pepanet/net_statespace.ml: Array Format Hashtbl List Marking Markov Net_compile Net_semantics Pepa Printf Queue String

@@ -1,0 +1,1 @@
+lib/pepanet/net_statespace.mli: Format Marking Markov Net_compile Net_semantics

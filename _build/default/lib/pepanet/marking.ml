@@ -1,0 +1,81 @@
+type cell_state = Empty | Tok of { token : int; state : int }
+
+type t = { cells : cell_state array; statics : int array }
+
+let initial compiled =
+  let cells = Array.make (Net_compile.n_cells compiled) Empty in
+  Array.iter
+    (fun tok ->
+      cells.(tok.Net_compile.initial_cell) <-
+        Tok { token = tok.Net_compile.token_id; state = tok.Net_compile.initial_state })
+    compiled.Net_compile.tokens;
+  (* Static components start in their defining state (index 0). *)
+  { cells; statics = Array.make compiled.Net_compile.n_statics 0 }
+
+let equal a b = a.cells = b.cells && a.statics = b.statics
+
+let set_cell m i v =
+  let cells = Array.copy m.cells in
+  cells.(i) <- v;
+  { m with cells }
+
+let set_static m i v =
+  let statics = Array.copy m.statics in
+  statics.(i) <- v;
+  { m with statics }
+
+let token_cell m token =
+  let found = ref None in
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | Tok { token = t; _ } when t = token -> found := Some i
+      | Tok _ | Empty -> ())
+    m.cells;
+  !found
+
+let token_place compiled m token =
+  Option.map (fun cell -> compiled.Net_compile.cell_place.(cell)) (token_cell m token)
+
+let tokens_at compiled m place =
+  Array.to_list compiled.Net_compile.places.(place).Net_compile.place_cells
+  |> List.filter_map (fun cell ->
+         match m.cells.(cell) with Tok { token; _ } -> Some token | Empty -> None)
+
+let vacant_cells compiled m ~place ~family =
+  Array.to_list compiled.Net_compile.places.(place).Net_compile.place_cells
+  |> List.filter (fun cell ->
+         m.cells.(cell) = Empty && compiled.Net_compile.cell_family.(cell) = family)
+
+let token_count m =
+  Array.fold_left
+    (fun acc cell -> match cell with Tok _ -> acc + 1 | Empty -> acc)
+    0 m.cells
+
+let pp compiled fmt m =
+  let open Net_compile in
+  Array.iteri
+    (fun p place ->
+      if p > 0 then Format.pp_print_string fmt " ";
+      let contents =
+        Array.to_list place.place_cells
+        |> List.map (fun cell ->
+               match m.cells.(cell) with
+               | Empty -> "_"
+               | Tok { token; state } ->
+                   let family = family_of_token compiled token in
+                   Printf.sprintf "%s:%s" (token_name compiled token)
+                     family.component.Pepa.Compile.labels.(state))
+      in
+      Format.fprintf fmt "%s{%s}" place.name (String.concat ", " contents))
+    compiled.places;
+  if Array.length m.statics > 0 then begin
+    Format.pp_print_string fmt " |";
+    Array.iteri
+      (fun i s ->
+        Format.fprintf fmt " %s"
+          compiled.Net_compile.static_components.(i).Pepa.Compile.labels.(s))
+      m.statics
+  end
+
+let label compiled m = Format.asprintf "%a" (pp compiled) m

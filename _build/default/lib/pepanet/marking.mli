@@ -1,0 +1,37 @@
+(** Markings: the global states of a PEPA net.
+
+    A marking assigns each cell either [Empty] or a token (with its
+    identity and its current derivative state within its family), and
+    each static component a local state.  Markings are immutable values
+    usable as hash-table keys. *)
+
+type cell_state = Empty | Tok of { token : int; state : int }
+
+type t = { cells : cell_state array; statics : int array }
+
+val initial : Net_compile.t -> t
+val equal : t -> t -> bool
+val set_cell : t -> int -> cell_state -> t
+val set_static : t -> int -> int -> t
+
+val token_cell : t -> int -> int option
+(** The cell currently holding the given token, if any (a token absent
+    from every cell is mid-firing, which never occurs in reachable
+    markings). *)
+
+val token_place : Net_compile.t -> t -> int -> int option
+(** The place currently holding the given token. *)
+
+val tokens_at : Net_compile.t -> t -> int -> int list
+(** Token ids present in the given place. *)
+
+val vacant_cells : Net_compile.t -> t -> place:int -> family:int -> int list
+(** Vacant cells of the given place accepting the given family. *)
+
+val token_count : t -> int
+(** Number of occupied cells (conserved by every move: tested
+    invariant). *)
+
+val pp : Net_compile.t -> Format.formatter -> t -> unit
+val label : Net_compile.t -> t -> string
+(** e.g. ["P1{IM:InstantMessage} P2{_} | FileReader"]. *)

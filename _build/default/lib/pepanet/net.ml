@@ -1,0 +1,50 @@
+module String_set = Pepa.Syntax.String_set
+
+type cell = { cell_type : string; initial_token : string option }
+
+type context =
+  | Cell of cell
+  | Static of string
+  | Ctx_coop of context * String_set.t * context
+
+type transition = {
+  transition_name : string;
+  firing_action : string;
+  firing_rate : Pepa.Syntax.rate_expr;
+  inputs : string list;
+  outputs : string list;
+  priority : int;
+}
+
+type place = { place_name : string; context : context }
+
+type t = {
+  definitions : Pepa.Syntax.definition list;
+  token_types : string list;
+  places : place list;
+  transitions : transition list;
+}
+
+let rec cells_of_context = function
+  | Cell c -> [ c ]
+  | Static _ -> []
+  | Ctx_coop (a, _, b) -> cells_of_context a @ cells_of_context b
+
+let rec statics_of_context = function
+  | Cell _ -> []
+  | Static name -> [ name ]
+  | Ctx_coop (a, _, b) -> statics_of_context a @ statics_of_context b
+
+let place_names net = List.map (fun p -> p.place_name) net.places
+
+let find_place net name = List.find_opt (fun p -> p.place_name = name) net.places
+
+let firing_actions net =
+  List.fold_left
+    (fun acc t -> String_set.add t.firing_action acc)
+    String_set.empty net.transitions
+
+let priority_of_action net action =
+  match List.find_opt (fun t -> t.firing_action = action) net.transitions with
+  | Some t -> t.priority
+  | None -> 1

@@ -1,0 +1,56 @@
+(** Abstract syntax of PEPA nets (Definition 1 of the paper).
+
+    A PEPA net is a set of PEPA definitions together with
+
+    - declared {e token types}: names of sequential components whose
+      derivative families provide the tokens of the net;
+    - {e places}, each holding a PEPA context: a cooperation of cells
+      (typed storage for one token) and immobile static components;
+    - {e net transitions}, each labelled with a firing action type, a
+      rate and a priority, connecting input places to output places.
+
+    The net must be balanced: every transition has as many input places
+    as output places, and tokens pass through transitions (one token
+    leaves each input place, one token enters each output place). *)
+
+type cell = {
+  cell_type : string;
+      (** a constant of some declared token family; the cell accepts any
+          token of that family *)
+  initial_token : string option;
+      (** [Some c]: the cell initially holds a token in derivative state
+          [c]; [None]: initially vacant *)
+}
+
+type context =
+  | Cell of cell
+  | Static of string  (** a sequential process constant *)
+  | Ctx_coop of context * Pepa.Syntax.String_set.t * context
+
+type transition = {
+  transition_name : string;
+  firing_action : string;
+  firing_rate : Pepa.Syntax.rate_expr;
+  inputs : string list;
+  outputs : string list;
+  priority : int;  (** higher fires preferentially; default 1 *)
+}
+
+type place = { place_name : string; context : context }
+
+type t = {
+  definitions : Pepa.Syntax.definition list;
+  token_types : string list;
+  places : place list;
+  transitions : transition list;
+}
+
+val cells_of_context : context -> cell list
+val statics_of_context : context -> string list
+val place_names : t -> string list
+val find_place : t -> string -> place option
+val firing_actions : t -> Pepa.Syntax.String_set.t
+val priority_of_action : t -> string -> int
+(** The priority associated with a firing action type (Definition 1's
+    priority function); transitions sharing an action type must agree on
+    the priority (checked at compile time). *)

@@ -1,0 +1,291 @@
+module String_set = Pepa.Syntax.String_set
+
+type family = {
+  family_root : string;
+  component : Pepa.Compile.component;
+  constant_states : (string * int) list;
+}
+
+type leaf =
+  | Lcell of { cell : int; family : int }
+  | Lstatic of { static : int; component : Pepa.Compile.component }
+
+type structure =
+  | Pleaf of leaf
+  | Pcoop of structure * String_set.t * structure
+
+type place = {
+  place_index : int;
+  name : string;
+  structure : structure;
+  place_cells : int array;
+}
+
+type token = {
+  token_id : int;
+  token_name : string;
+  token_family : int;
+  initial_cell : int;
+  initial_state : int;
+}
+
+type transition = {
+  transition_index : int;
+  t_name : string;
+  t_action : string;
+  t_rate : Pepa.Rate.t;
+  t_inputs : int array;
+  t_outputs : int array;
+  t_priority : int;
+}
+
+type t = {
+  net : Net.t;
+  env : Pepa.Env.t;
+  families : family array;
+  places : place array;
+  cell_place : int array;
+  cell_family : int array;
+  n_statics : int;
+  static_components : Pepa.Compile.component array;
+  tokens : token array;
+  transitions : transition array;
+  firing_actions : String_set.t;
+  check_warnings : string list;
+}
+
+exception Net_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Net_error msg)) fmt
+
+let check_distinct what names =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      if Hashtbl.mem seen name then fail "duplicate %s %s" what name
+      else Hashtbl.add seen name ())
+    names
+
+let component_action_names component =
+  Array.fold_left
+    (fun acc moves ->
+      Array.fold_left
+        (fun acc (action, _, _) ->
+          match Pepa.Action.name action with
+          | Some n -> String_set.add n acc
+          | None -> acc)
+        acc moves)
+    String_set.empty component.Pepa.Compile.local_moves
+
+let build_families env token_types =
+  Array.of_list
+    (List.map
+       (fun root ->
+         if not (Pepa.Env.is_sequential env root) then
+           fail "token type %s must be a sequential component" root;
+         let component =
+           try Pepa.Compile.build_component env (Pepa.Compile.Lvar root)
+           with Pepa.Compile.Compile_error msg -> fail "token type %s: %s" root msg
+         in
+         let constant_states =
+           Array.to_list
+             (Array.mapi
+                (fun i state ->
+                  match state with Pepa.Compile.Lvar name -> Some (name, i) | _ -> None)
+                component.Pepa.Compile.states)
+           |> List.filter_map Fun.id
+         in
+         { family_root = root; component; constant_states })
+       token_types)
+
+(* Resolve a constant name to (family index, state index): the name must
+   denote a derivative state of exactly one declared family. *)
+let resolve_family_state families name =
+  let hits =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun f family ->
+              match List.assoc_opt name family.constant_states with
+              | Some s -> [ (f, s) ]
+              | None -> [])
+            families))
+  in
+  match hits with
+  | [ hit ] -> hit
+  | [] -> fail "%s is not a derivative of any declared token type" name
+  | _ -> fail "%s belongs to more than one declared token family" name
+
+let compile net =
+  check_distinct "token type" net.Net.token_types;
+  check_distinct "place" (Net.place_names net);
+  check_distinct "net transition" (List.map (fun t -> t.Net.transition_name) net.Net.transitions);
+  let env =
+    try
+      Pepa.Env.of_model { Pepa.Syntax.definitions = net.Net.definitions; system = Pepa.Syntax.Stop }
+    with Pepa.Env.Semantic_error msg -> fail "%s" msg
+  in
+  let families = build_families env net.Net.token_types in
+  let firing_actions = Net.firing_actions net in
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun msg -> warnings := msg :: !warnings) fmt in
+  (* Firing actions must be performable by some token family. *)
+  let family_alphabet =
+    Array.fold_left
+      (fun acc family -> String_set.union acc (component_action_names family.component))
+      String_set.empty families
+  in
+  String_set.iter
+    (fun action ->
+      if not (String_set.mem action family_alphabet) then
+        fail "firing action %s is not performed by any token type" action)
+    firing_actions;
+  (* Priorities must be a function of the action type. *)
+  let priority_table = Hashtbl.create 8 in
+  List.iter
+    (fun tr ->
+      match Hashtbl.find_opt priority_table tr.Net.firing_action with
+      | None -> Hashtbl.add priority_table tr.Net.firing_action tr.Net.priority
+      | Some p when p = tr.Net.priority -> ()
+      | Some p ->
+          fail "firing action %s is given priorities %d and %d by different transitions"
+            tr.Net.firing_action p tr.Net.priority)
+    net.Net.transitions;
+  (* Compile places: assign global cell and static indices. *)
+  let cell_place = ref [] and cell_family = ref [] in
+  let n_cells = ref 0 and n_statics = ref 0 in
+  let static_components = ref [] in
+  let tokens = ref [] in
+  let n_tokens = ref 0 in
+  let token_name_counts = Hashtbl.create 8 in
+  let places =
+    Array.of_list
+      (List.mapi
+         (fun place_index { Net.place_name = name; context } ->
+           let my_cells = ref [] in
+           let rec build ctx =
+             match ctx with
+             | Net.Cell { cell_type; initial_token } ->
+                 let family, _type_state = resolve_family_state families cell_type in
+                 let cell = !n_cells in
+                 incr n_cells;
+                 cell_place := place_index :: !cell_place;
+                 cell_family := family :: !cell_family;
+                 my_cells := cell :: !my_cells;
+                 (match initial_token with
+                 | None -> ()
+                 | Some token_constant ->
+                     let tok_family, initial_state =
+                       resolve_family_state families token_constant
+                     in
+                     if tok_family <> family then
+                       fail "place %s: token %s does not belong to the %s cell's family" name
+                         token_constant cell_type;
+                     let base = token_constant in
+                     let k =
+                       1 + Option.value ~default:0 (Hashtbl.find_opt token_name_counts base)
+                     in
+                     Hashtbl.replace token_name_counts base k;
+                     let token_name = if k = 1 then base else Printf.sprintf "%s#%d" base k in
+                     let token_id = !n_tokens in
+                     incr n_tokens;
+                     tokens :=
+                       { token_id; token_name; token_family = tok_family;
+                         initial_cell = cell; initial_state }
+                       :: !tokens);
+                 Pleaf (Lcell { cell; family })
+             | Net.Static constant ->
+                 if not (Pepa.Env.is_sequential env constant) then
+                   fail "place %s: static component %s must be sequential" name constant;
+                 let component =
+                   try Pepa.Compile.build_component env (Pepa.Compile.Lvar constant)
+                   with Pepa.Compile.Compile_error msg ->
+                     fail "place %s, static component %s: %s" name constant msg
+                 in
+                 let clash =
+                   String_set.inter (component_action_names component) firing_actions
+                 in
+                 if not (String_set.is_empty clash) then
+                   fail "place %s: static component %s performs firing action(s) %s" name
+                     constant
+                     (String.concat ", " (String_set.elements clash));
+                 let static = !n_statics in
+                 incr n_statics;
+                 static_components := component :: !static_components;
+                 Pleaf (Lstatic { static; component })
+             | Net.Ctx_coop (a, set, b) ->
+                 let clash = String_set.inter set firing_actions in
+                 if not (String_set.is_empty clash) then
+                   warn
+                     "place %s: cooperation set mentions firing action(s) %s; firings are \
+                      net-level and never synchronise inside a place"
+                     name
+                     (String.concat ", " (String_set.elements clash));
+                 Pcoop (build a, set, build b)
+           in
+           let structure = build context in
+           if !my_cells = [] then fail "place %s has no cell (every context needs at least one)" name;
+           { place_index; name; structure; place_cells = Array.of_list (List.rev !my_cells) })
+         net.Net.places)
+  in
+  let place_index_of name =
+    match Array.to_list places |> List.find_opt (fun p -> p.name = name) with
+    | Some p -> p.place_index
+    | None -> fail "unknown place %s" name
+  in
+  let transitions =
+    Array.of_list
+      (List.mapi
+         (fun transition_index tr ->
+           if List.length tr.Net.inputs <> List.length tr.Net.outputs then
+             fail "net transition %s is unbalanced: %d input place(s) but %d output place(s)"
+               tr.Net.transition_name (List.length tr.Net.inputs)
+               (List.length tr.Net.outputs);
+           if tr.Net.inputs = [] then
+             fail "net transition %s has no input place" tr.Net.transition_name;
+           let t_rate =
+             try Pepa.Env.eval_rate env tr.Net.firing_rate
+             with Pepa.Env.Semantic_error msg ->
+               fail "net transition %s: %s" tr.Net.transition_name msg
+           in
+           {
+             transition_index;
+             t_name = tr.Net.transition_name;
+             t_action = tr.Net.firing_action;
+             t_rate;
+             t_inputs = Array.of_list (List.map place_index_of tr.Net.inputs);
+             t_outputs = Array.of_list (List.map place_index_of tr.Net.outputs);
+             t_priority = tr.Net.priority;
+           })
+         net.Net.transitions)
+  in
+  {
+    net;
+    env;
+    families;
+    places;
+    cell_place = Array.of_list (List.rev !cell_place);
+    cell_family = Array.of_list (List.rev !cell_family);
+    n_statics = !n_statics;
+    static_components = Array.of_list (List.rev !static_components);
+    tokens = Array.of_list (List.rev !tokens);
+    transitions;
+    firing_actions;
+    check_warnings = List.rev !warnings;
+  }
+
+let of_string src = compile (Net_parser.net_of_string src)
+let of_file path = compile (Net_parser.net_of_file path)
+
+let n_cells t = Array.length t.cell_place
+let n_tokens t = Array.length t.tokens
+let family_of_token t id = t.families.(t.tokens.(id).token_family)
+let token_name t id = t.tokens.(id).token_name
+let place_name t i = t.places.(i).name
+
+let place_index t name =
+  match Array.to_list t.places |> List.find_opt (fun p -> p.name = name) with
+  | Some p -> p.place_index
+  | None -> fail "unknown place %s" name
+
+let warnings t = t.check_warnings

@@ -1,0 +1,80 @@
+(** Compilation of a PEPA net to its runtime representation, performing
+    all static checks of Definition 1 along the way.
+
+    Token families are compiled once to local labelled transition
+    systems (including their firing-typed activities); place contexts
+    become cooperation trees over {e cells} and {e static components};
+    cells receive global indices so a marking is a flat assignment. *)
+
+type family = {
+  family_root : string;
+  component : Pepa.Compile.component;
+  constant_states : (string * int) list;
+      (** derivative states that are named constants, e.g. the [File]
+          derivative of the [InstantMessage] family *)
+}
+
+type leaf =
+  | Lcell of { cell : int; family : int }
+  | Lstatic of { static : int; component : Pepa.Compile.component }
+
+type structure =
+  | Pleaf of leaf
+  | Pcoop of structure * Pepa.Syntax.String_set.t * structure
+
+type place = {
+  place_index : int;
+  name : string;
+  structure : structure;
+  place_cells : int array;  (** global cell indices located here *)
+}
+
+type token = {
+  token_id : int;
+  token_name : string;
+  token_family : int;
+  initial_cell : int;
+  initial_state : int;
+}
+
+type transition = {
+  transition_index : int;
+  t_name : string;
+  t_action : string;
+  t_rate : Pepa.Rate.t;
+  t_inputs : int array;   (** place indices *)
+  t_outputs : int array;
+  t_priority : int;
+}
+
+type t = private {
+  net : Net.t;
+  env : Pepa.Env.t;
+  families : family array;
+  places : place array;
+  cell_place : int array;     (** owning place per global cell *)
+  cell_family : int array;    (** accepted family per global cell *)
+  n_statics : int;
+  static_components : Pepa.Compile.component array;
+      (** indexed by global static index *)
+  tokens : token array;
+  transitions : transition array;
+  firing_actions : Pepa.Syntax.String_set.t;
+  check_warnings : string list;
+}
+
+exception Net_error of string
+
+val compile : Net.t -> t
+val of_string : string -> t
+val of_file : string -> t
+
+val n_cells : t -> int
+val n_tokens : t -> int
+val family_of_token : t -> int -> family
+val token_name : t -> int -> string
+val place_name : t -> int -> string
+val place_index : t -> string -> int
+(** Raises {!Net_error} for unknown places. *)
+
+val warnings : t -> string list

@@ -1,0 +1,69 @@
+let throughput space pi name =
+  List.fold_left
+    (fun acc tr ->
+      let matches =
+        match tr.Net_statespace.label with
+        | Net_semantics.Local action -> Pepa.Action.name action = Some name
+        | Net_semantics.Fire { action; _ } -> action = name
+      in
+      if matches then acc +. (pi.(tr.Net_statespace.src) *. tr.Net_statespace.rate) else acc)
+    0.0
+    (Net_statespace.transitions space)
+
+let throughputs space pi =
+  List.map (fun name -> (name, throughput space pi name)) (Net_statespace.action_names space)
+
+let firing_throughput space pi transition_name =
+  List.fold_left
+    (fun acc tr ->
+      match tr.Net_statespace.label with
+      | Net_semantics.Fire { transition; _ } when transition = transition_name ->
+          acc +. (pi.(tr.Net_statespace.src) *. tr.Net_statespace.rate)
+      | Net_semantics.Fire _ | Net_semantics.Local _ -> acc)
+    0.0
+    (Net_statespace.transitions space)
+
+let token_location_probabilities space pi ~token =
+  let compiled = Net_statespace.compiled space in
+  let totals = Array.make (Array.length compiled.Net_compile.places) 0.0 in
+  for i = 0 to Net_statespace.n_markings space - 1 do
+    match Marking.token_place compiled (Net_statespace.marking space i) token with
+    | Some place -> totals.(place) <- totals.(place) +. pi.(i)
+    | None -> ()
+  done;
+  Array.to_list
+    (Array.mapi (fun p total -> (Net_compile.place_name compiled p, total)) totals)
+
+let expected_tokens_at space pi ~place =
+  let compiled = Net_statespace.compiled space in
+  let place_index = Net_compile.place_index compiled place in
+  let total = ref 0.0 in
+  for i = 0 to Net_statespace.n_markings space - 1 do
+    let count =
+      List.length (Marking.tokens_at compiled (Net_statespace.marking space i) place_index)
+    in
+    total := !total +. (pi.(i) *. float_of_int count)
+  done;
+  !total
+
+let marking_probabilities space pi =
+  List.init (Net_statespace.n_markings space) (fun i ->
+      (Net_statespace.marking_label space i, pi.(i)))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let token_state_probability space pi ~token ~state_label =
+  let compiled = Net_statespace.compiled space in
+  let family = Net_compile.family_of_token compiled token in
+  let labels = family.Net_compile.component.Pepa.Compile.labels in
+  let total = ref 0.0 in
+  for i = 0 to Net_statespace.n_markings space - 1 do
+    let m = Net_statespace.marking space i in
+    match Marking.token_cell m token with
+    | Some cell -> (
+        match m.Marking.cells.(cell) with
+        | Marking.Tok { state; _ } when labels.(state) = state_label ->
+            total := !total +. pi.(i)
+        | Marking.Tok _ | Marking.Empty -> ())
+    | None -> ()
+  done;
+  !total

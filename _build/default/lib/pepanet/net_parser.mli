@@ -1,0 +1,25 @@
+(** Parser for the concrete PEPA nets syntax.
+
+    A net file starts with ordinary PEPA definitions (rates and
+    sequential components) and continues with net-level declarations:
+    {v
+      token  Uident ;                          token-family declaration
+      place  Uident = context ;                one per place
+      trans  Uident = "(" lident "," rate ")"
+             from Uident,* to Uident,*
+             [ priority int ] ;                one per net transition
+      context ::= context "<" lident,* ">" context
+                | Uident "[" (Uident | "_") "]"     a cell
+                | Uident                             a static component
+                | "(" context ")"
+    v}
+    The three declaration keywords ([token], [place], [trans], plus
+    [from], [to], [priority]) are soft keywords: they remain usable as
+    action or rate names inside PEPA expressions. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+(** Re-raised from the PEPA lexer/parser with positions in the net
+    file. *)
+
+val net_of_string : string -> Net.t
+val net_of_file : string -> Net.t

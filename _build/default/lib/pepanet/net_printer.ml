@@ -1,0 +1,38 @@
+module String_set = Pepa.Syntax.String_set
+
+let pp_action_set fmt set =
+  Format.pp_print_string fmt (String.concat ", " (String_set.elements set))
+
+let rec pp_context_prec prec fmt ctx =
+  match ctx with
+  | Net.Cell { cell_type; initial_token } ->
+      Format.fprintf fmt "%s[%s]" cell_type (Option.value ~default:"_" initial_token)
+  | Net.Static name -> Format.pp_print_string fmt name
+  | Net.Ctx_coop (a, set, b) ->
+      let body fmt =
+        Format.fprintf fmt "%a <%a> %a" (pp_context_prec 1) a pp_action_set set
+          (pp_context_prec 2) b
+      in
+      if prec > 1 then Format.fprintf fmt "(%t)" body else body fmt
+
+let pp_context fmt ctx = pp_context_prec 0 fmt ctx
+
+let pp_transition fmt t =
+  Format.fprintf fmt "trans %s = (%s, %a) from %s to %s" t.Net.transition_name
+    t.Net.firing_action Pepa.Printer.pp_rate_expr t.Net.firing_rate
+    (String.concat ", " t.Net.inputs)
+    (String.concat ", " t.Net.outputs);
+  if t.Net.priority <> 1 then Format.fprintf fmt " priority %d" t.Net.priority;
+  Format.pp_print_string fmt ";"
+
+let pp_net fmt net =
+  List.iter
+    (fun def -> Format.fprintf fmt "%a@." Pepa.Printer.pp_definition def)
+    net.Net.definitions;
+  List.iter (fun name -> Format.fprintf fmt "token %s;@." name) net.Net.token_types;
+  List.iter
+    (fun p -> Format.fprintf fmt "place %s = %a;@." p.Net.place_name pp_context p.Net.context)
+    net.Net.places;
+  List.iter (fun t -> Format.fprintf fmt "%a@." pp_transition t) net.Net.transitions
+
+let net_to_string net = Format.asprintf "%a" pp_net net

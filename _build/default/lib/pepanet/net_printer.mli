@@ -1,0 +1,7 @@
+(** Pretty-printing of PEPA nets in the concrete syntax accepted by
+    {!Net_parser} (round-trip tested). *)
+
+val pp_context : Format.formatter -> Net.context -> unit
+val pp_transition : Format.formatter -> Net.transition -> unit
+val pp_net : Format.formatter -> Net.t -> unit
+val net_to_string : Net.t -> string

@@ -1,0 +1,109 @@
+type transition = { src : int; label : Net_semantics.label; rate : float; dst : int }
+
+type t = {
+  compiled : Net_compile.t;
+  markings : Marking.t array;
+  transition_list : transition list;
+  outgoing : transition list array;
+  mutable chain : Markov.Ctmc.t option;
+}
+
+exception Too_many_markings of int
+exception Passive_firing of { marking : string; label : string }
+
+let label_string = function
+  | Net_semantics.Local action -> Pepa.Action.to_string action
+  | Net_semantics.Fire { action; transition } -> Printf.sprintf "%s!%s" action transition
+
+let build ?(max_markings = 1_000_000) compiled =
+  let index = Hashtbl.create 1024 in
+  let markings = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern marking =
+    match Hashtbl.find_opt index marking with
+    | Some i -> i
+    | None ->
+        if !count >= max_markings then raise (Too_many_markings max_markings);
+        let i = !count in
+        Hashtbl.add index marking i;
+        markings := marking :: !markings;
+        incr count;
+        Queue.add (i, marking) queue;
+        i
+  in
+  ignore (intern (Marking.initial compiled));
+  let transitions = ref [] in
+  while not (Queue.is_empty queue) do
+    let src, marking = Queue.pop queue in
+    List.iter
+      (fun move ->
+        let rate =
+          match move.Net_semantics.rate with
+          | Pepa.Rate.Active r -> r
+          | Pepa.Rate.Passive _ ->
+              raise
+                (Passive_firing
+                   {
+                     marking = Marking.label compiled marking;
+                     label = label_string move.Net_semantics.label;
+                   })
+        in
+        let dst = intern (Net_semantics.apply marking move.Net_semantics.updates) in
+        transitions := { src; label = move.Net_semantics.label; rate; dst } :: !transitions)
+      (Net_semantics.moves compiled marking)
+  done;
+  let markings = Array.of_list (List.rev !markings) in
+  let transition_list = List.rev !transitions in
+  let outgoing = Array.make (Array.length markings) [] in
+  List.iter (fun t -> outgoing.(t.src) <- t :: outgoing.(t.src)) transition_list;
+  Array.iteri (fun i ts -> outgoing.(i) <- List.rev ts) outgoing;
+  { compiled; markings; transition_list; outgoing; chain = None }
+
+let of_string ?max_markings src = build ?max_markings (Net_compile.of_string src)
+let of_file ?max_markings path = build ?max_markings (Net_compile.of_file path)
+
+let compiled t = t.compiled
+let n_markings t = Array.length t.markings
+let n_transitions t = List.length t.transition_list
+let marking t i = t.markings.(i)
+let marking_label t i = Marking.label t.compiled t.markings.(i)
+let initial_index _ = 0
+let transitions t = t.transition_list
+let transitions_from t i = t.outgoing.(i)
+
+let deadlocks t =
+  let result = ref [] in
+  Array.iteri (fun i out -> if out = [] then result := i :: !result) t.outgoing;
+  List.rev !result
+
+let ctmc t =
+  match t.chain with
+  | Some c -> c
+  | None ->
+      let triples = List.map (fun tr -> (tr.src, tr.dst, tr.rate)) t.transition_list in
+      let c = Markov.Ctmc.of_transitions ~n:(n_markings t) triples in
+      t.chain <- Some c;
+      c
+
+let steady_state ?method_ ?options t = Markov.Steady.solve ?method_ ?options (ctmc t)
+
+let transient t ~time =
+  let n = n_markings t in
+  let initial = Array.make n 0.0 in
+  initial.(0) <- 1.0;
+  Markov.Transient.probabilities (ctmc t) ~initial ~t:time
+
+let action_names t =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun tr ->
+         match tr.label with
+         | Net_semantics.Local action -> Pepa.Action.name action
+         | Net_semantics.Fire { action; _ } -> Some action)
+       t.transition_list)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%d markings, %d transitions, %d deadlock marking(s)" (n_markings t)
+    (n_transitions t)
+    (List.length (deadlocks t))

@@ -1,0 +1,41 @@
+(** Reachability graph of a PEPA net and its derived CTMC, treating each
+    marking as a distinct state (as in the paper's Section 2.2). *)
+
+type transition = {
+  src : int;
+  label : Net_semantics.label;
+  rate : float;
+  dst : int;
+}
+
+type t
+
+exception Too_many_markings of int
+
+exception Passive_firing of { marking : string; label : string }
+(** A passive activity (local or firing) survived with no active
+    participant to set its rate: the model is incomplete. *)
+
+val build : ?max_markings:int -> Net_compile.t -> t
+val of_string : ?max_markings:int -> string -> t
+val of_file : ?max_markings:int -> string -> t
+
+val compiled : t -> Net_compile.t
+val n_markings : t -> int
+val n_transitions : t -> int
+val marking : t -> int -> Marking.t
+val marking_label : t -> int -> string
+val initial_index : t -> int
+val transitions : t -> transition list
+val transitions_from : t -> int -> transition list
+val deadlocks : t -> int list
+
+val ctmc : t -> Markov.Ctmc.t
+val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
+val transient : t -> time:float -> float array
+
+val action_names : t -> string list
+(** All named action types on reachable transitions, local and firing,
+    sorted. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/scenarios/code_mobility.ml: Pepanet Printf

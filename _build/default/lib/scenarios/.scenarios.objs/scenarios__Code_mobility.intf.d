@@ -1,0 +1,1 @@
+lib/scenarios/code_mobility.mli: Pepanet

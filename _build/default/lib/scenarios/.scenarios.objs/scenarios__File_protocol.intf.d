@@ -1,0 +1,1 @@
+lib/scenarios/file_protocol.mli: Extract Uml

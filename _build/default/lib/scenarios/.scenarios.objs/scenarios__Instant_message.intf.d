@@ -1,0 +1,1 @@
+lib/scenarios/instant_message.mli: Extract Uml

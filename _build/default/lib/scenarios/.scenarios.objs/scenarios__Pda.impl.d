@@ -1,0 +1,1 @@
+lib/scenarios/pda.ml: Buffer Extract Printf Uml

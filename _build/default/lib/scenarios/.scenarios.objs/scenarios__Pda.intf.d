@@ -1,0 +1,1 @@
+lib/scenarios/pda.mli: Extract Uml Xml_kit

@@ -1,0 +1,1 @@
+lib/scenarios/roaming.ml: Fun List Markov Pepanet

@@ -1,0 +1,1 @@
+lib/scenarios/roaming.mli: Pepanet

@@ -1,0 +1,1 @@
+lib/scenarios/tomcat.ml: Choreographer Extract List Option Uml

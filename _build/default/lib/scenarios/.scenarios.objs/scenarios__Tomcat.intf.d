@@ -1,0 +1,1 @@
+lib/scenarios/tomcat.mli: Choreographer Extract Uml

@@ -1,0 +1,99 @@
+type parameters = {
+  bandwidth : float;
+  data_size : float;
+  code_size : float;
+  result_size : float;
+  local_compute : float;
+  remote_compute : float;
+}
+
+let default_parameters =
+  {
+    bandwidth = 10.0;
+    data_size = 10.0;
+    code_size = 1.0;
+    result_size = 0.5;
+    local_compute = 2.0;
+    remote_compute = 1.5;
+  }
+
+(* Transfer of [size] units over [bandwidth] units/s is an exponential
+   stage at rate bandwidth/size. *)
+let transfer_rate p size = p.bandwidth /. size
+
+let request_rate = 20.0
+
+let client_server_net p =
+  Pepanet.Net_parser.net_of_string
+    (Printf.sprintf
+       {|
+         Agent = (request, %f).Fetching;
+         Fetching = (transfer_data, %f).Computing;
+         Computing = (compute, %f).Agent;
+         token Agent;
+         place Home = Agent[Agent];
+       |}
+       request_rate (transfer_rate p p.data_size) p.local_compute)
+
+let mobile_agent_net p =
+  Pepanet.Net_parser.net_of_string
+    (Printf.sprintf
+       {|
+         Agent = (travel, %f).Arrived;
+         Arrived = (compute, %f).Returning;
+         Returning = (return_result, %f).Agent;
+         token Agent;
+         place Home = Agent[Agent];
+         place DataHost = Agent[_];
+         trans t_travel = (travel, %f) from Home to DataHost;
+         trans t_return = (return_result, %f) from DataHost to Home;
+       |}
+       (transfer_rate p p.code_size) p.remote_compute (transfer_rate p p.result_size)
+       (transfer_rate p p.code_size) (transfer_rate p p.result_size))
+
+type comparison = {
+  params : parameters;
+  client_server_jobs : float;
+  mobile_agent_jobs : float;
+}
+
+let jobs_of net action =
+  let space = Pepanet.Net_statespace.build (Pepanet.Net_compile.compile net) in
+  let pi = Pepanet.Net_statespace.steady_state space in
+  Pepanet.Net_measures.throughput space pi action
+
+let compare_at ?(params = default_parameters) ~bandwidth () =
+  let params = { params with bandwidth } in
+  {
+    params;
+    client_server_jobs = jobs_of (client_server_net params) "compute";
+    mobile_agent_jobs = jobs_of (mobile_agent_net params) "compute";
+  }
+
+let closed_form_jobs p design =
+  match design with
+  | `Client_server ->
+      1.0
+      /. ((1.0 /. request_rate)
+         +. (p.data_size /. p.bandwidth)
+         +. (1.0 /. p.local_compute))
+  | `Mobile_agent ->
+      1.0
+      /. ((p.code_size /. p.bandwidth)
+         +. (1.0 /. p.remote_compute)
+         +. (p.result_size /. p.bandwidth))
+
+let crossover_bandwidth ?(params = default_parameters) ~lo ~hi () =
+  let sign b =
+    let c = compare_at ~params ~bandwidth:b () in
+    compare c.mobile_agent_jobs c.client_server_jobs
+  in
+  if sign lo * sign hi >= 0 then
+    invalid_arg "Code_mobility.crossover_bandwidth: no sign change in the bracket";
+  let rec bisect lo hi k =
+    if k = 0 || hi -. lo < 1e-3 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if sign mid = sign lo then bisect mid hi (k - 1) else bisect lo mid (k - 1)
+  in
+  bisect lo hi 60

@@ -1,0 +1,52 @@
+(** The design question the paper's introduction motivates: when should
+    computation move to the data rather than data to the computation?
+    ("Mobile code applications ... may be expected to work with low
+    bandwidth, intermittently unavailable network connections.")
+
+    Two designs for the same job are compared as PEPA nets:
+
+    - {b client-server}: the agent stays home and fetches the data over
+      the network (a large transfer), then computes locally;
+    - {b mobile agent}: the agent token moves to the data's host (a
+      small code transfer), computes there on a somewhat slower
+      machine, and ships the small result back.
+
+    Both transfers scale with the available bandwidth, so sweeping the
+    bandwidth exposes the crossover the design decision hinges on. *)
+
+type parameters = {
+  bandwidth : float;     (** network capacity, in data units per second *)
+  data_size : float;     (** units moved by the client-server fetch *)
+  code_size : float;     (** units moved when the agent travels *)
+  result_size : float;   (** units moved when results return *)
+  local_compute : float; (** jobs per second on the home machine *)
+  remote_compute : float;(** jobs per second on the data host *)
+}
+
+val default_parameters : parameters
+(** data 10, code 1, result 0.5, local compute 2, remote compute 1.5. *)
+
+val client_server_net : parameters -> Pepanet.Net.t
+(** A single-place net: request, transfer of the full data set, local
+    computation. *)
+
+val mobile_agent_net : parameters -> Pepanet.Net.t
+(** A two-place net: the agent token moves to the data host (a firing
+    whose rate is the code transfer), computes there, and returns with
+    the result (a firing at the result-transfer rate). *)
+
+type comparison = {
+  params : parameters;
+  client_server_jobs : float;  (** jobs completed per second *)
+  mobile_agent_jobs : float;
+}
+
+val compare_at : ?params:parameters -> bandwidth:float -> unit -> comparison
+
+val crossover_bandwidth : ?params:parameters -> lo:float -> hi:float -> unit -> float
+(** The bandwidth at which the two designs break even, by bisection
+    (raises [Invalid_argument] unless the designs order differently at
+    the bracket ends). *)
+
+val closed_form_jobs : parameters -> [ `Client_server | `Mobile_agent ] -> float
+(** The cycle-time closed forms used to validate the nets in tests. *)

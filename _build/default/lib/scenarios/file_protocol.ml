@@ -1,0 +1,81 @@
+module B = Uml.Activity.Build
+
+let rates =
+  Uml.Rates_file.of_string
+    {|
+      openread = 2.0
+      openwrite = 2.0
+      read = 10.0
+      write = 5.0
+      close = 4.0
+      reset_f = 20.0
+      default = 1.0
+    |}
+
+(* Figure 1.  The two branches share the "close" activity name, which the
+   extractor maps to a single PEPA action type. *)
+let diagram () =
+  let b = B.create "FileActivities" in
+  let i = B.initial b in
+  let dec = B.decision b in
+  let openread = B.action b "openread" in
+  let openwrite = B.action b "openwrite" in
+  let read = B.action b "read" in
+  let write = B.action b "write" in
+  let close_r = B.action b "close" in
+  let close_w = B.action b "close" in
+  let fin = B.final b in
+  B.edge b i dec;
+  B.edge b dec openread;
+  B.edge b dec openwrite;
+  B.edge b openread read;
+  B.edge b read close_r;
+  B.edge b openwrite write;
+  B.edge b write close_w;
+  B.edge b close_r fin;
+  B.edge b close_w fin;
+  (* The f object is required by every activity; decorations follow the
+     figure (f, f*, f**, ...). *)
+  let occs = Hashtbl.create 8 in
+  let occ state =
+    match Hashtbl.find_opt occs state with
+    | Some o -> o
+    | None ->
+        let o =
+          B.occurrence ?state:(if state = "" then None else Some state) b ~obj:"f" ~cls:"FILE"
+        in
+        Hashtbl.add occs state o;
+        o
+    in
+  B.flow_into b ~occ:(occ "") ~activity:openread;
+  B.flow_out_of b ~activity:openread ~occ:(occ "r");
+  B.flow_into b ~occ:(occ "r") ~activity:read;
+  B.flow_out_of b ~activity:read ~occ:(occ "r'");
+  B.flow_into b ~occ:(occ "r'") ~activity:close_r;
+  B.flow_out_of b ~activity:close_r ~occ:(occ "closed_r");
+  B.flow_into b ~occ:(occ "") ~activity:openwrite;
+  B.flow_out_of b ~activity:openwrite ~occ:(occ "w");
+  B.flow_into b ~occ:(occ "w") ~activity:write;
+  B.flow_out_of b ~activity:write ~occ:(occ "w'");
+  B.flow_into b ~occ:(occ "w'") ~activity:close_w;
+  B.flow_out_of b ~activity:close_w ~occ:(occ "closed_w");
+  B.finish b
+
+(* Section 2.2, closed with an environment that drives the file through
+   complete open/operate/close sessions. *)
+let pepa_source =
+  {|
+    r_o = 2.0;
+    r_r = 10.0;
+    r_w = 5.0;
+    r_c = 4.0;
+    File = (openread, r_o).InStream + (openwrite, r_o).OutStream;
+    InStream = (read, r_r).InStream + (close, r_c).File;
+    OutStream = (write, r_w).OutStream + (close, r_c).File;
+    User = (openread, infty).(read, infty).(close, infty).User
+         + (openwrite, infty).(write, infty).(close, infty).User;
+    System = File <openread, openwrite, read, write, close> User;
+    system System;
+  |}
+
+let extraction () = Extract.Ad_to_pepanet.extract ~rates (diagram ())

@@ -1,0 +1,21 @@
+(** The paper's Figure 1 / Section 2.2 running example: a text file that
+    may be opened for reading or writing, operated on, and closed — with
+    no mobility.  Both the UML activity diagram and the hand-written
+    PEPA component of Section 2.2 are provided, so tests can check that
+    extraction agrees with the paper's own PEPA rendering. *)
+
+val diagram : unit -> Uml.Activity.t
+(** Figure 1: start -> decision -> (openread -> read | openwrite ->
+    write) -> close -> final, all activities associated with the [f]
+    object, no locations. *)
+
+val rates : Uml.Rates_file.t
+(** r_o = 2, r_r = 10, r_w = 5, r_c = 4 (the symbolic rates of Section
+    2.2, given concrete plausible values). *)
+
+val pepa_source : string
+(** The Section 2.2 File/InStream/OutStream component with a
+    sympathetic [Reader]/[Writer] environment closing the model, as a
+    parsable PEPA model. *)
+
+val extraction : unit -> Extract.Ad_to_pepanet.extraction

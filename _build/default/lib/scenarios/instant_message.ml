@@ -1,0 +1,86 @@
+module B = Uml.Activity.Build
+
+let rates =
+  Uml.Rates_file.of_string
+    {|
+      openwrite = 2.0
+      write = 5.0
+      close = 4.0
+      transmit = 1.5
+      openread = 2.0
+      read = 10.0
+      return_f = 8.0
+      default = 1.0
+    |}
+
+let diagram () =
+  let b = B.create "InstantMessage" in
+  let i = B.initial b in
+  let openwrite = B.action b "openwrite" in
+  let write = B.action b "write" in
+  let close_w = B.action b "close" in
+  let transmit = B.action ~move:true b "transmit" in
+  let openread = B.action b "openread" in
+  let read = B.action b "read" in
+  let close_r = B.action b "close" in
+  let fin = B.final b in
+  B.edge b i openwrite;
+  B.edge b openwrite write;
+  B.edge b write close_w;
+  B.edge b close_w transmit;
+  B.edge b transmit openread;
+  B.edge b openread read;
+  B.edge b read close_r;
+  B.edge b close_r fin;
+  let occ state loc = B.occurrence ~state ~loc b ~obj:"f" ~cls:"FILE" in
+  let o1 = occ "new" "p1" in
+  let o2 = occ "*" "p1" in
+  let o3 = occ "**" "p1" in
+  let o4 = occ "***" "p1" in
+  let o5 = occ "'" "p2" in
+  let o6 = occ "''" "p2" in
+  let o7 = occ "'''" "p2" in
+  let o8 = occ "''''" "p2" in
+  B.flow_into b ~occ:o1 ~activity:openwrite;
+  B.flow_out_of b ~activity:openwrite ~occ:o2;
+  B.flow_into b ~occ:o2 ~activity:write;
+  B.flow_out_of b ~activity:write ~occ:o3;
+  B.flow_into b ~occ:o3 ~activity:close_w;
+  B.flow_out_of b ~activity:close_w ~occ:o4;
+  B.flow_into b ~occ:o4 ~activity:transmit;
+  B.flow_out_of b ~activity:transmit ~occ:o5;
+  B.flow_into b ~occ:o5 ~activity:openread;
+  B.flow_out_of b ~activity:openread ~occ:o6;
+  B.flow_into b ~occ:o6 ~activity:read;
+  B.flow_out_of b ~activity:read ~occ:o7;
+  B.flow_into b ~occ:o7 ~activity:close_r;
+  B.flow_out_of b ~activity:close_r ~occ:o8;
+  B.finish b
+
+let pepanet_source =
+  {|
+    rt = 1.5;
+    ro = 2.0;
+    rw = 5.0;
+    rr = 10.0;
+    rc = 4.0;
+    rback = 8.0;
+    InstantMessage = (openwrite, ro).MsgOut;
+    MsgOut = (write, rw).MsgWritten;
+    MsgWritten = (close, rc).MsgReady;
+    MsgReady = (transmit, rt).File;
+    File = (openread, ro).InStream;
+    InStream = (read, rr).InStream + (close, rc).MsgDone;
+    MsgDone = (sendback, rback).InstantMessage;
+    FileReader = (openread, infty).(read, infty).(close, infty).FileReader;
+
+    token InstantMessage;
+
+    place P1 = InstantMessage[InstantMessage];
+    place P2 = InstantMessage[_] <openread, read, close> FileReader;
+
+    trans t_transmit = (transmit, rt) from P1 to P2;
+    trans t_sendback = (sendback, rback) from P2 to P1;
+  |}
+
+let extraction () = Extract.Ad_to_pepanet.extract ~rates (diagram ())

@@ -1,0 +1,18 @@
+(** The paper's Figure 2 / Section 2.2 instant-message example: the file
+    is written at one location, transmitted ([<<move>>]) to another and
+    read there — the smallest genuinely mobile model. *)
+
+val diagram : unit -> Uml.Activity.t
+(** Figure 2: openwrite -> write -> close -> transmit <<move>> ->
+    openread -> read -> close, with the message object at location [p1]
+    before the move and [p2] after. *)
+
+val rates : Uml.Rates_file.t
+
+val pepanet_source : string
+(** The hand-written PEPA net of Section 2.2: an [InstantMessage] token
+    moved by a [transmit] firing into a place where a static
+    [FileReader] processes it, extended with a return transition so that
+    the system is recurrent. *)
+
+val extraction : unit -> Extract.Ad_to_pepanet.extraction

@@ -1,0 +1,119 @@
+module B = Uml.Activity.Build
+
+let rates_text handover =
+  Printf.sprintf
+    {|
+      download_file = 2.0
+      detect_weak_signal = 10.0
+      search_for_other_transmitters = 5.0
+      handover = %g
+      abort_download = 4.0
+      continue_download = 4.0
+      return_ua = 1.0
+      default = 1.0
+    |}
+    handover
+
+let rates_with_handover h = Uml.Rates_file.of_string (rates_text h)
+let rates = rates_with_handover 0.5
+
+let activity_names =
+  [
+    "download_file";
+    "detect_weak_signal";
+    "search_for_other_transmitters";
+    "handover";
+    "abort_download";
+    "continue_download";
+  ]
+
+let diagram () =
+  let b = B.create "PDA" in
+  let i = B.initial b in
+  let download = B.action b "download file" in
+  let detect = B.action b "detect weak signal" in
+  let search = B.action b "search for other transmitters" in
+  let handover = B.action ~move:true b "handover" in
+  let dec = B.decision b in
+  let abort = B.action b "abort download" in
+  let continue = B.action b "continue download" in
+  let fin = B.final b in
+  B.edge b i download;
+  B.edge b download detect;
+  B.edge b detect search;
+  B.edge b search handover;
+  B.edge b handover dec;
+  B.edge b dec abort;
+  B.edge b dec continue;
+  B.edge b abort fin;
+  B.edge b continue fin;
+  let occ state loc = B.occurrence ~state ~loc b ~obj:"ua" ~cls:"UserAgent" in
+  let o1 = occ "initial" "transmitter_1" in
+  let o2 = occ "downloading" "transmitter_1" in
+  let o3 = occ "weak" "transmitter_1" in
+  let o4 = occ "searching" "transmitter_1" in
+  let o5 = occ "handed_over" "transmitter_2" in
+  let o6 = occ "done" "transmitter_2" in
+  B.flow_into b ~occ:o1 ~activity:download;
+  B.flow_out_of b ~activity:download ~occ:o2;
+  B.flow_into b ~occ:o2 ~activity:detect;
+  B.flow_out_of b ~activity:detect ~occ:o3;
+  B.flow_into b ~occ:o3 ~activity:search;
+  B.flow_out_of b ~activity:search ~occ:o4;
+  B.flow_into b ~occ:o4 ~activity:handover;
+  B.flow_out_of b ~activity:handover ~occ:o5;
+  B.flow_into b ~occ:o5 ~activity:abort;
+  B.flow_into b ~occ:o5 ~activity:continue;
+  B.flow_out_of b ~activity:abort ~occ:o6;
+  B.flow_out_of b ~activity:continue ~occ:o6;
+  B.finish b
+
+let extraction () = Extract.Ad_to_pepanet.extract ~rates (diagram ())
+
+(* The k-transmitter journey: at each boundary the PDA downloads,
+   notices the weakening signal, searches, and hands over to the next
+   transmitter; after the final segment the session ends. *)
+let diagram_with_transmitters k =
+  if k < 2 then invalid_arg "Pda.diagram_with_transmitters: need at least two transmitters";
+  let b = B.create (Printf.sprintf "PDA%d" k) in
+  let i = B.initial b in
+  let fin = B.final b in
+  let loc n = Printf.sprintf "transmitter_%d" n in
+  let previous = ref i in
+  let occ_at = ref (B.occurrence ~state:"initial" ~loc:(loc 1) b ~obj:"ua" ~cls:"UserAgent") in
+  for segment = 1 to k - 1 do
+    let download = B.action b (Printf.sprintf "download %d" segment) in
+    let detect = B.action b (Printf.sprintf "detect weak %d" segment) in
+    let handover = B.action ~move:true b (Printf.sprintf "handover %d" segment) in
+    B.edge b !previous download;
+    B.edge b download detect;
+    B.edge b detect handover;
+    B.flow_into b ~occ:!occ_at ~activity:download;
+    B.flow_into b ~occ:!occ_at ~activity:detect;
+    B.flow_into b ~occ:!occ_at ~activity:handover;
+    let arrived =
+      B.occurrence ~state:(Printf.sprintf "seg%d" segment) ~loc:(loc (segment + 1)) b
+        ~obj:"ua" ~cls:"UserAgent"
+    in
+    B.flow_out_of b ~activity:handover ~occ:arrived;
+    occ_at := arrived;
+    previous := handover
+  done;
+  let finish = B.action b "finish download" in
+  B.edge b !previous finish;
+  B.edge b finish fin;
+  B.flow_into b ~occ:!occ_at ~activity:finish;
+  B.finish b
+
+let rates_for_transmitters k =
+  let buf = Buffer.create 256 in
+  for segment = 1 to k - 1 do
+    Buffer.add_string buf (Printf.sprintf "download_%d = 2.0\n" segment);
+    Buffer.add_string buf (Printf.sprintf "detect_weak_%d = 10.0\n" segment);
+    Buffer.add_string buf (Printf.sprintf "handover_%d = 0.5\n" segment)
+  done;
+  Buffer.add_string buf "finish_download = 4.0\nreturn_ua = 1.0\ndefault = 1.0\n";
+  Uml.Rates_file.of_string (Buffer.contents buf)
+
+let poseidon_project () =
+  Uml.Poseidon.add_layout (Uml.Xmi_write.activity_to_xml (diagram ()))

@@ -1,0 +1,33 @@
+(** The paper's Section 5 evaluation scenario (Figures 5–7): a PDA user
+    on a moving train downloads dynamically generated content while the
+    connection is handed over between track-side transmitters.  The
+    handover is a [<<move>>] activity; it succeeds (download continues)
+    or fails (download aborted) with equal probability. *)
+
+val diagram : unit -> Uml.Activity.t
+
+val rates : Uml.Rates_file.t
+(** Plausible rates: downloads a few times per second relative to a slow
+    handover; abort and continue share one rate, giving the paper's
+    50/50 outcome split. *)
+
+val rates_with_handover : float -> Uml.Rates_file.t
+(** Same rate book with the handover rate replaced (for sweeps). *)
+
+val extraction : unit -> Extract.Ad_to_pepanet.extraction
+
+val poseidon_project : unit -> Xml_kit.Minixml.t
+(** The diagram serialised to XMI with simulated Poseidon layout data,
+    i.e. the artefact a designer would hand to Choreographer. *)
+
+val activity_names : string list
+(** The mangled PEPA action names of the six activities, in diagram
+    order. *)
+
+val diagram_with_transmitters : int -> Uml.Activity.t
+(** A generalisation of Figure 5 to a journey past [k >= 2] transmitters:
+    the train performs download/detect/search and a handover at each of
+    the [k - 1] transmitter boundaries.  Used to study how the marking
+    graph grows with the number of locations. *)
+
+val rates_for_transmitters : int -> Uml.Rates_file.t

@@ -1,0 +1,48 @@
+let pepanet_source =
+  {|
+    probe_r = 4.0;
+    log_r = 10.0;
+    hop_r = 1.0;
+    Agent = (probe, probe_r).Ready;
+    Ready = (hop, hop_r).Agent;
+    Monitor = (probe, infty).(log, log_r).Monitor;
+
+    token Agent;
+
+    place HostA = (Agent[Agent] <> Agent[Agent]) <probe> Monitor;
+    place HostB = (Agent[_] <> Agent[_]) <probe> Monitor;
+    place HostC = (Agent[_] <> Agent[_]) <probe> Monitor;
+
+    trans hop_ab = (hop, hop_r) from HostA to HostB;
+    trans hop_bc = (hop, hop_r) from HostB to HostC;
+    trans hop_ca = (hop, hop_r) from HostC to HostA;
+  |}
+
+let space () = Pepanet.Net_statespace.of_string pepanet_source
+
+let patrol_report () =
+  let space = space () in
+  let pi = Pepanet.Net_statespace.steady_state space in
+  let throughputs = Pepanet.Net_measures.throughputs space pi in
+  let locations = Pepanet.Net_measures.token_location_probabilities space pi ~token:0 in
+  let occupancy =
+    List.map
+      (fun place -> (place, Pepanet.Net_measures.expected_tokens_at space pi ~place))
+      [ "HostA"; "HostB"; "HostC" ]
+  in
+  (throughputs, locations, occupancy)
+
+let time_to_reach ~place ~token =
+  let space = space () in
+  let compiled = Pepanet.Net_statespace.compiled space in
+  let place_index = Pepanet.Net_compile.place_index compiled place in
+  let targets =
+    List.filter
+      (fun i ->
+        Pepanet.Marking.token_place compiled (Pepanet.Net_statespace.marking space i) token
+        = Some place_index)
+      (List.init (Pepanet.Net_statespace.n_markings space) Fun.id)
+  in
+  Markov.Passage.mean (Pepanet.Net_statespace.ctmc space)
+    ~sources:[ (Pepanet.Net_statespace.initial_index space, 1.0) ]
+    ~targets

@@ -1,0 +1,19 @@
+(** A mobile-agent scenario beyond the paper's worked examples, in the
+    spirit of its motivation ("a mobile software agent moving from one
+    network host to another"): two agents patrol a ring of three hosts,
+    probing each host's monitor before hopping on.  Exercises the
+    net features the smaller examples do not: several tokens of one
+    family, places with two cells, and static components shared by both
+    tokens. *)
+
+val pepanet_source : string
+
+val space : unit -> Pepanet.Net_statespace.t
+
+val patrol_report :
+  unit -> (string * float) list * (string * float) list * (string * float) list
+(** [(throughputs, agent0 locations, expected tokens per host)]. *)
+
+val time_to_reach : place:string -> token:int -> float
+(** Mean first-passage time for the given agent from the initial marking
+    to its first visit of the named host. *)

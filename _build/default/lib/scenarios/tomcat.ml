@@ -1,0 +1,95 @@
+let client () =
+  Uml.Statechart.make ~name:"Client"
+    ~states:[ "GenerateRequest"; "WaitForResponse"; "ProcessResponse" ]
+    ~transitions:
+      [
+        ("GenerateRequest", "WaitForResponse", "request", Some 1.0);
+        ("WaitForResponse", "ProcessResponse", "response", None);
+        ("ProcessResponse", "GenerateRequest", "offlineprocessing", Some 2.0);
+      ]
+    ()
+
+let server_jsp ?(translate = 2.0) ?(compile = 1.5) () =
+  Uml.Statechart.make ~name:"Server"
+    ~states:
+      [
+        "ServerIdle";
+        "ProcessRequest";
+        "AccessJSPFile";
+        "GeneratedJavaCode";
+        "CompiledJavaCode";
+        "SendHTTPResponse";
+      ]
+    ~transitions:
+      [
+        ("ServerIdle", "ProcessRequest", "request", None);
+        ("ProcessRequest", "AccessJSPFile", "locatejsp", Some 50.0);
+        ("AccessJSPFile", "GeneratedJavaCode", "translate", Some translate);
+        ("GeneratedJavaCode", "CompiledJavaCode", "compile", Some compile);
+        ("CompiledJavaCode", "SendHTTPResponse", "execute", Some 100.0);
+        ("SendHTTPResponse", "ServerIdle", "response", Some 50.0);
+      ]
+    ()
+
+let server_cached ?(translate = 2.0) ?(compile = 1.5) () =
+  Uml.Statechart.make ~name:"Server"
+    ~states:
+      [
+        "ColdIdle";
+        "ProcessRequest";
+        "AccessJSPFile";
+        "GeneratedJavaCode";
+        "CompiledJavaCode";
+        "SendFirstResponse";
+        "ServletResident";
+        "ServletLookup";
+        "ServletReady";
+        "SendHTTPResponse";
+      ]
+    ~transitions:
+      [
+        (* The first request pays the full translate-compile cycle... *)
+        ("ColdIdle", "ProcessRequest", "request", None);
+        ("ProcessRequest", "AccessJSPFile", "locatejsp", Some 50.0);
+        ("AccessJSPFile", "GeneratedJavaCode", "translate", Some translate);
+        ("GeneratedJavaCode", "CompiledJavaCode", "compile", Some compile);
+        ("CompiledJavaCode", "SendFirstResponse", "execute", Some 100.0);
+        ("SendFirstResponse", "ServletResident", "response", Some 50.0);
+        (* ...after which the servlet remains resident in the Web
+           container and requests bypass translation and compilation. *)
+        ("ServletResident", "ServletLookup", "request", None);
+        ("ServletLookup", "ServletReady", "locateservlet", Some 200.0);
+        ("ServletReady", "SendHTTPResponse", "execute", Some 100.0);
+        ("SendHTTPResponse", "ServletResident", "response", Some 50.0);
+      ]
+    ()
+
+type study = {
+  analysis : Choreographer.Workbench.pepa_analysis;
+  extraction : Extract.Sc_to_pepa.extraction;
+  request_throughput : float;
+  waiting_probability : float;
+  waiting_delay : float;
+}
+
+let study ~server =
+  let charts = [ client (); server ] in
+  let extraction = Extract.Sc_to_pepa.extract charts in
+  let analysis =
+    Choreographer.Workbench.analyse_pepa ~name:"Client+Server"
+      extraction.Extract.Sc_to_pepa.model
+  in
+  let request_throughput =
+    Option.value ~default:0.0
+      (Choreographer.Results.throughput analysis.Choreographer.Workbench.results "request")
+  in
+  let client_leaf = List.assoc "Client" extraction.Extract.Sc_to_pepa.chart_leaf in
+  let waiting_probability =
+    Option.value ~default:0.0
+      (List.assoc_opt "Client_WaitForResponse"
+         (Choreographer.Workbench.local_probabilities analysis ~leaf:client_leaf))
+  in
+  let waiting_delay =
+    if request_throughput = 0.0 then infinity else waiting_probability /. request_throughput
+  in
+  { analysis; extraction; request_throughput; waiting_probability; waiting_delay }

@@ -1,0 +1,1 @@
+lib/uml/activity.ml: Format Hashtbl List Option Printf String

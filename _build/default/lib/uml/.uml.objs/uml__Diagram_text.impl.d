@@ -1,0 +1,1 @@
+lib/uml/diagram_text.ml: Activity Array Buffer Fun Interaction List Printf Statechart String

@@ -1,0 +1,1 @@
+lib/uml/diagram_text.mli: Activity Interaction Statechart

@@ -1,0 +1,1 @@
+lib/uml/interaction.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/uml/mdr.ml: Format Hashtbl List Printf String Xml_kit

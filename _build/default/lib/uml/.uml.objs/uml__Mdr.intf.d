@@ -1,0 +1,1 @@
+lib/uml/mdr.mli: Xml_kit

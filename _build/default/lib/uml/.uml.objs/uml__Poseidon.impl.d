@@ -1,0 +1,1 @@
+lib/uml/poseidon.ml: Hashtbl List String Xml_kit

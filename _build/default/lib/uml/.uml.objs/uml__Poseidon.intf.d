@@ -1,0 +1,1 @@
+lib/uml/poseidon.mli: Xml_kit

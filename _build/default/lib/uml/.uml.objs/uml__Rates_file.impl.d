@@ -1,0 +1,1 @@
+lib/uml/rates_file.ml: Buffer Float Fun List Option Printf String

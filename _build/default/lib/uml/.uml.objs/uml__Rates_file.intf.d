@@ -1,0 +1,1 @@
+lib/uml/rates_file.mli:

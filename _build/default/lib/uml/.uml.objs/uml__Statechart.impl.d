@@ -1,0 +1,1 @@
+lib/uml/statechart.ml: Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/uml/xmi_read.ml: Activity Format Hashtbl Interaction List Option Statechart Xml_kit

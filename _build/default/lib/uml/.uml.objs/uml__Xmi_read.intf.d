@@ -1,0 +1,1 @@
+lib/uml/xmi_read.mli: Activity Interaction Statechart Xml_kit

@@ -1,0 +1,1 @@
+lib/uml/xmi_write.ml: Activity Interaction List Option Printf Statechart Xml_kit

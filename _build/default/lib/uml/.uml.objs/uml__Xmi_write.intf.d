@@ -1,0 +1,1 @@
+lib/uml/xmi_write.mli: Activity Interaction Statechart Xml_kit

@@ -1,0 +1,189 @@
+type direction = Into | Out_of
+
+type node_kind =
+  | Initial
+  | Final
+  | Action of { name : string; move : bool }
+  | Decision
+  | Fork
+  | Join
+
+type node = { node_id : string; kind : node_kind }
+
+type edge = { edge_id : string; source : string; target : string }
+
+type occurrence = {
+  occ_id : string;
+  obj_name : string;
+  class_name : string;
+  obj_state : string option;
+  atloc : string option;
+}
+
+type flow = { flow_id : string; occurrence : string; activity : string; direction : direction }
+
+type t = {
+  diagram_name : string;
+  nodes : node list;
+  edges : edge list;
+  occurrences : occurrence list;
+  flows : flow list;
+  annotations : (string * (string * string) list) list;
+}
+
+exception Invalid_diagram of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Invalid_diagram msg)) fmt
+
+let find_node d id = List.find_opt (fun n -> n.node_id = id) d.nodes
+
+let validate d =
+  let check_unique what ids =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun id ->
+        if Hashtbl.mem seen id then fail "duplicate %s id %s" what id
+        else Hashtbl.add seen id ())
+      ids
+  in
+  check_unique "node" (List.map (fun n -> n.node_id) d.nodes);
+  check_unique "edge" (List.map (fun e -> e.edge_id) d.edges);
+  check_unique "occurrence" (List.map (fun o -> o.occ_id) d.occurrences);
+  check_unique "flow" (List.map (fun f -> f.flow_id) d.flows);
+  let node_exists id = find_node d id <> None in
+  List.iter
+    (fun e ->
+      if not (node_exists e.source) then fail "edge %s has unknown source %s" e.edge_id e.source;
+      if not (node_exists e.target) then fail "edge %s has unknown target %s" e.edge_id e.target)
+    d.edges;
+  let occurrence_exists id = List.exists (fun o -> o.occ_id = id) d.occurrences in
+  List.iter
+    (fun f ->
+      if not (occurrence_exists f.occurrence) then
+        fail "flow %s refers to unknown occurrence %s" f.flow_id f.occurrence;
+      match find_node d f.activity with
+      | Some { kind = Action _; _ } -> ()
+      | Some _ -> fail "flow %s must attach to an action state (%s)" f.flow_id f.activity
+      | None -> fail "flow %s refers to unknown node %s" f.flow_id f.activity)
+    d.flows;
+  match List.filter (fun n -> n.kind = Initial) d.nodes with
+  | [ _ ] -> ()
+  | [] -> fail "the diagram has no initial node"
+  | _ -> fail "the diagram has more than one initial node"
+
+let action_nodes d =
+  List.filter (fun n -> match n.kind with Action _ -> true | _ -> false) d.nodes
+
+let actions_of_object d obj =
+  let occ_ids =
+    List.filter_map (fun o -> if o.obj_name = obj then Some o.occ_id else None) d.occurrences
+  in
+  List.filter_map
+    (fun f -> if List.mem f.occurrence occ_ids then Some f.activity else None)
+    d.flows
+  |> List.sort_uniq String.compare
+
+let dedup_keep_order items =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    items
+
+let object_names d = dedup_keep_order (List.map (fun o -> o.obj_name) d.occurrences)
+
+let locations d = dedup_keep_order (List.filter_map (fun o -> o.atloc) d.occurrences)
+
+let objects_of_activity d activity direction =
+  List.filter_map
+    (fun f ->
+      if f.activity = activity && f.direction = direction then
+        List.find_opt (fun o -> o.occ_id = f.occurrence) d.occurrences
+      else None)
+    d.flows
+
+let initial_node d =
+  match List.find_opt (fun n -> n.kind = Initial) d.nodes with
+  | Some n -> n
+  | None -> fail "the diagram has no initial node"
+
+let successors d id =
+  List.filter_map (fun e -> if e.source = id then Some e.target else None) d.edges
+
+let predecessors d id =
+  List.filter_map (fun e -> if e.target = id then Some e.source else None) d.edges
+
+let annotate d ~node_id ~tag ~value =
+  let existing = Option.value ~default:[] (List.assoc_opt node_id d.annotations) in
+  let updated = (tag, value) :: List.remove_assoc tag existing in
+  { d with annotations = (node_id, updated) :: List.remove_assoc node_id d.annotations }
+
+let annotation d ~node_id ~tag =
+  Option.bind (List.assoc_opt node_id d.annotations) (List.assoc_opt tag)
+
+module Build = struct
+  type diagram = t
+
+  type b = {
+    name : string;
+    mutable fresh : int;
+    mutable nodes : node list;
+    mutable edges : edge list;
+    mutable occurrences : occurrence list;
+    mutable flows : flow list;
+  }
+
+  let create name = { name; fresh = 0; nodes = []; edges = []; occurrences = []; flows = [] }
+
+  let next b prefix =
+    b.fresh <- b.fresh + 1;
+    Printf.sprintf "%s%d" prefix b.fresh
+
+  let add_node b kind =
+    let node_id = next b "n" in
+    b.nodes <- { node_id; kind } :: b.nodes;
+    node_id
+
+  let initial b = add_node b Initial
+  let final b = add_node b Final
+  let action ?(move = false) b name = add_node b (Action { name; move })
+  let decision b = add_node b Decision
+  let fork b = add_node b Fork
+  let join b = add_node b Join
+
+  let edge b source target =
+    b.edges <- { edge_id = next b "e"; source; target } :: b.edges
+
+  let occurrence ?state ?loc b ~obj ~cls =
+    let occ_id = next b "o" in
+    b.occurrences <-
+      { occ_id; obj_name = obj; class_name = cls; obj_state = state; atloc = loc }
+      :: b.occurrences;
+    occ_id
+
+  let flow_into b ~occ ~activity =
+    b.flows <-
+      { flow_id = next b "f"; occurrence = occ; activity; direction = Into } :: b.flows
+
+  let flow_out_of b ~activity ~occ =
+    b.flows <-
+      { flow_id = next b "f"; occurrence = occ; activity; direction = Out_of } :: b.flows
+
+  let finish b =
+    let d =
+      {
+        diagram_name = b.name;
+        nodes = List.rev b.nodes;
+        edges = List.rev b.edges;
+        occurrences = List.rev b.occurrences;
+        flows = List.rev b.flows;
+        annotations = [];
+      }
+    in
+    validate d;
+    d
+end

@@ -1,0 +1,495 @@
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Str of string
+  | Number of float
+  | Arrow
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Colon
+  | At
+  | Equals
+  | Eof
+
+type spanned = { token : token; line : int }
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "%S" s
+  | Str s -> Printf.sprintf "\"%s\"" s
+  | Number v -> Printf.sprintf "%g" v
+  | Arrow -> "'->'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Semi -> "';'"
+  | Colon -> "':'"
+  | At -> "'@'"
+  | Equals -> "'='"
+  | Eof -> "end of input"
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let n = String.length src in
+  let fail message = raise (Parse_error { line = !line; message }) in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let push token = tokens := { token; line = !line } :: !tokens in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '%' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if c = '-' && peek 1 = '>' then begin
+      push Arrow;
+      pos := !pos + 2
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      while !pos < n && src.[!pos] <> '"' do
+        if src.[!pos] = '\n' then fail "unterminated string";
+        Buffer.add_char buf src.[!pos];
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated string";
+      incr pos;
+      push (Str (Buffer.contents buf))
+    end
+    else if (c >= '0' && c <= '9') || (c = '.' && peek 1 >= '0' && peek 1 <= '9') then begin
+      let buf = Buffer.create 8 in
+      while
+        !pos < n
+        && ((src.[!pos] >= '0' && src.[!pos] <= '9') || src.[!pos] = '.' || src.[!pos] = 'e'
+           || src.[!pos] = 'E' || src.[!pos] = '-' && Buffer.length buf > 0
+              && (let last = Buffer.nth buf (Buffer.length buf - 1) in
+                  last = 'e' || last = 'E')
+           || (src.[!pos] = '+'
+              && Buffer.length buf > 0
+              &&
+              let last = Buffer.nth buf (Buffer.length buf - 1) in
+              last = 'e' || last = 'E'))
+      do
+        Buffer.add_char buf src.[!pos];
+        incr pos
+      done;
+      match float_of_string_opt (Buffer.contents buf) with
+      | Some v -> push (Number v)
+      | None -> fail (Printf.sprintf "malformed number %S" (Buffer.contents buf))
+    end
+    else if is_ident c then begin
+      let buf = Buffer.create 16 in
+      while !pos < n && is_ident src.[!pos] do
+        Buffer.add_char buf src.[!pos];
+        incr pos
+      done;
+      push (Ident (Buffer.contents buf))
+    end
+    else begin
+      (match c with
+      | '{' -> push Lbrace
+      | '}' -> push Rbrace
+      | ';' -> push Semi
+      | ':' -> push Colon
+      | '@' -> push At
+      | '=' -> push Equals
+      | c -> fail (Printf.sprintf "unexpected character %C" c));
+      incr pos
+    end
+  done;
+  push Eof;
+  Array.of_list (List.rev !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { tokens : spanned array; mutable index : int }
+
+let current st = st.tokens.(st.index)
+let peek st = (current st).token
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let error st message = raise (Parse_error { line = (current st).line; message })
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (token_to_string token)
+         (token_to_string (peek st)))
+
+let ident st =
+  match peek st with
+  | Ident s ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected an identifier but found %s" (token_to_string t))
+
+type builder = {
+  diagram_name : string;
+  mutable nodes : Activity.node list;
+  mutable edges : Activity.edge list;
+  mutable occurrences : Activity.occurrence list;
+  mutable flows : Activity.flow list;
+  mutable classes : (string * string) list;  (* object name -> class *)
+  mutable fresh : int;
+}
+
+let fresh b prefix =
+  b.fresh <- b.fresh + 1;
+  Printf.sprintf "%s%d" prefix b.fresh
+
+let declare_node st b node_id kind =
+  if List.exists (fun (n : Activity.node) -> n.Activity.node_id = node_id) b.nodes then
+    error st (Printf.sprintf "duplicate node id %s" node_id);
+  b.nodes <- b.nodes @ [ { Activity.node_id; kind } ]
+
+let is_occurrence b id = List.exists (fun o -> o.Activity.occ_id = id) b.occurrences
+let is_node b id = List.exists (fun (n : Activity.node) -> n.Activity.node_id = id) b.nodes
+
+let add_link st b source target =
+  match (is_occurrence b source, is_occurrence b target) with
+  | true, true -> error st "a flow cannot connect two occurrences"
+  | true, false ->
+      if not (is_node b target) then error st (Printf.sprintf "unknown node %s" target);
+      b.flows <-
+        b.flows
+        @ [ { Activity.flow_id = fresh b "f"; occurrence = source; activity = target;
+              direction = Activity.Into } ]
+  | false, true ->
+      if not (is_node b source) then error st (Printf.sprintf "unknown node %s" source);
+      b.flows <-
+        b.flows
+        @ [ { Activity.flow_id = fresh b "f"; occurrence = target; activity = source;
+              direction = Activity.Out_of } ]
+  | false, false ->
+      if not (is_node b source) then error st (Printf.sprintf "unknown node %s" source);
+      if not (is_node b target) then error st (Printf.sprintf "unknown node %s" target);
+      b.edges <- b.edges @ [ { Activity.edge_id = fresh b "e"; source; target } ]
+
+let parse_activity_statement st b =
+  match peek st with
+  | Ident "initial" ->
+      advance st;
+      declare_node st b (ident st) Activity.Initial;
+      expect st Semi
+  | Ident "final" ->
+      advance st;
+      declare_node st b (ident st) Activity.Final;
+      expect st Semi
+  | Ident "decision" ->
+      advance st;
+      declare_node st b (ident st) Activity.Decision;
+      expect st Semi
+  | Ident "fork" ->
+      advance st;
+      declare_node st b (ident st) Activity.Fork;
+      expect st Semi
+  | Ident "join" ->
+      advance st;
+      declare_node st b (ident st) Activity.Join;
+      expect st Semi
+  | Ident "action" ->
+      advance st;
+      let id = ident st in
+      let name =
+        match peek st with
+        | Str s ->
+            advance st;
+            s
+        | _ -> id
+      in
+      let move =
+        match peek st with
+        | Ident "move" ->
+            advance st;
+            true
+        | _ -> false
+      in
+      declare_node st b id (Activity.Action { name; move });
+      expect st Semi
+  | Ident "edge" ->
+      advance st;
+      let first = ident st in
+      let rec chain previous =
+        expect st Arrow;
+        let next = ident st in
+        add_link st b previous next;
+        match peek st with Arrow -> chain next | _ -> ()
+      in
+      chain first;
+      expect st Semi
+  | Ident "object" ->
+      advance st;
+      let name = ident st in
+      expect st Colon;
+      let cls = ident st in
+      if List.mem_assoc name b.classes then
+        error st (Printf.sprintf "duplicate object %s" name);
+      b.classes <- b.classes @ [ (name, cls) ];
+      expect st Semi
+  | Ident "occ" ->
+      advance st;
+      let occ_id = ident st in
+      if is_occurrence b occ_id || is_node b occ_id then
+        error st (Printf.sprintf "duplicate identifier %s" occ_id);
+      expect st Equals;
+      let obj_name = ident st in
+      let class_name =
+        match List.assoc_opt obj_name b.classes with
+        | Some c -> c
+        | None -> error st (Printf.sprintf "undeclared object %s" obj_name)
+      in
+      let atloc =
+        match peek st with
+        | At ->
+            advance st;
+            Some (ident st)
+        | _ -> None
+      in
+      let obj_state =
+        match peek st with
+        | Str s ->
+            advance st;
+            Some s
+        | _ -> None
+      in
+      b.occurrences <-
+        b.occurrences @ [ { Activity.occ_id; obj_name; class_name; obj_state; atloc } ];
+      expect st Semi
+  | Ident source ->
+      advance st;
+      expect st Arrow;
+      let rec chain previous =
+        let next = ident st in
+        add_link st b previous next;
+        match peek st with
+        | Arrow ->
+            advance st;
+            chain next
+        | _ -> ()
+      in
+      chain source;
+      expect st Semi
+  | t -> error st (Printf.sprintf "expected an activity statement but found %s" (token_to_string t))
+
+let parse_activity st name =
+  let b =
+    { diagram_name = name; nodes = []; edges = []; occurrences = []; flows = [];
+      classes = []; fresh = 0 }
+  in
+  expect st Lbrace;
+  while peek st <> Rbrace do
+    parse_activity_statement st b
+  done;
+  expect st Rbrace;
+  let diagram =
+    {
+      Activity.diagram_name = b.diagram_name;
+      nodes = b.nodes;
+      edges = b.edges;
+      occurrences = b.occurrences;
+      flows = b.flows;
+      annotations = [];
+    }
+  in
+  (try Activity.validate diagram
+   with Activity.Invalid_diagram msg ->
+     raise (Parse_error { line = (current st).line; message = msg }));
+  diagram
+
+let parse_statechart st name =
+  expect st Lbrace;
+  let states = ref [] in
+  let transitions = ref [] in
+  let initial = ref None in
+  while peek st <> Rbrace do
+    match peek st with
+    | Ident "initial" ->
+        advance st;
+        initial := Some (ident st);
+        expect st Semi
+    | Ident "state" ->
+        advance st;
+        states := ident st :: !states;
+        expect st Semi
+    | Ident source ->
+        advance st;
+        expect st Arrow;
+        let target = ident st in
+        expect st Colon;
+        let trigger = ident st in
+        let rate =
+          match peek st with
+          | At -> (
+              advance st;
+              match peek st with
+              | Number v ->
+                  advance st;
+                  Some v
+              | t -> error st (Printf.sprintf "expected a rate but found %s" (token_to_string t)))
+          | _ -> None
+        in
+        transitions := (source, target, trigger, rate) :: !transitions;
+        expect st Semi
+    | t ->
+        error st (Printf.sprintf "expected a statechart statement but found %s" (token_to_string t))
+  done;
+  expect st Rbrace;
+  try
+    Statechart.make ~name ~states:(List.rev !states) ~transitions:(List.rev !transitions)
+      ?initial:!initial ()
+  with Statechart.Invalid_chart msg ->
+    raise (Parse_error { line = (current st).line; message = msg })
+
+let parse_interaction st name =
+  expect st Lbrace;
+  let messages = ref [] in
+  while peek st <> Rbrace do
+    let sender = ident st in
+    expect st Arrow;
+    let receiver = ident st in
+    expect st Colon;
+    let action = ident st in
+    expect st Semi;
+    messages := (sender, receiver, action) :: !messages
+  done;
+  expect st Rbrace;
+  try Interaction.make ~name ~messages:(List.rev !messages)
+  with Interaction.Invalid_interaction msg ->
+    raise (Parse_error { line = (current st).line; message = msg })
+
+let parse_document src =
+  let st = { tokens = tokenize src; index = 0 } in
+  let activities = ref [] and charts = ref [] and interactions = ref [] in
+  while peek st <> Eof do
+    match peek st with
+    | Ident "activity" ->
+        advance st;
+        let name = ident st in
+        activities := parse_activity st name :: !activities
+    | Ident "statechart" ->
+        advance st;
+        let name = ident st in
+        charts := parse_statechart st name :: !charts
+    | Ident "interaction" ->
+        advance st;
+        let name = ident st in
+        interactions := parse_interaction st name :: !interactions
+    | t ->
+        error st
+          (Printf.sprintf "expected 'activity', 'statechart' or 'interaction' but found %s"
+             (token_to_string t))
+  done;
+  (List.rev !activities, List.rev !charts, List.rev !interactions)
+
+let parse src =
+  let activities, charts, _ = parse_document src in
+  (activities, charts)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path = parse (read_file path)
+let parse_document_file path = parse_document (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let activity_to_string (d : Activity.t) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n")) fmt in
+  Buffer.add_string buf (Printf.sprintf "activity %s {\n" d.Activity.diagram_name);
+  List.iter
+    (fun (n : Activity.node) ->
+      match n.Activity.kind with
+      | Activity.Initial -> line "initial %s;" n.Activity.node_id
+      | Activity.Final -> line "final %s;" n.Activity.node_id
+      | Activity.Decision -> line "decision %s;" n.Activity.node_id
+      | Activity.Fork -> line "fork %s;" n.Activity.node_id
+      | Activity.Join -> line "join %s;" n.Activity.node_id
+      | Activity.Action { name; move } ->
+          line "action %s \"%s\"%s;" n.Activity.node_id name (if move then " move" else ""))
+    d.Activity.nodes;
+  let objects =
+    List.fold_left
+      (fun acc o ->
+        if List.mem_assoc o.Activity.obj_name acc then acc
+        else acc @ [ (o.Activity.obj_name, o.Activity.class_name) ])
+      [] d.Activity.occurrences
+  in
+  List.iter (fun (name, cls) -> line "object %s : %s;" name cls) objects;
+  List.iter
+    (fun (o : Activity.occurrence) ->
+      line "occ %s = %s%s%s;" o.Activity.occ_id o.Activity.obj_name
+        (match o.Activity.atloc with Some l -> " @ " ^ l | None -> "")
+        (match o.Activity.obj_state with Some s -> Printf.sprintf " \"%s\"" s | None -> ""))
+    d.Activity.occurrences;
+  List.iter
+    (fun (e : Activity.edge) -> line "%s -> %s;" e.Activity.source e.Activity.target)
+    d.Activity.edges;
+  List.iter
+    (fun (f : Activity.flow) ->
+      match f.Activity.direction with
+      | Activity.Into -> line "%s -> %s;" f.Activity.occurrence f.Activity.activity
+      | Activity.Out_of -> line "%s -> %s;" f.Activity.activity f.Activity.occurrence)
+    d.Activity.flows;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let statechart_to_string (c : Statechart.t) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n")) fmt in
+  Buffer.add_string buf (Printf.sprintf "statechart %s {\n" c.Statechart.chart_name);
+  let name_of id =
+    match List.find_opt (fun s -> s.Statechart.state_id = id) c.Statechart.states with
+    | Some s -> s.Statechart.state_name
+    | None -> id
+  in
+  line "initial %s;" (name_of c.Statechart.initial);
+  List.iter (fun s -> line "state %s;" s.Statechart.state_name) c.Statechart.states;
+  List.iter
+    (fun (t : Statechart.transition) ->
+      line "%s -> %s : %s%s;" (name_of t.Statechart.source) (name_of t.Statechart.target)
+        t.Statechart.trigger
+        (match t.Statechart.rate with Some r -> Printf.sprintf " @ %.12g" r | None -> ""))
+    c.Statechart.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let interaction_to_string (i : Interaction.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "interaction %s {\n" i.Interaction.interaction_name);
+  List.iter
+    (fun (m : Interaction.message) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s : %s;\n" m.Interaction.sender m.Interaction.receiver
+           m.Interaction.msg_action))
+    i.Interaction.messages;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let document_to_string ?(interactions = []) activities charts =
+  String.concat "\n"
+    (List.map activity_to_string activities
+    @ List.map statechart_to_string charts
+    @ List.map interaction_to_string interactions)

@@ -1,0 +1,48 @@
+(** A plain-text notation for the UML subset, so that models can be
+    written and versioned without a drawing tool.  The Choreographer CLI
+    accepts these files alongside XMI; {!to_string} and {!parse} round
+    trip (tested).
+
+    Grammar (comments run from ['%'] to end of line):
+    {v
+      document   ::= diagram*
+      diagram    ::= "activity" Name "{" a-stmt* "}"
+                   | "statechart" Name "{" s-stmt* "}"
+                   | "interaction" Name "{" (name "->" name ":" action ";")* "}"
+
+      a-stmt     ::= "initial" id ";" | "final" id ";"
+                   | "decision" id ";" | "fork" id ";" | "join" id ";"
+                   | "action" id (string)? ("move")? ";"
+                   | "edge" id ("->" id)+ ";"
+                   | "object" name ":" Class ";"
+                   | "occ" id "=" name ("@" loc)? (string)? ";"
+                   | id "->" id ";"        (flow or control edge by kind)
+
+      s-stmt     ::= "initial" Name ";"
+                   | "state" Name ";"
+                   | Name "->" Name ":" trigger ("@" number)? ";"
+    v}
+
+    In an activity diagram, an [id -> id] line whose endpoints are an
+    occurrence and an action state declares an object flow (direction by
+    position); between two control nodes it is a control edge.  An
+    action state's display name defaults to its identifier; the optional
+    string overrides it (e.g. ["download file"]).  The optional string of
+    an occurrence is the object's state decoration. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Activity.t list * Statechart.t list
+val parse_file : string -> Activity.t list * Statechart.t list
+
+val parse_document :
+  string -> Activity.t list * Statechart.t list * Interaction.t list
+
+val parse_document_file :
+  string -> Activity.t list * Statechart.t list * Interaction.t list
+
+val activity_to_string : Activity.t -> string
+val statechart_to_string : Statechart.t -> string
+val interaction_to_string : Interaction.t -> string
+val document_to_string :
+  ?interactions:Interaction.t list -> Activity.t list -> Statechart.t list -> string

@@ -1,0 +1,37 @@
+type message = { sender : string; receiver : string; msg_action : string }
+
+type t = { interaction_name : string; messages : message list }
+
+exception Invalid_interaction of string
+
+let make ~name ~messages =
+  if messages = [] then
+    raise (Invalid_interaction (Printf.sprintf "interaction %s has no message" name));
+  {
+    interaction_name = name;
+    messages =
+      List.map (fun (sender, receiver, msg_action) -> { sender; receiver; msg_action }) messages;
+  }
+
+let allows interactions ~action o1 o2 =
+  match interactions with
+  | [] -> true
+  | _ ->
+      List.exists
+        (fun i ->
+          List.exists
+            (fun m ->
+              m.msg_action = action
+              && ((m.sender = o1 && m.receiver = o2) || (m.sender = o2 && m.receiver = o1)))
+            i.messages)
+        interactions
+
+let participants t =
+  let seen = Hashtbl.create 8 in
+  List.concat_map (fun m -> [ m.sender; m.receiver ]) t.messages
+  |> List.filter (fun name ->
+         if Hashtbl.mem seen name then false
+         else begin
+           Hashtbl.add seen name ();
+           true
+         end)

@@ -1,0 +1,28 @@
+(** Interaction (collaboration) diagrams, reduced to what the paper's
+    Section 6 wants them for: "Interaction diagrams ... would permit
+    explicit definition of which components cooperate with each other.
+    This becomes particularly important if several mobile and static
+    components are considered at one place."
+
+    An interaction lists messages between objects; when interactions are
+    supplied to the extractor, two tokens cooperate on a shared activity
+    only if some interaction carries a message with that activity name
+    between the two objects (in either direction). *)
+
+type message = { sender : string; receiver : string; msg_action : string }
+
+type t = { interaction_name : string; messages : message list }
+
+exception Invalid_interaction of string
+
+val make : name:string -> messages:(string * string * string) list -> t
+(** [(sender, receiver, action)] triples; must be non-empty. *)
+
+val allows : t list -> action:string -> string -> string -> bool
+(** [allows interactions ~action o1 o2]: does some interaction carry a
+    message named [action] between [o1] and [o2] (either direction)?
+    With an empty interaction list, everything is allowed (the default
+    behaviour of the paper's current tool). *)
+
+val participants : t -> string list
+(** Distinct object names, in first-appearance order. *)

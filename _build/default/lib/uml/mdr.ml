@@ -1,0 +1,253 @@
+module X = Xml_kit.Minixml
+
+type element = {
+  id : string;
+  kind : string;
+  attributes : (string * string) list;
+  children : string list;
+  parent : string option;
+  text : string option;
+  synthetic_id : bool;
+}
+
+type t = {
+  table : (string, element) Hashtbl.t;
+  mutable order : string list;  (* document order, reversed *)
+  mutable root : string option;
+  mutable fresh : int;
+}
+
+exception Metamodel_violation of string
+exception Unknown_element of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Metamodel_violation msg)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* The metamodel table: kind -> (required attributes, allowed children) *)
+(* ------------------------------------------------------------------ *)
+
+let metamodel : (string * (string list * string list)) list =
+  [
+    ("XMI", ([ "xmi.version" ], [ "XMI.header"; "XMI.content" ]));
+    ("XMI.header", ([], [ "XMI.documentation" ]));
+    ("XMI.documentation", ([], [ "XMI.exporter"; "XMI.exporterVersion" ]));
+    ("XMI.exporter", ([], []));
+    ("XMI.exporterVersion", ([], []));
+    ("XMI.content", ([], [ "UML:Model" ]));
+    ("UML:Model", ([ "name" ], [ "UML:Namespace.ownedElement" ]));
+    ( "UML:Namespace.ownedElement",
+      ([], [ "UML:ActivityGraph"; "UML:StateMachine"; "UML:Class"; "UML:Collaboration" ]) );
+    ("UML:Collaboration", ([ "name" ], [ "UML:Collaboration.interaction" ]));
+    ("UML:Collaboration.interaction", ([], [ "UML:Interaction" ]));
+    ("UML:Interaction", ([], [ "UML:Interaction.message" ]));
+    ("UML:Interaction.message", ([], [ "UML:Message" ]));
+    ("UML:Message", ([ "name"; "sender"; "receiver" ], []));
+    ("UML:Class", ([ "name" ], []));
+    ("UML:ActivityGraph", ([ "name" ], [ "UML:StateMachine.top"; "UML:StateMachine.transitions" ]));
+    ("UML:StateMachine", ([ "name" ], [ "UML:StateMachine.top"; "UML:StateMachine.transitions" ]));
+    ("UML:StateMachine.top", ([], [ "UML:CompositeState" ]));
+    ("UML:CompositeState", ([], [ "UML:CompositeState.subvertex" ]));
+    ( "UML:CompositeState.subvertex",
+      ( [],
+        [
+          "UML:Pseudostate";
+          "UML:ActionState";
+          "UML:FinalState";
+          "UML:ObjectFlowState";
+          "UML:SimpleState";
+        ] ) );
+    ("UML:Pseudostate", ([ "kind" ], []));
+    ("UML:FinalState", ([], []));
+    ( "UML:ActionState",
+      ([ "name" ], [ "UML:ModelElement.stereotype"; "UML:ModelElement.taggedValue" ]) );
+    ("UML:SimpleState", ([ "name" ], [ "UML:ModelElement.taggedValue" ]));
+    ("UML:ObjectFlowState", ([ "name" ], [ "UML:ModelElement.taggedValue" ]));
+    ("UML:StateMachine.transitions", ([], [ "UML:Transition" ]));
+    ( "UML:Transition",
+      ([ "source"; "target" ], [ "UML:Transition.trigger"; "UML:ModelElement.taggedValue" ]) );
+    ("UML:Transition.trigger", ([], [ "UML:Event" ]));
+    ("UML:Event", ([ "name" ], []));
+    ("UML:ModelElement.stereotype", ([], [ "UML:Stereotype" ]));
+    ("UML:Stereotype", ([ "name" ], []));
+    ("UML:ModelElement.taggedValue", ([], [ "UML:TaggedValue" ]));
+    ("UML:TaggedValue", ([ "tag"; "value" ], []));
+  ]
+
+let metamodel_entry kind =
+  match List.assoc_opt kind metamodel with
+  | Some entry -> entry
+  | None -> fail "element kind %s is not part of the UML metamodel" kind
+
+let create () = { table = Hashtbl.create 128; order = []; root = None; fresh = 0 }
+
+let fresh_id repo =
+  repo.fresh <- repo.fresh + 1;
+  Printf.sprintf "_mdr%d" repo.fresh
+
+let store repo element =
+  if Hashtbl.mem repo.table element.id then fail "duplicate xmi.id %s" element.id;
+  Hashtbl.add repo.table element.id element;
+  repo.order <- element.id :: repo.order
+
+(* ------------------------------------------------------------------ *)
+(* Import                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let import_xmi repo doc =
+  if repo.root <> None then fail "the repository already holds a model";
+  let rec import parent node =
+    match node with
+    | X.Element (kind, attrs, kids) ->
+        let required, allowed_children = metamodel_entry kind in
+        List.iter
+          (fun key ->
+            if not (List.mem_assoc key attrs) then
+              fail "<%s> is missing the required attribute %s" kind key)
+          required;
+        let id, synthetic_id =
+          match List.assoc_opt "xmi.id" attrs with
+          | Some id -> (id, false)
+          | None -> (fresh_id repo, true)
+        in
+        let attributes = List.filter (fun (k, _) -> k <> "xmi.id") attrs in
+        let child_elements =
+          List.filter (function X.Element _ -> true | _ -> false) kids
+        in
+        List.iter
+          (fun child ->
+            let child_kind = X.name child in
+            if not (List.mem child_kind allowed_children) then
+              fail "<%s> may not own <%s>" kind child_kind)
+          child_elements;
+        let text =
+          match
+            List.filter_map
+              (function
+                | X.Text s | X.Cdata s -> if String.trim s = "" then None else Some s
+                | _ -> None)
+              kids
+          with
+          | [] -> None
+          | parts -> Some (String.concat "" parts)
+        in
+        let children = List.map (import (Some id)) child_elements in
+        store repo { id; kind; attributes; children; parent; text; synthetic_id };
+        id
+    | _ -> fail "only elements can be imported"
+  in
+  match doc with
+  | X.Element ("XMI", _, _) -> repo.root <- Some (import None doc)
+  | X.Element (kind, _, _) -> fail "expected an <XMI> document, found <%s>" kind
+  | _ -> fail "expected an <XMI> document"
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find repo id =
+  match Hashtbl.find_opt repo.table id with
+  | Some e -> e
+  | None -> raise (Unknown_element id)
+
+let find_opt repo id = Hashtbl.find_opt repo.table id
+
+let export_xmi repo =
+  match repo.root with
+  | None -> fail "the repository is empty"
+  | Some root ->
+      let rec export id =
+        let e = find repo id in
+        let attrs =
+          if e.synthetic_id then e.attributes
+          else
+            (* Re-insert xmi.id after any namespace declarations, matching
+               writer output. *)
+            let rec insert = function
+              | (k, v) :: rest when String.length k >= 6 && String.sub k 0 6 = "xmlns:" ->
+                  (k, v) :: insert rest
+              | rest -> ("xmi.id", e.id) :: rest
+            in
+            insert e.attributes
+        in
+        let text_children = match e.text with Some s -> [ X.Text s ] | None -> [] in
+        X.Element (e.kind, attrs, text_children @ List.map export e.children)
+      in
+      export root
+
+(* ------------------------------------------------------------------ *)
+(* Reflective access                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let elements_of_kind repo kind =
+  List.rev repo.order
+  |> List.filter_map (fun id ->
+         let e = find repo id in
+         if e.kind = kind then Some e else None)
+
+let attribute repo ~id key = List.assoc_opt key (find repo id).attributes
+
+let set_attribute repo ~id ~key ~value =
+  let e = find repo id in
+  let attributes =
+    if List.mem_assoc key e.attributes then
+      List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) e.attributes
+    else e.attributes @ [ (key, value) ]
+  in
+  Hashtbl.replace repo.table id { e with attributes }
+
+let add_child repo ~parent child_id =
+  let e = find repo parent in
+  Hashtbl.replace repo.table parent { e with children = e.children @ [ child_id ] }
+
+let set_tagged_value repo ~id ~tag ~value =
+  let e = find repo id in
+  let _, allowed = metamodel_entry e.kind in
+  if not (List.mem "UML:ModelElement.taggedValue" allowed) then
+    fail "<%s> elements cannot carry tagged values" e.kind;
+  let wrapper_id =
+    match
+      List.find_opt
+        (fun cid -> (find repo cid).kind = "UML:ModelElement.taggedValue")
+        e.children
+    with
+    | Some cid -> cid
+    | None ->
+        let wrapper_id = fresh_id repo in
+        store repo
+          {
+            id = wrapper_id;
+            kind = "UML:ModelElement.taggedValue";
+            attributes = [];
+            children = [];
+            parent = Some id;
+            text = None;
+            synthetic_id = true;
+          };
+        add_child repo ~parent:id wrapper_id;
+        wrapper_id
+  in
+  let wrapper = find repo wrapper_id in
+  let existing =
+    List.find_opt
+      (fun cid ->
+        let child = find repo cid in
+        child.kind = "UML:TaggedValue" && List.assoc_opt "tag" child.attributes = Some tag)
+      wrapper.children
+  in
+  match existing with
+  | Some cid -> set_attribute repo ~id:cid ~key:"value" ~value
+  | None ->
+      let tv_id = fresh_id repo in
+      store repo
+        {
+          id = tv_id;
+          kind = "UML:TaggedValue";
+          attributes = [ ("tag", tag); ("value", value) ];
+          children = [];
+          parent = Some wrapper_id;
+          text = None;
+          synthetic_id = true;
+        };
+      add_child repo ~parent:wrapper_id tv_id
+
+let size repo = Hashtbl.length repo.table

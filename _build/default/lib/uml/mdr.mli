@@ -1,0 +1,66 @@
+(** A miniature metadata repository, standing in for NetBeans MDR.
+
+    The repository stores a UML model as a graph of elements keyed by
+    [xmi.id], validated on import against a metamodel table (element
+    kinds, their allowed children and required attributes) for the UML
+    1.4 subset this tool chain manipulates.  It supports the operations
+    the paper relies on: import of an XMI document into a metamodel
+    instance, reflective navigation and update, and export back to XMI.
+
+    Unlike a DOM, the repository rejects structurally invalid documents
+    at import time, which is what made the paper's extractor trustworthy:
+    downstream code only ever sees metamodel-conformant data. *)
+
+type t
+
+type element = {
+  id : string;
+  kind : string;                       (** e.g. ["UML:ActionState"] *)
+  attributes : (string * string) list; (** excluding [xmi.id] *)
+  children : string list;              (** ids of owned elements *)
+  parent : string option;
+  text : string option;                (** character data, for leaf
+                                           documentation elements *)
+  synthetic_id : bool;                 (** the element had no [xmi.id] in
+                                           the source document; the id was
+                                           generated and is omitted on
+                                           export *)
+}
+
+exception Metamodel_violation of string
+exception Unknown_element of string
+
+val create : unit -> t
+
+val import_xmi : t -> Xml_kit.Minixml.t -> unit
+(** Validate and load a document.  Raises {!Metamodel_violation} when an
+    element kind is unknown to the metamodel, appears under a parent that
+    may not own it, lacks a required attribute, or reuses an [xmi.id].
+    Tool-specific elements (e.g. Poseidon layout) are rejected — run the
+    preprocessor first. *)
+
+val export_xmi : t -> Xml_kit.Minixml.t
+(** Serialise the repository contents back to an XMI document.  For a
+    document that was imported unchanged, export is the identity up to
+    insignificant whitespace (tested). *)
+
+val find : t -> string -> element
+(** Raises {!Unknown_element}. *)
+
+val find_opt : t -> string -> element option
+
+val elements_of_kind : t -> string -> element list
+(** In document order. *)
+
+val attribute : t -> id:string -> string -> string option
+
+val set_attribute : t -> id:string -> key:string -> value:string -> unit
+(** Reflective update of an element's attribute. *)
+
+val set_tagged_value : t -> id:string -> tag:string -> value:string -> unit
+(** Attach (or update) a [UML:TaggedValue] under the element's
+    [UML:ModelElement.taggedValue] wrapper, creating the wrapper when
+    needed — this is how reflected performance results are stored. *)
+
+val size : t -> int
+(** Number of stored elements. *)

@@ -1,0 +1,97 @@
+module X = Xml_kit.Minixml
+
+let prefix = "Poseidon:"
+
+let has_prefix ~prefix name =
+  String.length name >= String.length prefix && String.sub name 0 (String.length prefix) = prefix
+
+let strip ?(prefix = prefix) doc =
+  X.filter_children
+    (fun node ->
+      match node with
+      | X.Element (name, _, _) -> not (has_prefix ~prefix name)
+      | _ -> true)
+    doc
+
+(* Collect outermost tool-prefixed elements: once a node matches, its
+   children travel with it rather than being collected again. *)
+let layout_of ?(prefix = prefix) doc =
+  let rec collect node =
+    match node with
+    | X.Element (name, _, children) ->
+        if has_prefix ~prefix name then [ node ] else List.concat_map collect children
+    | _ -> []
+  in
+  match doc with X.Element (_, _, children) -> List.concat_map collect children | _ -> []
+
+let ids_of doc =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun node ->
+      match X.attribute "xmi.id" node with
+      | Some id -> Hashtbl.replace table id ()
+      | None -> ())
+    (Xml_kit.Xpath_lite.descendants doc);
+  table
+
+let prune_layout ids node =
+  match node with
+  | X.Element (name, attrs, children) ->
+      let children =
+        List.filter
+          (fun child ->
+            match X.attribute "element" child with
+            | Some id -> Hashtbl.mem ids id
+            | None -> true)
+          children
+      in
+      X.Element (name, attrs, children)
+  | _ -> node
+
+let append_to_content extra doc =
+  match doc with
+  | X.Element (tag, attrs, children) ->
+      let appended = ref false in
+      let children =
+        List.map
+          (fun child ->
+            if X.name child = "XMI.content" then begin
+              appended := true;
+              List.fold_left (fun acc e -> X.add_child e acc) child extra
+            end
+            else child)
+          children
+      in
+      if !appended then X.Element (tag, attrs, children)
+      else X.Element (tag, attrs, children @ extra)
+  | _ -> doc
+
+let merge ?(prefix = prefix) ~original ~reflected () =
+  let layout = layout_of ~prefix original in
+  let ids = ids_of reflected in
+  let kept = List.map (prune_layout ids) layout in
+  append_to_content kept (strip ~prefix reflected)
+
+(* A deterministic grid layout keyed by the document's element ids. *)
+let synthesize_layout doc =
+  let entries =
+    Xml_kit.Xpath_lite.descendants doc
+    |> List.filter_map (fun node -> X.attribute "xmi.id" node)
+    |> List.mapi (fun i id ->
+           X.Element
+             ( "Poseidon:NodeLayout",
+               [
+                 ("element", id);
+                 ("x", string_of_int (40 + (120 * (i mod 5))));
+                 ("y", string_of_int (40 + (90 * (i / 5))));
+                 ("width", "100");
+                 ("height", "40");
+               ],
+               [] ))
+  in
+  X.Element
+    ( "Poseidon:DiagramLayout",
+      [ ("xmlns:Poseidon", "com.gentleware.poseidon.layout") ],
+      entries )
+
+let add_layout doc = append_to_content [ synthesize_layout doc ] doc

@@ -1,0 +1,40 @@
+(** The Poseidon pre- and postprocessor of the paper's Figure 4.
+
+    Poseidon for UML stored diagram layout in additional elements of the
+    XMI file that do not conform to the UML metamodel, so a
+    metamodel-driven repository rejects or loses them.  The preprocessor
+    separates the metamodel-conformant part from the tool-specific part;
+    after reflection the postprocessor merges the new structural
+    information with the old layout data, reusing the original layout
+    wherever possible.
+
+    Tool-specific content is recognised by its namespace prefix
+    ([Poseidon:] by default), wherever it occurs in the document. *)
+
+val prefix : string
+(** ["Poseidon:"]. *)
+
+val strip : ?prefix:string -> Xml_kit.Minixml.t -> Xml_kit.Minixml.t
+(** The preprocessor: remove every element whose name carries the
+    tool prefix.  The result is pure metamodel-conformant XMI. *)
+
+val layout_of : ?prefix:string -> Xml_kit.Minixml.t -> Xml_kit.Minixml.t list
+(** The tool-specific elements of a document, in document order. *)
+
+val merge : ?prefix:string -> original:Xml_kit.Minixml.t -> reflected:Xml_kit.Minixml.t -> unit -> Xml_kit.Minixml.t
+(** The postprocessor: re-attach the [original] document's layout
+    elements to the [reflected] document (appending them to
+    [XMI.content], where Poseidon keeps them).  Layout entries that
+    reference elements no longer present in the reflected document are
+    dropped. *)
+
+val synthesize_layout : Xml_kit.Minixml.t -> Xml_kit.Minixml.t
+(** Generate a deterministic fake Poseidon layout section for a document
+    (a [Poseidon:DiagramLayout] with one node entry per [xmi.id]).  Used
+    by examples and tests to simulate files saved by the drawing
+    tool. *)
+
+val add_layout : Xml_kit.Minixml.t -> Xml_kit.Minixml.t
+(** [add_layout doc] appends {!synthesize_layout} output to the
+    document's [XMI.content], producing a simulated Poseidon project
+    file. *)

@@ -1,0 +1,30 @@
+(** The ".rates" companion file of Figure 4: activity names mapped to
+    exponential rates, supplied alongside the UML model because drawing
+    tools have no native notion of a rate.
+
+    Syntax (one binding per line):
+    {v
+      % comment
+      download_file = 2.0
+      handover = 0.5
+      default = 1.0        % used for activities not listed
+    v} *)
+
+type t
+
+exception Syntax_error of { line : int; message : string }
+
+val empty : t
+val of_string : string -> t
+val of_file : string -> t
+val to_string : t -> string
+
+val add : t -> string -> float -> t
+val rate : t -> string -> float
+(** The bound rate, or the [default] binding, or [1.0]. *)
+
+val rate_opt : t -> string -> float option
+(** The explicitly bound rate only. *)
+
+val bindings : t -> (string * float) list
+val with_default : t -> float -> t

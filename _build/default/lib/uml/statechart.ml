@@ -1,0 +1,104 @@
+type state = { state_id : string; state_name : string }
+
+type transition = {
+  transition_id : string;
+  source : string;
+  target : string;
+  trigger : string;
+  rate : float option;
+}
+
+type t = {
+  chart_name : string;
+  states : state list;
+  transitions : transition list;
+  initial : string;
+  state_annotations : (string * (string * string) list) list;
+}
+
+exception Invalid_chart of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Invalid_chart msg)) fmt
+
+let validate c =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.state_id then fail "duplicate state id %s" s.state_id
+      else Hashtbl.add seen s.state_id ())
+    c.states;
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem names s.state_name then fail "duplicate state name %s" s.state_name
+      else Hashtbl.add names s.state_name ())
+    c.states;
+  let exists id = List.exists (fun s -> s.state_id = id) c.states in
+  List.iter
+    (fun t ->
+      if not (exists t.source) then
+        fail "transition %s has unknown source %s" t.transition_id t.source;
+      if not (exists t.target) then
+        fail "transition %s has unknown target %s" t.transition_id t.target)
+    c.transitions;
+  if not (exists c.initial) then fail "unknown initial state %s" c.initial;
+  if c.states = [] then fail "chart %s has no state" c.chart_name
+
+let make ~name ~states ~transitions ?initial () =
+  let state_records =
+    List.mapi (fun i n -> { state_id = Printf.sprintf "%s_s%d" name (i + 1); state_name = n }) states
+  in
+  let id_of n =
+    match List.find_opt (fun s -> s.state_name = n) state_records with
+    | Some s -> s.state_id
+    | None -> fail "chart %s: unknown state %s" name n
+  in
+  let transition_records =
+    List.mapi
+      (fun i (src, dst, trigger, rate) ->
+        {
+          transition_id = Printf.sprintf "%s_t%d" name (i + 1);
+          source = id_of src;
+          target = id_of dst;
+          trigger;
+          rate;
+        })
+      transitions
+  in
+  let initial =
+    match initial with
+    | Some n -> id_of n
+    | None -> (
+        match state_records with
+        | s :: _ -> s.state_id
+        | [] -> fail "chart %s has no state" name)
+  in
+  let chart =
+    {
+      chart_name = name;
+      states = state_records;
+      transitions = transition_records;
+      initial;
+      state_annotations = [];
+    }
+  in
+  validate chart;
+  chart
+
+let state_names c = List.map (fun s -> s.state_name) c.states
+
+let alphabet c =
+  List.sort_uniq String.compare (List.map (fun t -> t.trigger) c.transitions)
+
+let find_state_by_name c name = List.find_opt (fun s -> s.state_name = name) c.states
+
+let annotate c ~state_id ~tag ~value =
+  let existing = Option.value ~default:[] (List.assoc_opt state_id c.state_annotations) in
+  let updated = (tag, value) :: List.remove_assoc tag existing in
+  {
+    c with
+    state_annotations = (state_id, updated) :: List.remove_assoc state_id c.state_annotations;
+  }
+
+let annotation c ~state_id ~tag =
+  Option.bind (List.assoc_opt state_id c.state_annotations) (List.assoc_opt tag)

@@ -1,0 +1,53 @@
+(** UML state diagrams (the Harel-statechart variant of the paper's
+    Figures 8 and 9): states connected by transitions labelled with the
+    activity causing the transition, plus an activity rate.
+
+    Choreographer maps each state diagram to one sequential PEPA
+    component and composes the diagrams of cooperating classes over
+    their shared action names; the steady-state probability of each
+    state is the measure reflected back. *)
+
+type state = { state_id : string; state_name : string }
+
+type transition = {
+  transition_id : string;
+  source : string;
+  target : string;
+  trigger : string;          (** the activity name *)
+  rate : float option;       (** [None]: taken from a rates file or the
+                                 default *)
+}
+
+type t = {
+  chart_name : string;  (** usually the class name, e.g. ["Client"] *)
+  states : state list;
+  transitions : transition list;
+  initial : string;  (** id of the initial state *)
+  state_annotations : (string * (string * string) list) list;
+      (** reflected tagged values per state id *)
+}
+
+exception Invalid_chart of string
+
+val validate : t -> unit
+
+val make :
+  name:string ->
+  states:string list ->
+  transitions:(string * string * string * float option) list ->
+  ?initial:string ->
+  unit ->
+  t
+(** [make ~name ~states ~transitions ()] builds a chart where states are
+    given by name (ids are generated), transitions are
+    [(source state name, target state name, trigger, rate)], and the
+    initial state defaults to the first listed. *)
+
+val state_names : t -> string list
+val alphabet : t -> string list
+(** Trigger names, sorted. *)
+
+val find_state_by_name : t -> string -> state option
+
+val annotate : t -> state_id:string -> tag:string -> value:string -> t
+val annotation : t -> state_id:string -> tag:string -> string option

@@ -1,0 +1,225 @@
+module X = Xml_kit.Minixml
+
+exception Xmi_error of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Xmi_error msg)) fmt
+
+let attr_exn element key =
+  match X.attribute key element with
+  | Some v -> v
+  | None -> fail "<%s> is missing the required attribute %s" (X.name element) key
+
+let tagged_values_of element =
+  Xml_kit.Xpath_lite.descendants ~name:"UML:TaggedValue" element
+  |> List.filter_map (fun tv ->
+         match (X.attribute "tag" tv, X.attribute "value" tv) with
+         | Some tag, Some value -> Some (tag, value)
+         | _ -> None)
+
+let has_stereotype element name =
+  Xml_kit.Xpath_lite.descendants ~name:"UML:Stereotype" element
+  |> List.exists (fun s -> X.attribute "name" s = Some name)
+
+(* ------------------------------------------------------------------ *)
+(* Activity graphs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_activity_graph graph =
+  let name = Option.value ~default:"activity" (X.attribute "name" graph) in
+  let vertices = Xml_kit.Xpath_lite.descendants graph in
+  let nodes = ref [] and occurrences = ref [] in
+  let occurrence_ids = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      match X.name v with
+      | "UML:Pseudostate" ->
+          let id = attr_exn v "xmi.id" in
+          let kind =
+            match X.attribute "kind" v with
+            | Some "initial" -> Activity.Initial
+            | Some ("junction" | "choice") -> Activity.Decision
+            | Some "fork" -> Activity.Fork
+            | Some "join" -> Activity.Join
+            | Some other -> fail "unsupported pseudostate kind %s" other
+            | None -> fail "pseudostate %s has no kind" id
+          in
+          nodes := { Activity.node_id = id; kind } :: !nodes
+      | "UML:FinalState" ->
+          nodes := { Activity.node_id = attr_exn v "xmi.id"; kind = Activity.Final } :: !nodes
+      | "UML:ActionState" ->
+          let id = attr_exn v "xmi.id" in
+          let action_name = attr_exn v "name" in
+          let move = has_stereotype v "move" in
+          nodes :=
+            { Activity.node_id = id; kind = Activity.Action { name = action_name; move } }
+            :: !nodes
+      | "UML:ObjectFlowState" ->
+          let id = attr_exn v "xmi.id" in
+          let tags = tagged_values_of v in
+          Hashtbl.add occurrence_ids id ();
+          occurrences :=
+            {
+              Activity.occ_id = id;
+              obj_name = attr_exn v "name";
+              class_name = Option.value ~default:"Object" (List.assoc_opt "class" tags);
+              obj_state = List.assoc_opt "state" tags;
+              atloc = List.assoc_opt "atloc" tags;
+            }
+            :: !occurrences
+      | _ -> ())
+    vertices;
+  (* Annotations: reflected tagged values on action states. *)
+  let annotations =
+    List.filter_map
+      (fun v ->
+        if X.name v = "UML:ActionState" then
+          match tagged_values_of v with
+          | [] -> None
+          | tags -> Some (attr_exn v "xmi.id", tags)
+        else None)
+      vertices
+  in
+  let edges = ref [] and flows = ref [] in
+  List.iter
+    (fun t ->
+      if X.name t = "UML:Transition" then begin
+        let id = attr_exn t "xmi.id" in
+        let source = attr_exn t "source" in
+        let target = attr_exn t "target" in
+        let source_is_occ = Hashtbl.mem occurrence_ids source in
+        let target_is_occ = Hashtbl.mem occurrence_ids target in
+        if source_is_occ && target_is_occ then
+          fail "transition %s connects two object flow states" id
+        else if source_is_occ then
+          flows :=
+            {
+              Activity.flow_id = id;
+              occurrence = source;
+              activity = target;
+              direction = Activity.Into;
+            }
+            :: !flows
+        else if target_is_occ then
+          flows :=
+            {
+              Activity.flow_id = id;
+              occurrence = target;
+              activity = source;
+              direction = Activity.Out_of;
+            }
+            :: !flows
+        else edges := { Activity.edge_id = id; source; target } :: !edges
+      end)
+    (Xml_kit.Xpath_lite.descendants ~name:"UML:Transition" graph);
+  let diagram =
+    {
+      Activity.diagram_name = name;
+      nodes = List.rev !nodes;
+      edges = List.rev !edges;
+      occurrences = List.rev !occurrences;
+      flows = List.rev !flows;
+      annotations;
+    }
+  in
+  (try Activity.validate diagram
+   with Activity.Invalid_diagram msg -> fail "activity graph %s: %s" name msg);
+  diagram
+
+let activities_of_xml doc =
+  Xml_kit.Xpath_lite.descendants ~name:"UML:ActivityGraph" doc |> List.map read_activity_graph
+
+let activity_of_xml doc =
+  match activities_of_xml doc with
+  | [ d ] -> d
+  | [] -> fail "the document contains no activity graph"
+  | ds -> fail "the document contains %d activity graphs, expected one" (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* State machines                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let read_state_machine machine =
+  let name = Option.value ~default:"chart" (X.attribute "name" machine) in
+  let states = ref [] in
+  let pseudo_initials = Hashtbl.create 4 in
+  let annotations = ref [] in
+  List.iter
+    (fun v ->
+      match X.name v with
+      | "UML:SimpleState" ->
+          let id = attr_exn v "xmi.id" in
+          states := { Statechart.state_id = id; state_name = attr_exn v "name" } :: !states;
+          (match tagged_values_of v with
+          | [] -> ()
+          | tags -> annotations := (id, tags) :: !annotations)
+      | "UML:Pseudostate" when X.attribute "kind" v = Some "initial" ->
+          Hashtbl.add pseudo_initials (attr_exn v "xmi.id") ()
+      | _ -> ())
+    (Xml_kit.Xpath_lite.descendants machine);
+  let transitions = ref [] and initial = ref None in
+  List.iter
+    (fun t ->
+      let id = attr_exn t "xmi.id" in
+      let source = attr_exn t "source" in
+      let target = attr_exn t "target" in
+      if Hashtbl.mem pseudo_initials source then initial := Some target
+      else begin
+        let trigger =
+          match Xml_kit.Xpath_lite.descendants ~name:"UML:Event" t with
+          | event :: _ -> attr_exn event "name"
+          | [] -> fail "transition %s of chart %s has no trigger" id name
+        in
+        let rate =
+          match List.assoc_opt "rate" (tagged_values_of t) with
+          | Some v -> (
+              match float_of_string_opt v with
+              | Some r -> Some r
+              | None -> fail "transition %s has a malformed rate %S" id v)
+          | None -> None
+        in
+        transitions :=
+          { Statechart.transition_id = id; source; target; trigger; rate } :: !transitions
+      end)
+    (Xml_kit.Xpath_lite.descendants ~name:"UML:Transition" machine);
+  let initial =
+    match !initial with
+    | Some i -> i
+    | None -> (
+        match List.rev !states with
+        | s :: _ -> s.Statechart.state_id
+        | [] -> fail "state machine %s has no state" name)
+  in
+  let chart =
+    {
+      Statechart.chart_name = name;
+      states = List.rev !states;
+      transitions = List.rev !transitions;
+      initial;
+      state_annotations = List.rev !annotations;
+    }
+  in
+  (try Statechart.validate chart
+   with Statechart.Invalid_chart msg -> fail "state machine %s: %s" name msg);
+  chart
+
+let statecharts_of_xml doc =
+  (* ActivityGraph extends StateMachine in UML 1.4; exclude activity
+     graphs when collecting plain state machines. *)
+  Xml_kit.Xpath_lite.descendants ~name:"UML:StateMachine" doc |> List.map read_state_machine
+
+let interactions_of_xml doc =
+  Xml_kit.Xpath_lite.descendants ~name:"UML:Collaboration" doc
+  |> List.map (fun collaboration ->
+         let name = Option.value ~default:"interaction" (X.attribute "name" collaboration) in
+         let messages =
+           Xml_kit.Xpath_lite.descendants ~name:"UML:Message" collaboration
+           |> List.map (fun m ->
+                  (attr_exn m "sender", attr_exn m "receiver", attr_exn m "name"))
+         in
+         try Interaction.make ~name ~messages
+         with Interaction.Invalid_interaction msg -> fail "%s" msg)
+
+let activity_of_string src = activity_of_xml (X.parse_string src)
+let activity_of_file path = activity_of_xml (X.parse_file path)
+let statecharts_of_string src = statecharts_of_xml (X.parse_string src)
+let statecharts_of_file path = statecharts_of_xml (X.parse_file path)

@@ -1,0 +1,28 @@
+(** Parsing of XMI documents into UML model values.
+
+    Accepts the dialect produced by {!Xmi_write}: XMI 1.2 carrying the
+    UML 1.4 metamodel subset (activity graphs with object flow states,
+    state machines with triggered transitions).  Unknown elements inside
+    the document (e.g. tool-specific layout data that escaped the
+    Poseidon preprocessor) are ignored rather than rejected, matching the
+    tolerant behaviour of a metamodel-driven reader. *)
+
+exception Xmi_error of string
+
+val activities_of_xml : Xml_kit.Minixml.t -> Activity.t list
+(** All activity graphs of the document, validated. *)
+
+val statecharts_of_xml : Xml_kit.Minixml.t -> Statechart.t list
+(** All state machines of the document, validated. *)
+
+val activity_of_xml : Xml_kit.Minixml.t -> Activity.t
+(** The unique activity graph; raises {!Xmi_error} if there is not
+    exactly one. *)
+
+val interactions_of_xml : Xml_kit.Minixml.t -> Interaction.t list
+(** All [UML:Collaboration] interactions of the document. *)
+
+val activity_of_string : string -> Activity.t
+val activity_of_file : string -> Activity.t
+val statecharts_of_string : string -> Statechart.t list
+val statecharts_of_file : string -> Statechart.t list

@@ -1,0 +1,230 @@
+module X = Xml_kit.Minixml
+
+let tagged_value (tag, value) =
+  X.Element ("UML:TaggedValue", [ ("tag", tag); ("value", value) ], [])
+
+let tagged_values pairs =
+  if pairs = [] then []
+  else [ X.Element ("UML:ModelElement.taggedValue", [], List.map tagged_value pairs) ]
+
+let stereotype name =
+  X.Element ("UML:ModelElement.stereotype", [], [ X.Element ("UML:Stereotype", [ ("name", name) ], []) ])
+
+let activity_vertex (d : Activity.t) (node : Activity.node) =
+  let annotations =
+    Option.value ~default:[] (List.assoc_opt node.Activity.node_id d.Activity.annotations)
+  in
+  match node.Activity.kind with
+  | Activity.Initial ->
+      X.Element ("UML:Pseudostate", [ ("xmi.id", node.Activity.node_id); ("kind", "initial") ], [])
+  | Activity.Final -> X.Element ("UML:FinalState", [ ("xmi.id", node.Activity.node_id) ], [])
+  | Activity.Decision ->
+      X.Element ("UML:Pseudostate", [ ("xmi.id", node.Activity.node_id); ("kind", "junction") ], [])
+  | Activity.Fork ->
+      X.Element ("UML:Pseudostate", [ ("xmi.id", node.Activity.node_id); ("kind", "fork") ], [])
+  | Activity.Join ->
+      X.Element ("UML:Pseudostate", [ ("xmi.id", node.Activity.node_id); ("kind", "join") ], [])
+  | Activity.Action { name; move } ->
+      let children =
+        (if move then [ stereotype "move" ] else []) @ tagged_values annotations
+      in
+      X.Element ("UML:ActionState", [ ("xmi.id", node.Activity.node_id); ("name", name) ], children)
+
+let occurrence_vertex (o : Activity.occurrence) =
+  let tags =
+    [ ("class", o.Activity.class_name) ]
+    @ (match o.Activity.obj_state with Some s -> [ ("state", s) ] | None -> [])
+    @ match o.Activity.atloc with Some l -> [ ("atloc", l) ] | None -> []
+  in
+  X.Element
+    ( "UML:ObjectFlowState",
+      [ ("xmi.id", o.Activity.occ_id); ("name", o.Activity.obj_name) ],
+      tagged_values tags )
+
+let transition_element ~id ~source ~target =
+  X.Element ("UML:Transition", [ ("xmi.id", id); ("source", source); ("target", target) ], [])
+
+let activity_graph (d : Activity.t) =
+  let vertices =
+    List.map (activity_vertex d) d.Activity.nodes
+    @ List.map occurrence_vertex d.Activity.occurrences
+  in
+  let control_edges =
+    List.map
+      (fun (e : Activity.edge) ->
+        transition_element ~id:e.Activity.edge_id ~source:e.Activity.source
+          ~target:e.Activity.target)
+      d.Activity.edges
+  in
+  let flow_edges =
+    List.map
+      (fun (f : Activity.flow) ->
+        match f.Activity.direction with
+        | Activity.Into ->
+            transition_element ~id:f.Activity.flow_id ~source:f.Activity.occurrence
+              ~target:f.Activity.activity
+        | Activity.Out_of ->
+            transition_element ~id:f.Activity.flow_id ~source:f.Activity.activity
+              ~target:f.Activity.occurrence)
+      d.Activity.flows
+  in
+  X.Element
+    ( "UML:ActivityGraph",
+      [ ("xmi.id", "ag_" ^ d.Activity.diagram_name); ("name", d.Activity.diagram_name) ],
+      [
+        X.Element
+          ( "UML:StateMachine.top",
+            [],
+            [
+              X.Element
+                ( "UML:CompositeState",
+                  [ ("xmi.id", "top_" ^ d.Activity.diagram_name) ],
+                  [ X.Element ("UML:CompositeState.subvertex", [], vertices) ] );
+            ] );
+        X.Element ("UML:StateMachine.transitions", [], control_edges @ flow_edges);
+      ] )
+
+let statechart_machine (c : Statechart.t) =
+  let initial_id = "init_" ^ c.Statechart.chart_name in
+  let vertices =
+    X.Element ("UML:Pseudostate", [ ("xmi.id", initial_id); ("kind", "initial") ], [])
+    :: List.map
+         (fun (s : Statechart.state) ->
+           let annotations =
+             Option.value ~default:[]
+               (List.assoc_opt s.Statechart.state_id c.Statechart.state_annotations)
+           in
+           X.Element
+             ( "UML:SimpleState",
+               [ ("xmi.id", s.Statechart.state_id); ("name", s.Statechart.state_name) ],
+               tagged_values annotations ))
+         c.Statechart.states
+  in
+  let initial_edge =
+    X.Element
+      ( "UML:Transition",
+        [
+          ("xmi.id", "t_init_" ^ c.Statechart.chart_name);
+          ("source", initial_id);
+          ("target", c.Statechart.initial);
+        ],
+        [] )
+  in
+  let edges =
+    List.map
+      (fun (t : Statechart.transition) ->
+        let trigger =
+          X.Element
+            ( "UML:Transition.trigger",
+              [],
+              [ X.Element ("UML:Event", [ ("name", t.Statechart.trigger) ], []) ] )
+        in
+        let rate_tag =
+          match t.Statechart.rate with
+          | Some r -> tagged_values [ ("rate", Printf.sprintf "%.17g" r) ]
+          | None -> []
+        in
+        X.Element
+          ( "UML:Transition",
+            [
+              ("xmi.id", t.Statechart.transition_id);
+              ("source", t.Statechart.source);
+              ("target", t.Statechart.target);
+            ],
+            trigger :: rate_tag ))
+      c.Statechart.transitions
+  in
+  X.Element
+    ( "UML:StateMachine",
+      [ ("xmi.id", "sm_" ^ c.Statechart.chart_name); ("name", c.Statechart.chart_name) ],
+      [
+        X.Element
+          ( "UML:StateMachine.top",
+            [],
+            [
+              X.Element
+                ( "UML:CompositeState",
+                  [ ("xmi.id", "smtop_" ^ c.Statechart.chart_name) ],
+                  [ X.Element ("UML:CompositeState.subvertex", [], vertices) ] );
+            ] );
+        X.Element ("UML:StateMachine.transitions", [], initial_edge :: edges);
+      ] )
+
+let collaboration (i : Interaction.t) =
+  let messages =
+    List.mapi
+      (fun k (m : Interaction.message) ->
+        X.Element
+          ( "UML:Message",
+            [
+              ("xmi.id", Printf.sprintf "msg_%s_%d" i.Interaction.interaction_name (k + 1));
+              ("name", m.Interaction.msg_action);
+              ("sender", m.Interaction.sender);
+              ("receiver", m.Interaction.receiver);
+            ],
+            [] ))
+      i.Interaction.messages
+  in
+  X.Element
+    ( "UML:Collaboration",
+      [
+        ("xmi.id", "col_" ^ i.Interaction.interaction_name);
+        ("name", i.Interaction.interaction_name);
+      ],
+      [
+        X.Element
+          ( "UML:Collaboration.interaction",
+            [],
+            [
+              X.Element
+                ( "UML:Interaction",
+                  [ ("xmi.id", "int_" ^ i.Interaction.interaction_name) ],
+                  [ X.Element ("UML:Interaction.message", [], messages) ] );
+            ] );
+      ] )
+
+let document ~model_name elements =
+  X.Element
+    ( "XMI",
+      [ ("xmi.version", "1.2"); ("xmlns:UML", "org.omg.xmi.namespace.UML") ],
+      [
+        X.Element
+          ( "XMI.header",
+            [],
+            [
+              X.Element
+                ( "XMI.documentation",
+                  [],
+                  [
+                    X.Element
+                      ("XMI.exporter", [], [ X.Text "Choreographer (OCaml reproduction)" ]);
+                  ] );
+            ] );
+        X.Element
+          ( "XMI.content",
+            [],
+            [
+              X.Element
+                ( "UML:Model",
+                  [ ("xmi.id", "model_" ^ model_name); ("name", model_name) ],
+                  [ X.Element ("UML:Namespace.ownedElement", [], elements) ] );
+            ] );
+      ] )
+
+let document_to_xml ?(model_name = "model") ?(interactions = []) activities charts =
+  document ~model_name
+    (List.map activity_graph activities
+    @ List.map statechart_machine charts
+    @ List.map collaboration interactions)
+
+let activity_to_xml d =
+  document ~model_name:d.Activity.diagram_name [ activity_graph d ]
+
+let statecharts_to_xml charts =
+  let model_name =
+    match charts with c :: _ -> c.Statechart.chart_name | [] -> "empty"
+  in
+  document ~model_name (List.map statechart_machine charts)
+
+let activity_to_string d = X.to_string (activity_to_xml d)
+let statecharts_to_string cs = X.to_string (statecharts_to_xml cs)

@@ -1,0 +1,26 @@
+(** Serialisation of UML models to XMI 1.2 documents conforming to the
+    UML 1.4 metamodel subset used by the tool chain (activity graphs and
+    state machines).  {!Xmi_read} parses exactly this dialect, and the
+    round trip is the identity on the model types (tested). *)
+
+val activity_to_xml : Activity.t -> Xml_kit.Minixml.t
+(** An [<XMI>] document whose content is a [UML:Model] holding one
+    [UML:ActivityGraph].  Mobility stereotypes, [atloc] tags and
+    reflected annotations are emitted as [UML:Stereotype] /
+    [UML:TaggedValue] elements. *)
+
+val statecharts_to_xml : Statechart.t list -> Xml_kit.Minixml.t
+(** One [UML:StateMachine] per chart under a shared [UML:Model]. *)
+
+val document_to_xml :
+  ?model_name:string ->
+  ?interactions:Interaction.t list ->
+  Activity.t list ->
+  Statechart.t list ->
+  Xml_kit.Minixml.t
+(** A combined model: UML projects typically contain diagrams of several
+    different types.  Interactions are emitted as [UML:Collaboration]
+    elements carrying [UML:Message]s. *)
+
+val activity_to_string : Activity.t -> string
+val statecharts_to_string : Statechart.t list -> string

@@ -1,0 +1,1 @@
+lib/xml/minixml.ml: Buffer Char Fun List Printf String

@@ -1,0 +1,1 @@
+lib/xml/xpath_lite.ml: List Minixml String

@@ -1,0 +1,39 @@
+let rec descendants ?name node =
+  let here kid =
+    match (name, kid) with
+    | None, Minixml.Element _ -> [ kid ]
+    | Some n, Minixml.Element (tag, _, _) when tag = n -> [ kid ]
+    | _ -> []
+  in
+  List.concat_map
+    (fun kid -> here kid @ descendants ?name kid)
+    (Minixml.children node)
+
+let step_children name node =
+  List.filter
+    (fun kid -> name = "*" || Minixml.name kid = name)
+    (Minixml.element_children node)
+
+let select path node =
+  let deep = String.length path >= 2 && String.sub path 0 2 = "//" in
+  let path = if deep then String.sub path 2 (String.length path - 2) else path in
+  let steps = String.split_on_char '/' path |> List.filter (fun s -> s <> "") in
+  match steps with
+  | [] -> []
+  | first :: rest ->
+      let start =
+        if deep then
+          descendants node
+          |> List.filter (fun n -> first = "*" || Minixml.name n = first)
+        else step_children first node
+      in
+      List.fold_left
+        (fun nodes step -> List.concat_map (step_children step) nodes)
+        start rest
+
+let select_one path node = match select path node with [] -> None | hd :: _ -> Some hd
+
+let find_by_attribute ~name ~key ~value node =
+  List.find_opt
+    (fun candidate -> Minixml.attribute key candidate = Some value)
+    (descendants ~name node)

@@ -1,0 +1,24 @@
+(** Tiny path-based selection helpers over {!Minixml.t} trees.
+
+    This is not XPath; it is the small fragment the XMI reader needs:
+    child and descendant selection by element name, attribute predicates,
+    and a convenience string syntax ["a/b/c"] for nested child steps where
+    each step matches an element name.  A leading ["//"] selects matching
+    descendants at any depth. *)
+
+val select : string -> Minixml.t -> Minixml.t list
+(** [select path node] returns the elements reached from [node] by [path].
+    [path] is a ['/']-separated list of element names; a step of ["*"]
+    matches any element.  A path starting with ["//"] searches the whole
+    subtree for the remainder.  The root node itself is never returned. *)
+
+val select_one : string -> Minixml.t -> Minixml.t option
+(** First result of {!select}, if any. *)
+
+val descendants : ?name:string -> Minixml.t -> Minixml.t list
+(** All descendant elements of [node], in document order, optionally
+    filtered by element name. *)
+
+val find_by_attribute : name:string -> key:string -> value:string -> Minixml.t -> Minixml.t option
+(** [find_by_attribute ~name ~key ~value node] finds the first descendant
+    element called [name] whose attribute [key] equals [value]. *)

@@ -1,0 +1,1 @@
+test/test_assets.ml: Alcotest Choreographer Extract Filename Float In_channel List Option Pepanet Sys Uml

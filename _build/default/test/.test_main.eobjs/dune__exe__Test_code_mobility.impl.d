@@ -1,0 +1,1 @@
+test/test_code_mobility.ml: Alcotest List Printf Scenarios

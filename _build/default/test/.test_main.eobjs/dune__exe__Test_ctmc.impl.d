@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Gen List Markov Printf QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_diagram_text.ml: Alcotest Choreographer Extract List Option Scenarios Uml

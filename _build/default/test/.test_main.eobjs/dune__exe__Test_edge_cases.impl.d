@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Choreographer Extract Filename Format List Markov Option Pepa Pepanet Scenarios String Sys Uml Xml_kit

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Choreographer Extract Gen List Pepa Printf QCheck2 QCheck_alcotest Scenarios Test

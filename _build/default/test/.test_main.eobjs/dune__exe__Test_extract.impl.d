@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Choreographer Extract List Option Pepa Pepanet Printf Scenarios String Uml

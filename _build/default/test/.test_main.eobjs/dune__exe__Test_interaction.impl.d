@@ -1,0 +1,1 @@
+test/test_interaction.ml: Alcotest Choreographer Extract List Option Pepa Pepanet Uml

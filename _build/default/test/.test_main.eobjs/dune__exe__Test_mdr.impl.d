@@ -1,0 +1,1 @@
+test/test_mdr.ml: Alcotest List Scenarios Uml Xml_kit

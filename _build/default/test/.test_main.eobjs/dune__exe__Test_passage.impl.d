@@ -1,0 +1,1 @@
+test/test_passage.ml: Alcotest Choreographer Filename In_channel List Markov Pepa Printf Scanf Scenarios String Sys

@@ -1,0 +1,1 @@
+test/test_pepa_parser.ml: Alcotest Float List Pepa QCheck2 QCheck_alcotest

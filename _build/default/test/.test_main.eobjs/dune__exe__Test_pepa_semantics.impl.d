@@ -1,0 +1,1 @@
+test/test_pepa_semantics.ml: Alcotest Array List Pepa Printf Scenarios String

@@ -1,0 +1,1 @@
+test/test_pepanet.ml: Alcotest Array Fun Gen List Markov Pepa Pepanet Printf QCheck2 QCheck_alcotest Scenarios String Test

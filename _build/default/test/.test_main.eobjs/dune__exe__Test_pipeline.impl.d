@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Choreographer Extract Filename In_channel List Option Out_channel Pepanet Scenarios String Sys Uml Xml_kit

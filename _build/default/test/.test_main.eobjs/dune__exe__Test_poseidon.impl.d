@@ -1,0 +1,1 @@
+test/test_poseidon.ml: Alcotest List Scenarios Uml Xml_kit

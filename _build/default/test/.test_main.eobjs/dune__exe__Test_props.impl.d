@@ -1,0 +1,1 @@
+test/test_props.ml: Array Choreographer Extract Fun Gen List Pepanet Printf QCheck2 QCheck_alcotest Scenarios String Test Uml

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Choreographer List Scenarios

@@ -1,0 +1,1 @@
+test/test_rate.ml: Alcotest Float Gen List Pepa QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Choreographer List Pepa Pepanet Scenarios String

@@ -1,0 +1,1 @@
+test/test_sc_extract.ml: Alcotest Choreographer Extract List Option Printf Scenarios Uml

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Choreographer Extract List Option Pepa Pepanet Scenarios Uml Xml_kit

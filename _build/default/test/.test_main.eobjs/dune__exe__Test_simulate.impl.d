@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Extract Float Hashtbl List Markov Pepanet Printf Scenarios

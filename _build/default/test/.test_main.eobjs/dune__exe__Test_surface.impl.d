@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Array Format Fun List Markov Pepa Pepanet Scenarios String Uml Xml_kit

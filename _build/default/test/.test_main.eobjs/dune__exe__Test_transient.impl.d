@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array List Markov Printf

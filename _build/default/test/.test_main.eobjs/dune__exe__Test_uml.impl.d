@@ -1,0 +1,1 @@
+test/test_uml.ml: Alcotest List Uml

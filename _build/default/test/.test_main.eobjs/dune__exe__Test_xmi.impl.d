@@ -1,0 +1,1 @@
+test/test_xmi.ml: Alcotest Format List Scenarios Uml Xml_kit

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest List QCheck2 QCheck_alcotest String Xml_kit

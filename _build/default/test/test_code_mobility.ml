@@ -1,0 +1,77 @@
+module CM = Scenarios.Code_mobility
+
+let close = Alcotest.float 1e-9
+
+let test_nets_match_closed_forms () =
+  List.iter
+    (fun bandwidth ->
+      let c = CM.compare_at ~bandwidth () in
+      Alcotest.check close
+        (Printf.sprintf "client-server at b=%g" bandwidth)
+        (CM.closed_form_jobs c.CM.params `Client_server)
+        c.CM.client_server_jobs;
+      Alcotest.check close
+        (Printf.sprintf "mobile agent at b=%g" bandwidth)
+        (CM.closed_form_jobs c.CM.params `Mobile_agent)
+        c.CM.mobile_agent_jobs)
+    [ 1.0; 10.0; 72.9; 400.0 ]
+
+let test_crossover () =
+  (* Analytic crossover of the default parameters:
+     0.05 + 10/b + 0.5 = 1/b + 1/1.5 + 0.5/b  =>  8.5/b = 7/60. *)
+  let expected = 8.5 /. (7.0 /. 60.0) in
+  let found = CM.crossover_bandwidth ~lo:10.0 ~hi:200.0 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "crossover %.3f close to analytic %.3f" found expected)
+    true
+    (abs_float (found -. expected) < 0.01);
+  (* ordering on each side of the crossover *)
+  let low = CM.compare_at ~bandwidth:(expected /. 2.0) () in
+  Alcotest.(check bool) "mobile agent wins at low bandwidth" true
+    (low.CM.mobile_agent_jobs > low.CM.client_server_jobs);
+  let high = CM.compare_at ~bandwidth:(expected *. 2.0) () in
+  Alcotest.(check bool) "client-server wins at high bandwidth" true
+    (high.CM.client_server_jobs > high.CM.mobile_agent_jobs);
+  (* no crossover in a one-sided bracket *)
+  match CM.crossover_bandwidth ~lo:100.0 ~hi:200.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "one-sided bracket accepted"
+
+let test_monotone_in_bandwidth () =
+  let jobs design b =
+    let c = CM.compare_at ~bandwidth:b () in
+    match design with
+    | `Cs -> c.CM.client_server_jobs
+    | `Ma -> c.CM.mobile_agent_jobs
+  in
+  List.iter
+    (fun design ->
+      let values = List.map (jobs design) [ 1.0; 4.0; 16.0; 64.0; 256.0 ] in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "throughput grows with bandwidth" true (increasing values))
+    [ `Cs; `Ma ];
+  (* the mobile agent saturates at the remote compute rate *)
+  let saturated = CM.compare_at ~bandwidth:1e6 () in
+  Alcotest.(check bool) "remote compute bound" true
+    (abs_float (saturated.CM.mobile_agent_jobs -. 1.5) < 0.01)
+
+let test_remote_speed_shifts_crossover () =
+  (* A faster data host moves the crossover towards higher bandwidths
+     (mobile agents stay attractive longer). *)
+  let faster = { CM.default_parameters with CM.remote_compute = 1.8 } in
+  let base = CM.crossover_bandwidth ~lo:10.0 ~hi:500.0 () in
+  let shifted = CM.crossover_bandwidth ~params:faster ~lo:10.0 ~hi:5000.0 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "crossover moves right (%.1f -> %.1f)" base shifted)
+    true (shifted > base)
+
+let suite =
+  [
+    Alcotest.test_case "nets match closed forms" `Quick test_nets_match_closed_forms;
+    Alcotest.test_case "crossover bandwidth" `Quick test_crossover;
+    Alcotest.test_case "monotone in bandwidth" `Quick test_monotone_in_bandwidth;
+    Alcotest.test_case "remote speed shifts the crossover" `Quick test_remote_speed_shifts_crossover;
+  ]

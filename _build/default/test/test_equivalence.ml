@@ -1,0 +1,109 @@
+module Eq = Pepa.Equivalence
+
+let close = Alcotest.float 1e-9
+
+let test_replicated_lumping () =
+  (* n identical independent components: 2^n states lump to n+1 blocks
+     (count of components in the second phase). *)
+  let space = Pepa.Statespace.of_string "P = (a, 2.0).(b, 3.0).P; system P[4];" in
+  Alcotest.(check int) "full space" 16 (Pepa.Statespace.n_states space);
+  let lumped = Eq.lump space in
+  Alcotest.(check int) "binomial lumping" 5 lumped.Eq.partition.Eq.n_blocks;
+  (* measures preserved *)
+  let pi_full = Pepa.Statespace.steady_state space in
+  let pi_lumped = Eq.lumped_steady_state lumped in
+  Alcotest.check close "throughput preserved" (Pepa.Statespace.throughput space pi_full "a")
+    (Eq.lumped_throughput lumped pi_lumped "a");
+  (* block probabilities sum correctly: sum over states of a block of the
+     full distribution equals the lumped distribution. *)
+  let sums = Array.make lumped.Eq.partition.Eq.n_blocks 0.0 in
+  Array.iteri
+    (fun s p ->
+      let b = lumped.Eq.partition.Eq.block_of_state.(s) in
+      sums.(b) <- sums.(b) +. p)
+    pi_full;
+  Array.iteri
+    (fun b total -> Alcotest.check close (Printf.sprintf "block %d" b) total pi_lumped.(b))
+    sums
+
+let test_distinct_states_not_merged () =
+  (* A component whose two phases have different rates must not lump. *)
+  let space = Pepa.Statespace.of_string "P = (a, 2.0).(b, 3.0).P;" in
+  let partition = Eq.strong_equivalence space in
+  Alcotest.(check int) "no spurious merging" 2 partition.Eq.n_blocks;
+  (* And a symmetric choice does lump: the two branches are equivalent. *)
+  let space2 =
+    Pepa.Statespace.of_string
+      "P = (a, 1.0).Q1 + (a, 1.0).Q2; Q1 = (b, 5.0).P; Q2 = (b, 5.0).P; system P;"
+  in
+  Alcotest.(check int) "3 states" 3 (Pepa.Statespace.n_states space2);
+  let partition2 = Eq.strong_equivalence space2 in
+  Alcotest.(check int) "symmetric branches merge" 2 partition2.Eq.n_blocks
+
+let test_action_types_distinguish () =
+  (* Same rates, different action types: not equivalent. *)
+  let space =
+    Pepa.Statespace.of_string
+      "P = (a, 1.0).Q1 + (a, 1.0).Q2; Q1 = (b, 5.0).P; Q2 = (c, 5.0).P; system P;"
+  in
+  let partition = Eq.strong_equivalence space in
+  Alcotest.(check int) "b and c differ" 3 partition.Eq.n_blocks
+
+let test_scenario_lumping_preserves_measures () =
+  (* The client/server model has no symmetry to exploit, so lumping is
+     the identity — and must still preserve everything. *)
+  let extraction =
+    Extract.Sc_to_pepa.extract [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ]
+  in
+  let analysis = Choreographer.Workbench.analyse_pepa extraction.Extract.Sc_to_pepa.model in
+  let space = analysis.Choreographer.Workbench.space in
+  let lumped = Eq.lump space in
+  let pi_lumped = Eq.lumped_steady_state lumped in
+  List.iter
+    (fun action ->
+      Alcotest.check close ("throughput " ^ action)
+        (Pepa.Statespace.throughput space analysis.Choreographer.Workbench.distribution action)
+        (Eq.lumped_throughput lumped pi_lumped action))
+    (Pepa.Statespace.action_names space)
+
+let test_representatives_consistent () =
+  let space = Pepa.Statespace.of_string "P = (a, 2.0).(b, 3.0).P; system P[3];" in
+  let partition = Eq.strong_equivalence space in
+  Array.iteri
+    (fun b s ->
+      Alcotest.(check int)
+        (Printf.sprintf "representative of block %d lies in it" b)
+        b
+        partition.Eq.block_of_state.(s))
+    partition.Eq.representatives;
+  Alcotest.(check int) "initial block defined" partition.Eq.block_of_state.(0)
+    (Eq.initial_block partition)
+
+(* Law: for random replicated chains, the lumped and full steady-state
+   throughputs agree on every action. *)
+let prop_lumping_preserves_throughput =
+  let open QCheck2 in
+  let gen = Gen.(pair (2 -- 5) (pair (float_range 0.5 4.0) (float_range 0.5 4.0))) in
+  Test.make ~name:"lumping preserves throughput on replicated models" ~count:20 gen
+    (fun (n, (r1, r2)) ->
+      let src = Printf.sprintf "P = (a, %f).(b, %f).P; system P[%d];" r1 r2 n in
+      let space = Pepa.Statespace.of_string src in
+      let lumped = Eq.lump space in
+      let pi_full = Pepa.Statespace.steady_state space in
+      let pi_lumped = Eq.lumped_steady_state lumped in
+      lumped.Eq.partition.Eq.n_blocks = n + 1
+      && abs_float
+           (Pepa.Statespace.throughput space pi_full "a"
+           -. Eq.lumped_throughput lumped pi_lumped "a")
+         < 1e-8)
+
+let suite =
+  [
+    Alcotest.test_case "replicated components lump" `Quick test_replicated_lumping;
+    Alcotest.test_case "distinct states stay distinct" `Quick test_distinct_states_not_merged;
+    Alcotest.test_case "action types distinguish" `Quick test_action_types_distinguish;
+    Alcotest.test_case "lumping preserves scenario measures" `Quick
+      test_scenario_lumping_preserves_measures;
+    Alcotest.test_case "representatives" `Quick test_representatives_consistent;
+    QCheck_alcotest.to_alcotest prop_lumping_preserves_throughput;
+  ]

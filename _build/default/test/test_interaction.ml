@@ -1,0 +1,108 @@
+module I = Uml.Interaction
+module B = Uml.Activity.Build
+module N = Pepanet.Net
+
+let close = Alcotest.float 1e-9
+
+(* Three objects all touching a shared activity; the interaction says
+   only alice and bob exchange it. *)
+let shared_diagram () =
+  let b = B.create "meeting" in
+  let i = B.initial b in
+  let sync = B.action b "sync" in
+  let solo = B.action b "solo" in
+  let fin = B.final b in
+  B.edge b i sync;
+  B.edge b sync solo;
+  B.edge b solo fin;
+  let oa = B.occurrence ~loc:"room" b ~obj:"alice" ~cls:"P" in
+  let ob = B.occurrence ~loc:"room" b ~obj:"bob" ~cls:"P" in
+  let oc = B.occurrence ~loc:"room" b ~obj:"carol" ~cls:"P" in
+  B.flow_into b ~occ:oa ~activity:sync;
+  B.flow_into b ~occ:ob ~activity:sync;
+  B.flow_into b ~occ:oc ~activity:sync;
+  B.flow_into b ~occ:oa ~activity:solo;
+  B.finish b
+
+let coop_sets_of net =
+  let rec collect = function
+    | N.Ctx_coop (a, set, b) -> Pepa.Syntax.String_set.elements set :: (collect a @ collect b)
+    | N.Cell _ | N.Static _ -> []
+  in
+  List.concat_map (fun (p : N.place) -> collect p.N.context) net.N.places
+
+let test_allows () =
+  let i = I.make ~name:"calls" ~messages:[ ("alice", "bob", "sync") ] in
+  Alcotest.(check bool) "declared pair" true (I.allows [ i ] ~action:"sync" "alice" "bob");
+  Alcotest.(check bool) "symmetric" true (I.allows [ i ] ~action:"sync" "bob" "alice");
+  Alcotest.(check bool) "other pair excluded" false (I.allows [ i ] ~action:"sync" "alice" "carol");
+  Alcotest.(check bool) "other action excluded" false (I.allows [ i ] ~action:"ping" "alice" "bob");
+  Alcotest.(check bool) "no interactions = allow all" true (I.allows [] ~action:"x" "p" "q");
+  Alcotest.(check (list string)) "participants" [ "alice"; "bob" ] (I.participants i);
+  match I.make ~name:"empty" ~messages:[] with
+  | exception I.Invalid_interaction _ -> ()
+  | _ -> Alcotest.fail "empty interaction accepted"
+
+let test_extraction_without_interactions () =
+  (* Default: all three objects synchronise on sync (ternary cooperation). *)
+  let ex = Extract.Ad_to_pepanet.extract (shared_diagram ()) in
+  let sets = coop_sets_of ex.Extract.Ad_to_pepanet.net in
+  Alcotest.(check int) "two cooperation operators" 2 (List.length sets);
+  Alcotest.(check bool) "both mention sync" true
+    (List.for_all (fun set -> List.mem "sync" set) sets)
+
+let test_extraction_with_interactions () =
+  let interactions = [ I.make ~name:"calls" ~messages:[ ("alice", "bob", "sync") ] ] in
+  let ex = Extract.Ad_to_pepanet.extract ~interactions (shared_diagram ()) in
+  let sets = coop_sets_of ex.Extract.Ad_to_pepanet.net in
+  (* alice-bob cooperate on sync; carol joins independently. *)
+  let mentioning = List.filter (fun set -> List.mem "sync" set) sets in
+  Alcotest.(check int) "only one cooperation carries sync" 1 (List.length mentioning);
+  (* The restricted net still analyses, and carol's sync is independent:
+     sync throughput exceeds the fully-synchronised variant. *)
+  let analyse ex =
+    let a = Choreographer.Workbench.analyse_net ~name:"m" ex.Extract.Ad_to_pepanet.net in
+    Option.get
+      (Choreographer.Results.throughput a.Choreographer.Workbench.net_results "sync")
+  in
+  let restricted = analyse ex in
+  let full = analyse (Extract.Ad_to_pepanet.extract (shared_diagram ())) in
+  Alcotest.(check bool) "independent carol raises sync throughput" true (restricted > full)
+
+let test_xmi_round_trip () =
+  let interactions =
+    [
+      I.make ~name:"calls"
+        ~messages:[ ("alice", "bob", "sync"); ("bob", "carol", "notify") ];
+    ]
+  in
+  let doc = Uml.Xmi_write.document_to_xml ~interactions [ shared_diagram () ] [] in
+  let reread = Uml.Xmi_read.interactions_of_xml doc in
+  Alcotest.(check bool) "interactions round trip" true (reread = interactions);
+  (* and through the metadata repository *)
+  let repo = Uml.Mdr.create () in
+  Uml.Mdr.import_xmi repo doc;
+  let reread2 = Uml.Xmi_read.interactions_of_xml (Uml.Mdr.export_xmi repo) in
+  Alcotest.(check bool) "interactions survive MDR" true (reread2 = interactions)
+
+let test_pipeline_uses_interactions () =
+  let interactions = [ I.make ~name:"calls" ~messages:[ ("alice", "bob", "sync") ] ] in
+  let doc = Uml.Xmi_write.document_to_xml ~interactions [ shared_diagram () ] [] in
+  let outcome = Choreographer.Pipeline.process_document doc in
+  (* The extracted net reflects the restriction. *)
+  let net = snd (List.hd outcome.Choreographer.Pipeline.extracted_nets) in
+  let mentioning = List.filter (fun set -> List.mem "sync" set) (coop_sets_of net) in
+  Alcotest.(check int) "pipeline applied the interaction" 1 (List.length mentioning);
+  (* and preserves the interaction in the reflected document *)
+  Alcotest.(check bool) "interactions preserved in output" true
+    (Uml.Xmi_read.interactions_of_xml outcome.Choreographer.Pipeline.reflected = interactions)
+
+let suite =
+  [
+    Alcotest.test_case "allows" `Quick test_allows;
+    Alcotest.test_case "default: full cooperation" `Quick test_extraction_without_interactions;
+    Alcotest.test_case "interactions restrict cooperation" `Quick test_extraction_with_interactions;
+    Alcotest.test_case "XMI and MDR round trip" `Quick test_xmi_round_trip;
+    Alcotest.test_case "pipeline applies and preserves interactions" `Quick
+      test_pipeline_uses_interactions;
+  ]

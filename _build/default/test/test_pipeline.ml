@@ -1,0 +1,172 @@
+module X = Xml_kit.Minixml
+module P = Choreographer.Pipeline
+module R = Choreographer.Results
+
+let close = Alcotest.float 1e-9
+
+let pda_options = { P.default_options with P.rates = Scenarios.Pda.rates }
+
+let test_full_pipeline_activity () =
+  let project = Scenarios.Pda.poseidon_project () in
+  let outcome = P.process_document ~options:pda_options project in
+  Alcotest.(check int) "one result set" 1 (List.length outcome.P.results);
+  let results = List.hd outcome.P.results in
+  Alcotest.(check string) "named after the diagram" "PDA" results.R.source;
+  Alcotest.(check int) "six markings" 6 results.R.n_states;
+  (* The reflected document carries throughput annotations. *)
+  let diagram = Uml.Xmi_read.activity_of_xml outcome.P.reflected in
+  let annotated =
+    List.filter
+      (fun (n : Uml.Activity.node) ->
+        Uml.Activity.annotation diagram ~node_id:n.Uml.Activity.node_id ~tag:"throughput" <> None)
+      (Uml.Activity.action_nodes diagram)
+  in
+  Alcotest.(check int) "all six annotated" 6 (List.length annotated);
+  (* Annotation values equal the direct analysis. *)
+  let handover_node =
+    List.find
+      (fun (n : Uml.Activity.node) ->
+        match n.Uml.Activity.kind with
+        | Uml.Activity.Action { name; _ } -> name = "handover"
+        | _ -> false)
+      (Uml.Activity.action_nodes diagram)
+  in
+  Alcotest.(check (option string)) "reflected value matches direct analysis"
+    (Some (Extract.Reflector.format_measure (Option.get (R.throughput results "handover"))))
+    (Uml.Activity.annotation diagram ~node_id:handover_node.Uml.Activity.node_id ~tag:"throughput");
+  (* Layout preserved. *)
+  Alcotest.(check bool) "layout preserved" true
+    (Uml.Poseidon.layout_of outcome.P.reflected <> []);
+  (* The intermediate artefacts exist and are parsable. *)
+  (match outcome.P.extracted_nets with
+  | [ (name, net) ] ->
+      Alcotest.(check string) "net per diagram" "PDA" name;
+      let text = Pepanet.Net_printer.net_to_string net in
+      ignore (Pepanet.Net_parser.net_of_string text)
+  | _ -> Alcotest.fail "expected one extracted net")
+
+let test_full_pipeline_statecharts () =
+  let doc =
+    Uml.Xmi_write.statecharts_to_xml [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ]
+  in
+  let outcome = P.process_document doc in
+  let results = List.hd outcome.P.results in
+  Alcotest.(check bool) "state probabilities computed" true
+    (results.R.state_probabilities <> []);
+  let total_client =
+    List.fold_left
+      (fun acc (name, p) ->
+        if String.length name >= 6 && String.sub name 0 6 = "Client" then acc +. p else acc)
+      0.0 results.R.state_probabilities
+  in
+  Alcotest.check close "client probabilities sum to 1" 1.0 total_client;
+  let charts = Uml.Xmi_read.statecharts_of_xml outcome.P.reflected in
+  List.iter
+    (fun (chart : Uml.Statechart.t) ->
+      List.iter
+        (fun (s : Uml.Statechart.state) ->
+          Alcotest.(check bool) "state annotated" true
+            (Uml.Statechart.annotation chart ~state_id:s.Uml.Statechart.state_id
+               ~tag:"steadyStateProbability"
+             <> None))
+        chart.Uml.Statechart.states)
+    charts
+
+let test_combined_document () =
+  let doc =
+    Uml.Xmi_write.document_to_xml ~model_name:"combo"
+      [ Scenarios.Pda.diagram () ]
+      [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ]
+  in
+  let outcome = P.process_document ~options:pda_options doc in
+  Alcotest.(check int) "activity + chart results" 2 (List.length outcome.P.results);
+  Alcotest.(check int) "one extracted net" 1 (List.length outcome.P.extracted_nets);
+  Alcotest.(check int) "one extracted model" 1 (List.length outcome.P.extracted_models)
+
+let test_file_round_trip () =
+  let dir = Filename.temp_file "chor" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let input = Filename.concat dir "in.xmi" in
+  let output = Filename.concat dir "out.xmi" in
+  let rates_path = Filename.concat dir "model.rates" in
+  X.write_file input (Scenarios.Pda.poseidon_project ());
+  Out_channel.with_open_bin rates_path (fun oc ->
+      Out_channel.output_string oc (Uml.Rates_file.to_string Scenarios.Pda.rates));
+  let outcome = P.process_file ~rates_path ~input ~output () in
+  Alcotest.(check bool) "output written" true (Sys.file_exists output);
+  let reread = X.parse_file output in
+  Alcotest.(check bool) "output equals in-memory document" true
+    (X.equal reread outcome.P.reflected)
+
+let test_pipeline_errors () =
+  let empty =
+    X.Element
+      ( "XMI",
+        [ ("xmi.version", "1.2") ],
+        [ X.Element ("XMI.content", [], []) ] )
+  in
+  (match P.process_document empty with
+  | exception P.Pipeline_error _ -> ()
+  | _ -> Alcotest.fail "empty document accepted");
+  (* Metamodel violations are reported as pipeline errors. *)
+  let invalid =
+    X.Element ("XMI", [ ("xmi.version", "1.2") ], [ X.Element ("Bogus", [], []) ])
+  in
+  match P.process_document invalid with
+  | exception P.Pipeline_error _ -> ()
+  | _ -> Alcotest.fail "invalid document accepted"
+
+let test_results_xmltable () =
+  let results =
+    R.make ~source:"demo" ~kind:R.Pepa_net ~n_states:6 ~n_transitions:7
+      ~throughputs:[ ("handover", 0.254777); ("abort", 0.1273885) ]
+      ~state_probabilities:[ ("Client_Wait", 0.4479) ]
+      ~warnings:[ "something mild" ] ()
+  in
+  let round = R.of_xmltable (R.to_xmltable results) in
+  Alcotest.(check bool) "xmltable round trip" true (round = results);
+  (* and through text *)
+  let text = X.to_string (R.to_xmltable results) in
+  let round2 = R.of_xmltable (X.parse_string text) in
+  Alcotest.(check bool) "xmltable text round trip" true (round2 = results);
+  Alcotest.(check (option (float 1e-12))) "accessors" (Some 0.254777)
+    (R.throughput results "handover");
+  match R.of_xmltable (X.Element ("nope", [], [])) with
+  | exception R.Malformed_results _ -> ()
+  | _ -> Alcotest.fail "malformed results accepted"
+
+let test_html_report () =
+  let outcome = P.process_document ~options:pda_options (Scenarios.Pda.poseidon_project ()) in
+  let html = Choreographer.Html_report.of_outcome ~title:"PDA report" outcome in
+  let contains needle =
+    let n = String.length needle and h = String.length html in
+    let rec scan i = i + n <= h && (String.sub html i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "doctype" true (contains "<!DOCTYPE html>");
+  Alcotest.(check bool) "title" true (contains "PDA report");
+  Alcotest.(check bool) "throughput table" true (contains "Throughput");
+  Alcotest.(check bool) "annotated activity" true (contains "download file");
+  Alcotest.(check bool) "move stereotype" true (contains "&laquo;move&raquo;");
+  Alcotest.(check bool) "net text embedded" true (contains "trans t_handover");
+  Alcotest.(check bool) "graphviz section" true (contains "digraph pepa_net");
+  Alcotest.(check string) "escaping" "a&amp;b &lt;c&gt; &quot;d&quot;"
+    (Choreographer.Html_report.escape "a&b <c> \"d\"");
+  (* write-to-file wrapper *)
+  let path = Filename.temp_file "report" ".html" in
+  Choreographer.Html_report.write ~title:"PDA report" ~path outcome;
+  Alcotest.(check bool) "file written" true
+    (In_channel.with_open_bin path In_channel.input_all = html);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "full pipeline on an activity diagram" `Quick test_full_pipeline_activity;
+    Alcotest.test_case "full pipeline on state diagrams" `Quick test_full_pipeline_statecharts;
+    Alcotest.test_case "combined documents" `Quick test_combined_document;
+    Alcotest.test_case "file-level round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "pipeline errors" `Quick test_pipeline_errors;
+    Alcotest.test_case "xmltable results format" `Quick test_results_xmltable;
+    Alcotest.test_case "html report" `Quick test_html_report;
+  ]

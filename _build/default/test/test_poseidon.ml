@@ -1,0 +1,103 @@
+module X = Xml_kit.Minixml
+module P = Uml.Poseidon
+
+let base_doc () = Uml.Xmi_write.activity_to_xml (Scenarios.Pda.diagram ())
+
+let test_add_and_strip () =
+  let doc = base_doc () in
+  let project = P.add_layout doc in
+  Alcotest.(check int) "layout section present" 1 (List.length (P.layout_of project));
+  Alcotest.(check bool) "strip recovers the pure document" true (X.equal doc (P.strip project));
+  Alcotest.(check int) "layout gone after strip" 0 (List.length (P.layout_of (P.strip project)));
+  (* stripping a layout-free document is the identity *)
+  Alcotest.(check bool) "strip is idempotent" true (X.equal doc (P.strip doc))
+
+let test_layout_entries_reference_ids () =
+  let project = P.add_layout (base_doc ()) in
+  match P.layout_of project with
+  | [ layout ] ->
+      let entries = X.element_children layout in
+      Alcotest.(check bool) "entries exist" true (List.length entries > 5);
+      List.iter
+        (fun entry ->
+          Alcotest.(check bool) "entry has element ref" true (X.attribute "element" entry <> None);
+          Alcotest.(check bool) "entry has coordinates" true (X.attribute "x" entry <> None))
+        entries
+  | _ -> Alcotest.fail "expected one layout section"
+
+let test_merge_preserves_layout () =
+  let original = P.add_layout (base_doc ()) in
+  (* Simulate reflection: the structural part is rebuilt (same ids). *)
+  let reflected_structural = P.strip original in
+  let merged = P.merge ~original ~reflected:reflected_structural () in
+  Alcotest.(check int) "layout restored" 1 (List.length (P.layout_of merged));
+  Alcotest.(check bool) "structure intact" true
+    (X.equal (P.strip merged) reflected_structural)
+
+let test_merge_drops_stale_entries () =
+  let original = P.add_layout (base_doc ()) in
+  (* The reflected document lost one element (different diagram). *)
+  let tiny =
+    Uml.Xmi_write.activity_to_xml
+      (let b = Uml.Activity.Build.create "PDA" in
+       let i = Uml.Activity.Build.initial b in
+       let a = Uml.Activity.Build.action b "solo" in
+       Uml.Activity.Build.edge b i a;
+       let o = Uml.Activity.Build.occurrence b ~obj:"x" ~cls:"T" in
+       Uml.Activity.Build.flow_into b ~occ:o ~activity:a;
+       Uml.Activity.Build.finish b)
+  in
+  let merged = P.merge ~original ~reflected:tiny () in
+  match P.layout_of merged with
+  | [ layout ] ->
+      let known_ids =
+        Xml_kit.Xpath_lite.descendants merged
+        |> List.filter_map (fun node -> X.attribute "xmi.id" node)
+      in
+      let stale =
+        List.filter
+          (fun entry ->
+            match X.attribute "element" entry with
+            | Some id -> not (List.mem id known_ids)
+            | None -> false)
+          (X.element_children layout)
+      in
+      Alcotest.(check int) "no stale layout entries" 0 (List.length stale);
+      Alcotest.(check bool) "surviving entries kept" true (X.element_children layout <> [])
+  | _ -> Alcotest.fail "expected one layout section"
+
+let test_custom_prefix () =
+  let doc = base_doc () in
+  let foreign = X.Element ("OtherTool:Geometry", [], []) in
+  let project =
+    match doc with
+    | X.Element (tag, attrs, children) -> X.Element (tag, attrs, children @ [ foreign ])
+    | _ -> assert false
+  in
+  Alcotest.(check int) "custom prefix found" 1
+    (List.length (P.layout_of ~prefix:"OtherTool:" project));
+  Alcotest.(check bool) "custom prefix stripped" true
+    (X.equal doc (P.strip ~prefix:"OtherTool:" project));
+  (* default prefix does not touch it *)
+  Alcotest.(check int) "default prefix blind to it" 0 (List.length (P.layout_of project))
+
+let test_full_cycle_with_mdr () =
+  (* The Figure 4 sequence: project -> strip -> MDR -> export -> merge. *)
+  let project = P.add_layout (base_doc ()) in
+  let repo = Uml.Mdr.create () in
+  Uml.Mdr.import_xmi repo (P.strip project);
+  let exported = Uml.Mdr.export_xmi repo in
+  let merged = P.merge ~original:project ~reflected:exported () in
+  Alcotest.(check int) "layout survives the full cycle" 1 (List.length (P.layout_of merged));
+  Alcotest.(check bool) "structure survives the full cycle" true
+    (X.equal (P.strip project) (P.strip merged))
+
+let suite =
+  [
+    Alcotest.test_case "add and strip layout" `Quick test_add_and_strip;
+    Alcotest.test_case "layout entries reference element ids" `Quick test_layout_entries_reference_ids;
+    Alcotest.test_case "merge preserves layout" `Quick test_merge_preserves_layout;
+    Alcotest.test_case "merge drops stale entries" `Quick test_merge_drops_stale_entries;
+    Alcotest.test_case "custom tool prefixes" `Quick test_custom_prefix;
+    Alcotest.test_case "full preprocessor/postprocessor cycle" `Quick test_full_cycle_with_mdr;
+  ]

@@ -1,0 +1,127 @@
+module R = Pepa.Rate
+
+let rate = Alcotest.testable (fun fmt r -> R.pp fmt r) R.equal
+
+let test_constructors () =
+  Alcotest.check rate "active" (R.Active 2.5) (R.active 2.5);
+  Alcotest.check rate "passive" (R.Passive 1.0) R.passive;
+  Alcotest.check rate "weighted passive" (R.Passive 3.0) (R.passive_weighted 3.0);
+  Alcotest.(check bool) "zero is zero" true (R.is_zero R.zero);
+  Alcotest.(check bool) "passive is passive" true (R.is_passive R.passive);
+  Alcotest.check_raises "active rejects 0" (Invalid_argument "Rate.active: expected a finite positive value, got 0")
+    (fun () -> ignore (R.active 0.0));
+  (match R.active (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rate accepted");
+  match R.active Float.infinity with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "infinite rate accepted"
+
+let test_sum () =
+  Alcotest.check rate "active sum" (R.Active 5.0) (R.sum (R.active 2.0) (R.active 3.0));
+  Alcotest.check rate "passive sum adds weights" (R.Passive 3.0) (R.sum R.passive (R.passive_weighted 2.0));
+  Alcotest.check rate "zero left identity" (R.Passive 2.0) (R.sum R.zero (R.passive_weighted 2.0));
+  Alcotest.check rate "zero right identity" (R.Active 4.0) (R.sum (R.active 4.0) R.zero);
+  Alcotest.check_raises "mixed sum rejected" R.Mixed_rates (fun () ->
+      ignore (R.sum (R.active 1.0) R.passive))
+
+let test_min () =
+  Alcotest.check rate "active min" (R.Active 2.0) (R.min_rate (R.active 2.0) (R.active 3.0));
+  Alcotest.check rate "passive beats active" (R.Active 7.0) (R.min_rate R.passive (R.active 7.0));
+  Alcotest.check rate "active beats passive (sym)" (R.Active 7.0) (R.min_rate (R.active 7.0) R.passive);
+  Alcotest.check rate "two passives: min weight" (R.Passive 2.0)
+    (R.min_rate (R.passive_weighted 2.0) (R.passive_weighted 5.0))
+
+let close = Alcotest.float 1e-12
+
+let test_cooperation_active_active () =
+  (* Single instance on each side: rate is min of the two. *)
+  Alcotest.check rate "simple coop"
+    (R.Active 2.0)
+    (R.cooperation (R.active 2.0) ~apparent1:(R.active 2.0) (R.active 5.0)
+       ~apparent2:(R.active 5.0));
+  (* Two instances on the left (apparent 4), one contributing rate 1:
+     it gets a quarter share of min(4, 2) = 2. *)
+  Alcotest.check rate "shared apparent rate"
+    (R.Active 0.5)
+    (R.cooperation (R.active 1.0) ~apparent1:(R.active 4.0) (R.active 2.0)
+       ~apparent2:(R.active 2.0))
+
+let test_cooperation_passive () =
+  (* Passive left defers entirely to the active right. *)
+  Alcotest.check rate "passive/active"
+    (R.Active 3.0)
+    (R.cooperation R.passive ~apparent1:R.passive (R.active 3.0) ~apparent2:(R.active 3.0));
+  (* Weighted passive splits the active rate. *)
+  Alcotest.check rate "weight share"
+    (R.Active 1.0)
+    (R.cooperation (R.passive_weighted 1.0) ~apparent1:(R.passive_weighted 3.0) (R.active 3.0)
+       ~apparent2:(R.active 3.0));
+  (* Both passive stays passive. *)
+  Alcotest.(check bool) "passive/passive stays passive" true
+    (R.is_passive
+       (R.cooperation R.passive ~apparent1:R.passive R.passive ~apparent2:R.passive))
+
+let test_share_scale_value () =
+  Alcotest.check close "share active" 0.25 (R.share (R.active 1.0) ~apparent:(R.active 4.0));
+  Alcotest.check close "share passive" 0.5
+    (R.share (R.passive_weighted 1.0) ~apparent:(R.passive_weighted 2.0));
+  Alcotest.check rate "scale" (R.Active 6.0) (R.scale 3.0 (R.active 2.0));
+  Alcotest.check close "value_exn" 2.0 (R.value_exn (R.active 2.0));
+  match R.value_exn R.passive with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "value_exn accepted passive"
+
+let test_ordering_printing () =
+  Alcotest.(check int) "active < passive" (-1) (R.compare (R.active 100.0) R.passive);
+  Alcotest.(check string) "pp active" "2.5" (R.to_string (R.active 2.5));
+  Alcotest.(check string) "pp passive" "infty" (R.to_string R.passive);
+  Alcotest.(check string) "pp weighted" "infty[2]" (R.to_string (R.passive_weighted 2.0))
+
+(* Law: the cooperation rate never exceeds either apparent rate (bounded
+   capacity). *)
+let prop_bounded_capacity =
+  let open QCheck2 in
+  let pos = Gen.float_range 0.1 50.0 in
+  Test.make ~name:"cooperation is bounded by both apparent rates" ~count:500
+    Gen.(quad pos pos pos pos)
+    (fun (r1, extra1, r2, extra2) ->
+      let apparent1 = R.active (r1 +. extra1) and apparent2 = R.active (r2 +. extra2) in
+      match R.cooperation (R.active r1) ~apparent1 (R.active r2) ~apparent2 with
+      | R.Active r ->
+          r <= R.value_exn apparent1 +. 1e-9 && r <= R.value_exn apparent2 +. 1e-9 && r > 0.0
+      | R.Passive _ -> false)
+
+(* Law: instances sharing an apparent rate split it exactly: summing the
+   cooperation rate over all left instances gives min(ra1, ra2). *)
+let prop_shares_partition =
+  let open QCheck2 in
+  let rates_gen = Gen.(list_size (1 -- 5) (float_range 0.1 10.0)) in
+  Test.make ~name:"left instances partition the bounded rate" ~count:300
+    Gen.(pair rates_gen (float_range 0.1 30.0))
+    (fun (lefts, r2) ->
+      let apparent1 = List.fold_left (fun acc r -> R.sum acc (R.active r)) R.zero lefts in
+      let apparent2 = R.active r2 in
+      let total =
+        List.fold_left
+          (fun acc r ->
+            acc
+            +. R.value_exn
+                 (R.cooperation (R.active r) ~apparent1 (R.active r2) ~apparent2))
+          0.0 lefts
+      in
+      let expected = Float.min (R.value_exn apparent1) r2 in
+      abs_float (total -. expected) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "constructors" `Quick test_constructors;
+    Alcotest.test_case "apparent-rate sum" `Quick test_sum;
+    Alcotest.test_case "apparent-rate min" `Quick test_min;
+    Alcotest.test_case "cooperation: active/active" `Quick test_cooperation_active_active;
+    Alcotest.test_case "cooperation: passive" `Quick test_cooperation_passive;
+    Alcotest.test_case "share, scale, value" `Quick test_share_scale_value;
+    Alcotest.test_case "ordering and printing" `Quick test_ordering_printing;
+    QCheck_alcotest.to_alcotest prop_bounded_capacity;
+    QCheck_alcotest.to_alcotest prop_shares_partition;
+  ]

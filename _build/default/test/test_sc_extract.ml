@@ -1,0 +1,113 @@
+module SC = Uml.Statechart
+module E = Extract.Sc_to_pepa
+
+let close = Alcotest.float 1e-9
+
+let test_single_chart () =
+  let chart =
+    SC.make ~name:"Clock" ~states:[ "Tick"; "Tock" ]
+      ~transitions:[ ("Tick", "Tock", "tick", Some 2.0); ("Tock", "Tick", "tock", Some 3.0) ]
+      ()
+  in
+  let ex = E.extract [ chart ] in
+  Alcotest.(check (list string)) "no shared actions" [] ex.E.shared_actions;
+  let analysis = Choreographer.Workbench.analyse_pepa ~name:"clock" ex.E.model in
+  let results = analysis.Choreographer.Workbench.results in
+  Alcotest.check close "throughput tick" 1.2
+    (Option.get (Choreographer.Results.throughput results "tick"));
+  let probabilities = Choreographer.Workbench.local_probabilities analysis ~leaf:0 in
+  Alcotest.check close "P(Tick)" 0.6 (List.assoc "Clock_Tick" probabilities);
+  Alcotest.check close "P(Tock)" 0.4 (List.assoc "Clock_Tock" probabilities)
+
+let test_client_server_sharing () =
+  let ex = E.extract [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ] in
+  Alcotest.(check (list string)) "request/response shared" [ "request"; "response" ]
+    ex.E.shared_actions;
+  Alcotest.(check (list (pair string int))) "chart leaves in order"
+    [ ("Client", 0); ("Server", 1) ] ex.E.chart_leaf;
+  (* the unrated side of a shared action is passive: the model still
+     solves (no passive at top). *)
+  let analysis = Choreographer.Workbench.analyse_pepa ~name:"cs" ex.E.model in
+  Alcotest.(check bool) "solved" true
+    (analysis.Choreographer.Workbench.results.Choreographer.Results.n_states > 0)
+
+let test_probabilities_sum_per_chart () =
+  let study = Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_cached ()) in
+  List.iter
+    (fun (chart, leaf) ->
+      let probabilities =
+        Choreographer.Workbench.local_probabilities study.Scenarios.Tomcat.analysis ~leaf
+      in
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 probabilities in
+      Alcotest.check close (chart ^ " distribution sums to 1") 1.0 total)
+    study.Scenarios.Tomcat.extraction.E.chart_leaf
+
+let test_optimisation_shape () =
+  (* The paper's conclusion: the servlet cache is "very profitable".
+     The shape must hold across a parameter sweep of the slow phases. *)
+  List.iter
+    (fun (translate, compile) ->
+      let without =
+        Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_jsp ~translate ~compile ())
+      in
+      let with_opt =
+        Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_cached ~translate ~compile ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimisation wins at translate=%g compile=%g" translate compile)
+        true
+        (with_opt.Scenarios.Tomcat.waiting_delay < without.Scenarios.Tomcat.waiting_delay /. 5.0);
+      Alcotest.(check bool) "optimisation raises request throughput" true
+        (with_opt.Scenarios.Tomcat.request_throughput
+         > without.Scenarios.Tomcat.request_throughput))
+    [ (2.0, 1.5); (1.0, 1.0); (5.0, 4.0) ]
+
+let test_request_response_balance () =
+  let study = Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_jsp ()) in
+  let results = study.Scenarios.Tomcat.analysis.Choreographer.Workbench.results in
+  let t name = Option.get (Choreographer.Results.throughput results name) in
+  Alcotest.check close "every request is answered" (t "request") (t "response")
+
+let test_chart_reflection () =
+  let study = Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_jsp ()) in
+  let probabilities =
+    List.concat_map
+      (fun (_, leaf) ->
+        Choreographer.Workbench.local_probabilities study.Scenarios.Tomcat.analysis ~leaf)
+      study.Scenarios.Tomcat.extraction.E.chart_leaf
+  in
+  let charts = [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ] in
+  let reflected =
+    Extract.Reflector.reflect_statecharts study.Scenarios.Tomcat.extraction ~probabilities charts
+  in
+  List.iter
+    (fun chart ->
+      List.iter
+        (fun (s : SC.state) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s.%s annotated" chart.SC.chart_name s.SC.state_name)
+            true
+            (SC.annotation chart ~state_id:s.SC.state_id ~tag:Extract.Reflector.probability_tag
+             <> None))
+        chart.SC.states)
+    reflected
+
+let test_extract_errors () =
+  (match E.extract [] with
+  | exception E.Extraction_error _ -> ()
+  | _ -> Alcotest.fail "empty chart list accepted");
+  let c = Scenarios.Tomcat.client () in
+  match E.extract [ c; c ] with
+  | exception E.Extraction_error _ -> ()
+  | _ -> Alcotest.fail "duplicate chart names accepted"
+
+let suite =
+  [
+    Alcotest.test_case "single chart" `Quick test_single_chart;
+    Alcotest.test_case "client/server action sharing" `Quick test_client_server_sharing;
+    Alcotest.test_case "probabilities sum per chart" `Quick test_probabilities_sum_per_chart;
+    Alcotest.test_case "servlet-cache optimisation shape" `Quick test_optimisation_shape;
+    Alcotest.test_case "request/response flow balance" `Quick test_request_response_balance;
+    Alcotest.test_case "reflection into charts" `Quick test_chart_reflection;
+    Alcotest.test_case "extraction errors" `Quick test_extract_errors;
+  ]

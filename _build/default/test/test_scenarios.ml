@@ -1,0 +1,105 @@
+(* End-to-end numeric reproductions of the paper's worked examples, with
+   closed-form expectations where the models are cyclic. *)
+
+let close = Alcotest.float 1e-9
+
+let throughput results name =
+  Option.get (Choreographer.Results.throughput results name)
+
+let test_e1_file_protocol () =
+  (* Each session: open (two rate-2 alternatives racing: sojourn 1/4),
+     one operation (read 1/10 or write 1/5 by branch), close 1/4,
+     reset 1/20.  With the 50/50 branch split the mean cycle is 0.7. *)
+  let ex = Scenarios.File_protocol.extraction () in
+  let analysis = Choreographer.Workbench.analyse_net ~name:"file" ex.Extract.Ad_to_pepanet.net in
+  let results = analysis.Choreographer.Workbench.net_results in
+  Alcotest.check close "session rate" (1.0 /. 0.7) (throughput results "close");
+  Alcotest.check close "branches split evenly" (throughput results "openread")
+    (throughput results "openwrite");
+  Alcotest.check close "reads equal read-branch visits" (throughput results "openread")
+    (throughput results "read");
+  (* The paper's qualitative claims on the hand-written model. *)
+  let space = Pepa.Statespace.of_string Scenarios.File_protocol.pepa_source in
+  Alcotest.(check bool) "cannot write to a closed file" true
+    (Pepa.Analysis.never_follows space ~first:"close" ~then_:"write");
+  Alcotest.(check bool) "reads and writes never interleave" true
+    (Pepa.Analysis.never_follows space ~first:"read" ~then_:"write"
+     && Pepa.Analysis.never_follows space ~first:"write" ~then_:"read")
+
+let test_e2_instant_message () =
+  (* Hand-written net: cycle time = 1/2 + 1/5 + 1/4 + 1/1.5 + 1/2 + 1/10
+     + 1/4 + 1/8 = 2.59166...; all activities once per cycle. *)
+  let space = Pepanet.Net_statespace.of_string Scenarios.Instant_message.pepanet_source in
+  let pi = Pepanet.Net_statespace.steady_state space in
+  let cycle =
+    (1.0 /. 2.0) +. (1.0 /. 5.0) +. (1.0 /. 4.0) +. (1.0 /. 1.5) +. (1.0 /. 2.0)
+    +. (1.0 /. 10.0) +. (1.0 /. 4.0) +. (1.0 /. 8.0)
+  in
+  List.iter
+    (fun action ->
+      Alcotest.check close ("throughput " ^ action) (1.0 /. cycle)
+        (Pepanet.Net_measures.throughput space pi action))
+    [ "openwrite"; "write"; "transmit"; "openread"; "read"; "sendback" ];
+  (* Extracted variant agrees exactly (same rates, same structure). *)
+  let ex = Scenarios.Instant_message.extraction () in
+  let analysis = Choreographer.Workbench.analyse_net ~name:"im" ex.Extract.Ad_to_pepanet.net in
+  Alcotest.check close "extraction agrees with the hand-written net" (1.0 /. cycle)
+    (throughput analysis.Choreographer.Workbench.net_results "transmit")
+
+let test_e3_pda () =
+  let ex = Scenarios.Pda.extraction () in
+  let analysis = Choreographer.Workbench.analyse_net ~name:"pda" ex.Extract.Ad_to_pepanet.net in
+  let results = analysis.Choreographer.Workbench.net_results in
+  let cycle = 0.5 +. 0.1 +. 0.2 +. 2.0 +. 0.125 +. 1.0 in
+  Alcotest.check close "handover throughput" (1.0 /. cycle) (throughput results "handover");
+  Alcotest.check close "50/50 outcome" 1.0
+    (throughput results "abort_download" /. throughput results "continue_download");
+  Alcotest.check close "outcomes partition the handovers"
+    (throughput results "handover")
+    (throughput results "abort_download" +. throughput results "continue_download");
+  (* Faster handover shifts throughput up; the shape survives a sweep. *)
+  let at_handover h =
+    let rates = Scenarios.Pda.rates_with_handover h in
+    let ex = Extract.Ad_to_pepanet.extract ~rates (Scenarios.Pda.diagram ()) in
+    let analysis = Choreographer.Workbench.analyse_net ~name:"pda" ex.Extract.Ad_to_pepanet.net in
+    throughput analysis.Choreographer.Workbench.net_results "download_file"
+  in
+  Alcotest.(check bool) "monotone in handover rate" true
+    (at_handover 0.25 < at_handover 0.5 && at_handover 0.5 < at_handover 2.0)
+
+let test_e4_tomcat () =
+  let without = Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_jsp ()) in
+  let with_opt = Scenarios.Tomcat.study ~server:(Scenarios.Tomcat.server_cached ()) in
+  (* Closed network of one client and one server: delay is the sum of the
+     server-side stage delays. *)
+  let expected_without = (1.0 /. 50.0) +. (1.0 /. 2.0) +. (1.0 /. 1.5) +. 0.01 +. 0.02 in
+  Alcotest.check close "client waiting delay (full JSP lifecycle)" expected_without
+    without.Scenarios.Tomcat.waiting_delay;
+  let expected_with = (1.0 /. 200.0) +. 0.01 +. 0.02 in
+  Alcotest.check close "client waiting delay (servlet cache)" expected_with
+    with_opt.Scenarios.Tomcat.waiting_delay;
+  Alcotest.(check bool) "more than an order of magnitude better" true
+    (without.Scenarios.Tomcat.waiting_delay /. with_opt.Scenarios.Tomcat.waiting_delay > 10.0)
+
+let test_e5_layout_preservation_is_bytewise () =
+  (* The postprocessor must hand back the very layout entries Poseidon
+     saved (Figure 4's "reuse the layout data of the original model"). *)
+  let project = Scenarios.Pda.poseidon_project () in
+  let options = { Choreographer.Pipeline.default_options with rates = Scenarios.Pda.rates } in
+  let outcome = Choreographer.Pipeline.process_document ~options project in
+  let original_layout =
+    List.map Xml_kit.Minixml.to_string (Uml.Poseidon.layout_of project)
+  in
+  let reflected_layout =
+    List.map Xml_kit.Minixml.to_string (Uml.Poseidon.layout_of outcome.Choreographer.Pipeline.reflected)
+  in
+  Alcotest.(check (list string)) "layout byte-identical" original_layout reflected_layout
+
+let suite =
+  [
+    Alcotest.test_case "E1: file protocol (Figure 1)" `Quick test_e1_file_protocol;
+    Alcotest.test_case "E2: instant message (Figure 2)" `Quick test_e2_instant_message;
+    Alcotest.test_case "E3: PDA handover (Figures 5-7)" `Quick test_e3_pda;
+    Alcotest.test_case "E4: Tomcat optimisation (Figures 8-9)" `Quick test_e4_tomcat;
+    Alcotest.test_case "E5: layout preservation (Figure 4)" `Quick test_e5_layout_preservation_is_bytewise;
+  ]

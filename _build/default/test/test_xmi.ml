@@ -1,0 +1,134 @@
+module A = Uml.Activity
+module X = Xml_kit.Minixml
+
+let activity_eq = Alcotest.testable (fun fmt d -> Format.fprintf fmt "%s" d.A.diagram_name) ( = )
+
+let test_activity_round_trip () =
+  List.iter
+    (fun d ->
+      let doc = Uml.Xmi_write.activity_to_xml d in
+      let reread = Uml.Xmi_read.activity_of_xml doc in
+      Alcotest.check activity_eq ("round trip " ^ d.A.diagram_name) d reread)
+    [ Scenarios.Pda.diagram (); Scenarios.Instant_message.diagram (); Scenarios.File_protocol.diagram () ]
+
+let test_stereotype_and_tags () =
+  let d = Scenarios.Pda.diagram () in
+  let doc = Uml.Xmi_write.activity_to_xml d in
+  let reread = Uml.Xmi_read.activity_of_xml doc in
+  let moves =
+    List.filter
+      (fun (n : A.node) -> match n.A.kind with A.Action { move = true; _ } -> true | _ -> false)
+      reread.A.nodes
+  in
+  Alcotest.(check int) "one <<move>> survives" 1 (List.length moves);
+  let locs = A.locations reread in
+  Alcotest.(check (list string)) "atloc tags survive" [ "transmitter_1"; "transmitter_2" ] locs;
+  let occ = List.hd reread.A.occurrences in
+  Alcotest.(check string) "class survives" "UserAgent" occ.A.class_name;
+  Alcotest.(check (option string)) "state survives" (Some "initial") occ.A.obj_state
+
+let test_annotations_round_trip () =
+  let d = Scenarios.Pda.diagram () in
+  let act = (List.hd (A.action_nodes d)).A.node_id in
+  let d = A.annotate d ~node_id:act ~tag:"throughput" ~value:"0.2548" in
+  let reread = Uml.Xmi_read.activity_of_xml (Uml.Xmi_write.activity_to_xml d) in
+  Alcotest.(check (option string)) "tagged value round trip" (Some "0.2548")
+    (A.annotation reread ~node_id:act ~tag:"throughput")
+
+let test_statechart_round_trip () =
+  let charts = [ Scenarios.Tomcat.client (); Scenarios.Tomcat.server_jsp () ] in
+  let doc = Uml.Xmi_write.statecharts_to_xml charts in
+  let reread = Uml.Xmi_read.statecharts_of_xml doc in
+  Alcotest.(check int) "two machines" 2 (List.length reread);
+  Alcotest.(check bool) "identical" true (reread = charts)
+
+let test_combined_document () =
+  let doc =
+    Uml.Xmi_write.document_to_xml ~model_name:"combined"
+      [ Scenarios.Pda.diagram () ]
+      [ Scenarios.Tomcat.client () ]
+  in
+  Alcotest.(check int) "one activity graph" 1 (List.length (Uml.Xmi_read.activities_of_xml doc));
+  Alcotest.(check int) "one state machine" 1 (List.length (Uml.Xmi_read.statecharts_of_xml doc));
+  (* document parses back from text form too *)
+  let text = X.to_string doc in
+  let reparsed = X.parse_string text in
+  Alcotest.(check int) "after text round trip" 1
+    (List.length (Uml.Xmi_read.activities_of_xml reparsed))
+
+let test_fork_join_round_trip () =
+  let b = Uml.Activity.Build.create "forked" in
+  let i = Uml.Activity.Build.initial b in
+  let fork = Uml.Activity.Build.fork b in
+  let a1 = Uml.Activity.Build.action b "left" in
+  let a2 = Uml.Activity.Build.action b "right" in
+  let join = Uml.Activity.Build.join b in
+  let fin = Uml.Activity.Build.final b in
+  Uml.Activity.Build.edge b i fork;
+  Uml.Activity.Build.edge b fork a1;
+  Uml.Activity.Build.edge b fork a2;
+  Uml.Activity.Build.edge b a1 join;
+  Uml.Activity.Build.edge b a2 join;
+  Uml.Activity.Build.edge b join fin;
+  let o = Uml.Activity.Build.occurrence b ~obj:"x" ~cls:"T" in
+  Uml.Activity.Build.flow_into b ~occ:o ~activity:a1;
+  let d = Uml.Activity.Build.finish b in
+  let reread = Uml.Xmi_read.activity_of_xml (Uml.Xmi_write.activity_to_xml d) in
+  Alcotest.(check bool) "fork/join survive XMI" true (reread = d);
+  Alcotest.(check int) "fork present" 1
+    (List.length (List.filter (fun (n : A.node) -> n.A.kind = A.Fork) reread.A.nodes));
+  Alcotest.(check int) "join present" 1
+    (List.length (List.filter (fun (n : A.node) -> n.A.kind = A.Join) reread.A.nodes))
+
+let test_reader_errors () =
+  let reject msg src =
+    match Uml.Xmi_read.activity_of_string src with
+    | exception Uml.Xmi_read.Xmi_error _ -> ()
+    | _ -> Alcotest.failf "%s: accepted" msg
+  in
+  reject "no graph" "<XMI xmi.version=\"1.2\"><XMI.content/></XMI>";
+  reject "missing id"
+    {|<XMI xmi.version="1.2"><XMI.content><UML:ActivityGraph name="g">
+        <UML:StateMachine.top><UML:CompositeState xmi.id="t"><UML:CompositeState.subvertex>
+          <UML:ActionState name="a"/>
+        </UML:CompositeState.subvertex></UML:CompositeState></UML:StateMachine.top>
+      </UML:ActivityGraph></XMI.content></XMI>|};
+  reject "transition between object flows"
+    {|<XMI xmi.version="1.2"><XMI.content><UML:ActivityGraph xmi.id="g" name="g">
+        <UML:StateMachine.top><UML:CompositeState xmi.id="t"><UML:CompositeState.subvertex>
+          <UML:Pseudostate xmi.id="i" kind="initial"/>
+          <UML:ObjectFlowState xmi.id="o1" name="x"/>
+          <UML:ObjectFlowState xmi.id="o2" name="y"/>
+        </UML:CompositeState.subvertex></UML:CompositeState></UML:StateMachine.top>
+        <UML:StateMachine.transitions>
+          <UML:Transition xmi.id="t1" source="o1" target="o2"/>
+        </UML:StateMachine.transitions>
+      </UML:ActivityGraph></XMI.content></XMI>|}
+
+let test_reader_tolerates_unknown_elements () =
+  (* Elements outside the known vocabulary are skipped, mirroring a
+     metamodel-driven reader. *)
+  let d = Scenarios.Pda.diagram () in
+  let doc = Uml.Xmi_write.activity_to_xml d in
+  let noisy =
+    X.map_elements
+      (fun node ->
+        if X.name node = "UML:CompositeState.subvertex" then
+          X.add_child (X.Element ("Vendor:Widget", [ ("x", "1") ], [])) node
+        else node)
+      doc
+  in
+  let reread = Uml.Xmi_read.activity_of_xml noisy in
+  Alcotest.(check int) "nodes unaffected" (List.length d.A.nodes) (List.length reread.A.nodes)
+
+let suite =
+  [
+    Alcotest.test_case "activity diagram round trip" `Quick test_activity_round_trip;
+    Alcotest.test_case "stereotypes and tagged values" `Quick test_stereotype_and_tags;
+    Alcotest.test_case "annotations round trip" `Quick test_annotations_round_trip;
+    Alcotest.test_case "state machine round trip" `Quick test_statechart_round_trip;
+    Alcotest.test_case "combined documents" `Quick test_combined_document;
+    Alcotest.test_case "fork/join round trip" `Quick test_fork_join_round_trip;
+    Alcotest.test_case "reader errors" `Quick test_reader_errors;
+    Alcotest.test_case "unknown elements tolerated" `Quick test_reader_tolerates_unknown_elements;
+  ]
