@@ -351,7 +351,7 @@ let e6 () =
           Printf.sprintf "%.2e" (Markov.Measures.distribution_distance reference pi);
         ])
       [ Markov.Steady.Direct; Markov.Steady.Jacobi; Markov.Steady.Gauss_seidel;
-        Markov.Steady.Power ]
+        Markov.Steady.Sor 1.2; Markov.Steady.Power ]
   in
   print_string (table ~header:[ "method"; "time (s)"; "residual"; "vs direct" ] rows);
   print_newline ();
@@ -487,11 +487,16 @@ let microbenchmarks () =
   print_string (table ~header:[ "stage"; "ns/run" ] rows)
 
 let () =
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  microbenchmarks ()
+  (* --smoke: the smallest scenario only, used by CI to catch perf-path
+     regressions without paying for the full evaluation sweep. *)
+  if Array.exists (( = ) "--smoke") Sys.argv then e1 ()
+  else begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    microbenchmarks ()
+  end

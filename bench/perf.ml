@@ -1,0 +1,173 @@
+(* Pipeline performance benchmark: the perf trajectory starts here.
+
+   Times the three stages of the solve pipeline — state-space build,
+   CTMC assembly (CSR + transposed generator) and steady-state solve —
+   on the E6 scalability families of the paper, and writes a
+   machine-readable BENCH_PIPELINE.json at the repository root so later
+   PRs can compare against it.
+
+     dune exec bench/perf.exe            # full sweep, writes BENCH_PIPELINE.json
+     dune exec bench/perf.exe -- --smoke # tiny sweep, same format
+     dune exec bench/perf.exe -- --out somewhere.json *)
+
+let replicated_model n =
+  Printf.sprintf
+    {|
+      Proc = (task, 1.0).(swap, 2.0).Proc;
+      Srv = (task, infty).(log, 5.0).Srv;
+      system (Proc[%d]) <task> Srv;
+    |}
+    n
+
+type row = {
+  parameter : int;
+  states : int;
+  transitions : int;
+  build_s : float;
+  assemble_s : float;
+  solve_s : float;
+  iterations : int;
+  residual : float;
+  method_used : string;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let solve_options = Markov.Steady.default_options
+
+let pepa_row n =
+  let space, build_s = time (fun () -> Pepa.Statespace.of_string (replicated_model n)) in
+  let chain, assemble_s =
+    time (fun () ->
+        let chain = Pepa.Statespace.ctmc space in
+        ignore (Markov.Ctmc.generator_transposed chain);
+        chain)
+  in
+  let (_, stats), solve_s =
+    time (fun () -> Markov.Steady.solve_stats ~options:solve_options chain)
+  in
+  {
+    parameter = n;
+    states = Pepa.Statespace.n_states space;
+    transitions = Pepa.Statespace.n_transitions space;
+    build_s;
+    assemble_s;
+    solve_s;
+    iterations = stats.Markov.Steady.iterations;
+    residual = stats.Markov.Steady.residual;
+    method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+  }
+
+let net_row k =
+  let diagram = Scenarios.Pda.diagram_with_transmitters k in
+  let rates = Scenarios.Pda.rates_for_transmitters k in
+  let ex = Extract.Ad_to_pepanet.extract ~rates diagram in
+  let space, build_s =
+    time (fun () ->
+        Pepanet.Net_statespace.build (Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net))
+  in
+  let chain, assemble_s =
+    time (fun () ->
+        let chain = Pepanet.Net_statespace.ctmc space in
+        ignore (Markov.Ctmc.generator_transposed chain);
+        chain)
+  in
+  let (_, stats), solve_s =
+    time (fun () -> Markov.Steady.solve_stats ~options:solve_options chain)
+  in
+  {
+    parameter = k;
+    states = Pepanet.Net_statespace.n_markings space;
+    transitions = Pepanet.Net_statespace.n_transitions space;
+    build_s;
+    assemble_s;
+    solve_s;
+    iterations = stats.Markov.Steady.iterations;
+    residual = stats.Markov.Steady.residual;
+    method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+  }
+
+let row_json ~parameter_name r =
+  let states_per_sec =
+    if r.build_s > 0.0 then float_of_int r.states /. r.build_s else 0.0
+  in
+  Printf.sprintf
+    {|    { "%s": %d, "states": %d, "transitions": %d,
+      "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
+      "states_per_sec_build": %.0f, "iterations": %d, "residual": %.3e, "method": "%s" }|}
+    parameter_name r.parameter r.states r.transitions r.build_s r.assemble_s r.solve_s
+    (r.build_s +. r.assemble_s +. r.solve_s)
+    states_per_sec r.iterations r.residual r.method_used
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out = ref "BENCH_PIPELINE.json" in
+  Array.iteri (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
+  let replicas = if smoke then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let transmitters = if smoke then [ 2 ] else [ 2; 3; 5; 8; 12 ] in
+  let pepa_rows =
+    List.map
+      (fun n ->
+        let r = pepa_row n in
+        Printf.eprintf
+          "replicas=%2d states=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
+          n r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
+        r)
+      replicas
+  in
+  let net_rows =
+    List.map
+      (fun k ->
+        let r = net_row k in
+        Printf.eprintf
+          "transmitters=%2d markings=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
+          k r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
+        r)
+      transmitters
+  in
+  let largest = List.nth pepa_rows (List.length pepa_rows - 1) in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        {|  "benchmark": "state-space -> CTMC -> steady-state pipeline (paper Section 6 / bench E6)",|};
+        {|  "generated_by": "dune exec bench/perf.exe",|};
+        Printf.sprintf
+          {|  "solver_options": { "tolerance": %.1e, "max_iterations": %d, "direct_limit": %d, "residual_stride": %d },|}
+          solve_options.Markov.Steady.tolerance solve_options.Markov.Steady.max_iterations
+          solve_options.Markov.Steady.direct_limit solve_options.Markov.Steady.residual_stride;
+        {|  "replicated_process_family": [|};
+        String.concat ",\n" (List.map (row_json ~parameter_name:"replicas") pepa_rows);
+        "  ],";
+        {|  "pda_transmitter_family": [|};
+        String.concat ",\n" (List.map (row_json ~parameter_name:"transmitters") net_rows);
+        "  ],";
+        Printf.sprintf
+          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f },|}
+          largest.parameter largest.states largest.transitions
+          (largest.build_s +. largest.assemble_s +. largest.solve_s);
+        (* Trajectory anchor: the list-based seed pipeline measured on
+           this same container immediately before the flat-array rewrite
+           (PR 1), same solver tolerance and direct limit.  Kept static
+           so every regeneration of this file still records where the
+           trajectory started. *)
+        {|  "seed_reference_pr1": {
+    "pipeline": "list-based (before flat-array rewrite)",
+    "replicated_process_family": [
+      { "replicas": 10, "total_s": 0.0429 },
+      { "replicas": 12, "total_s": 0.2536 },
+      { "replicas": 14, "total_s": 2.6149 },
+      { "replicas": 16, "build_s": 4.8940, "assemble_s": 9.7915, "solve_s": 5.6092, "total_s": 20.2947 }
+    ]
+  }|};
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" !out

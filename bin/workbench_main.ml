@@ -13,7 +13,17 @@ let method_conv =
     | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
     | "power" -> Ok (Some Markov.Steady.Power)
     | "auto" -> Ok None
-    | other -> Error (`Msg (Printf.sprintf "unknown method %s" other))
+    | other -> (
+        (* "sor" or "sor:<omega>", omega in (0, 2); plain "sor" uses a
+           mild over-relaxation. *)
+        match String.split_on_char ':' other with
+        | [ "sor" ] -> Ok (Some (Markov.Steady.Sor 1.2))
+        | [ "sor"; omega ] -> (
+            match float_of_string_opt omega with
+            | Some w when w > 0.0 && w < 2.0 -> Ok (Some (Markov.Steady.Sor w))
+            | Some _ | None ->
+                Error (`Msg (Printf.sprintf "SOR relaxation %s outside (0, 2)" omega)))
+        | _ -> Error (`Msg (Printf.sprintf "unknown method %s" other)))
   in
   let print fmt m =
     Format.pp_print_string fmt
@@ -32,7 +42,7 @@ let method_arg =
     value
     & opt method_conv None
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel or power.")
+        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
 
 let handle_errors f =
   try f ()

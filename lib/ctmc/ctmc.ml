@@ -5,28 +5,90 @@ type t = {
   mutable transposed : Sparse.t option;
 }
 
-let of_transitions ~n transitions =
-  List.iter
-    (fun (i, j, r) ->
-      if i < 0 || i >= n || j < 0 || j >= n then
-        invalid_arg (Printf.sprintf "Ctmc.of_transitions: state (%d, %d) out of range" i j);
-      if r <= 0.0 || Float.is_nan r then
-        invalid_arg (Printf.sprintf "Ctmc.of_transitions: non-positive rate %g on %d -> %d" r i j))
-    transitions;
-  let off_diagonal = List.filter (fun (i, j, _) -> i <> j) transitions in
-  let rates = Sparse.of_triplets ~n_rows:n ~n_cols:n off_diagonal in
+let validate_entry ~n ~context i j r =
+  if i < 0 || i >= n || j < 0 || j >= n then
+    invalid_arg (Printf.sprintf "%s: state (%d, %d) out of range" context i j);
+  if r <= 0.0 || Float.is_nan r then
+    invalid_arg (Printf.sprintf "%s: non-positive rate %g on %d -> %d" context r i j)
+
+let of_arrays ~n ~src ~dst ~rate =
+  let count = Array.length src in
+  if Array.length dst <> count || Array.length rate <> count then
+    invalid_arg "Ctmc.of_arrays: column arrays of different lengths";
+  let off_diagonal = ref 0 in
+  for k = 0 to count - 1 do
+    validate_entry ~n ~context:"Ctmc.of_arrays" src.(k) dst.(k) rate.(k);
+    if src.(k) <> dst.(k) then incr off_diagonal
+  done;
+  (* Self-loops have no effect on a CTMC: drop them before assembly. *)
+  let rows, cols, values =
+    if !off_diagonal = count then (src, dst, rate)
+    else begin
+      let rows = Array.make !off_diagonal 0 in
+      let cols = Array.make !off_diagonal 0 in
+      let values = Array.make !off_diagonal 0.0 in
+      let w = ref 0 in
+      for k = 0 to count - 1 do
+        if src.(k) <> dst.(k) then begin
+          rows.(!w) <- src.(k);
+          cols.(!w) <- dst.(k);
+          values.(!w) <- rate.(k);
+          incr w
+        end
+      done;
+      (rows, cols, values)
+    end
+  in
+  let rates = Sparse.of_arrays ~n_rows:n ~n_cols:n ~rows ~cols ~values in
   let exit = Sparse.row_sums rates in
   { n; rates; exit; transposed = None }
 
+let of_transitions ~n transitions =
+  List.iter
+    (fun (i, j, r) -> validate_entry ~n ~context:"Ctmc.of_transitions" i j r)
+    transitions;
+  let count = List.length transitions in
+  let src = Array.make count 0 in
+  let dst = Array.make count 0 in
+  let rate = Array.make count 0.0 in
+  List.iteri
+    (fun k (i, j, r) ->
+      src.(k) <- i;
+      dst.(k) <- j;
+      rate.(k) <- r)
+    transitions;
+  of_arrays ~n ~src ~dst ~rate
+
 let n_states c = c.n
 
+(* The generator shares the rate matrix's structure with one extra
+   diagonal entry per non-absorbing state; assemble its CSR directly
+   instead of going through triplets. *)
 let generator c =
-  let triplets = ref [] in
+  let nnz = Sparse.nnz c.rates in
+  let extra = ref 0 in
   for i = 0 to c.n - 1 do
-    if c.exit.(i) > 0.0 then triplets := (i, i, -.c.exit.(i)) :: !triplets;
-    Sparse.iter_row c.rates i (fun j v -> triplets := (i, j, v) :: !triplets)
+    if c.exit.(i) > 0.0 then incr extra
   done;
-  Sparse.of_triplets ~n_rows:c.n ~n_cols:c.n !triplets
+  let total = nnz + !extra in
+  let rows = Array.make total 0 in
+  let cols = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let w = ref 0 in
+  for i = 0 to c.n - 1 do
+    if c.exit.(i) > 0.0 then begin
+      rows.(!w) <- i;
+      cols.(!w) <- i;
+      values.(!w) <- -.c.exit.(i);
+      incr w
+    end;
+    Sparse.iter_row c.rates i (fun j v ->
+        rows.(!w) <- i;
+        cols.(!w) <- j;
+        values.(!w) <- v;
+        incr w)
+  done;
+  Sparse.of_arrays ~n_rows:c.n ~n_cols:c.n ~rows ~cols ~values
 
 let generator_transposed c =
   match c.transposed with

@@ -13,6 +13,13 @@ val of_transitions : n:int -> (int * int * float) list -> t
     same pair of states are summed.  Raises [Invalid_argument] on a
     non-positive rate or an out-of-range state. *)
 
+val of_arrays : n:int -> src:int array -> dst:int array -> rate:float array -> t
+(** Flat-column variant of {!of_transitions}: transition [k] goes from
+    [src.(k)] to [dst.(k)] at [rate.(k)].  The assembly is O(nnz) with no
+    intermediate lists; state-space builders that already keep their
+    transitions in columns should prefer this path.  The input arrays are
+    not modified. *)
+
 val n_states : t -> int
 
 val generator : t -> Sparse.t

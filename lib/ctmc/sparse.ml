@@ -6,41 +6,94 @@ type t = {
   values : float array;
 }
 
-let of_triplets ~n_rows ~n_cols triplets =
-  List.iter
-    (fun (i, j, _) ->
-      if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
-        invalid_arg (Printf.sprintf "Sparse.of_triplets: index (%d, %d) out of range" i j))
-    triplets;
-  let sorted =
-    List.sort
-      (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
-      triplets
-  in
-  (* Merge duplicates by summation. *)
-  let merged =
-    List.fold_left
-      (fun acc (i, j, v) ->
-        match acc with
-        | (i', j', v') :: rest when i = i' && j = j' -> (i, j, v +. v') :: rest
-        | _ -> (i, j, v) :: acc)
-      [] sorted
-    |> List.rev
-  in
-  let count = List.length merged in
+(* Array-based CSR assembly: counting sort by row, per-row column sort,
+   in-place duplicate merge.  O(nnz + n_rows) time, no intermediate
+   lists.  This is the hot construction path; [of_triplets] is a thin
+   wrapper over it. *)
+let of_arrays ~n_rows ~n_cols ~rows ~cols ~values =
+  let nnz_in = Array.length rows in
+  if Array.length cols <> nnz_in || Array.length values <> nnz_in then
+    invalid_arg "Sparse.of_arrays: column arrays of different lengths";
+  for k = 0 to nnz_in - 1 do
+    let i = rows.(k) and j = cols.(k) in
+    if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
+      invalid_arg (Printf.sprintf "Sparse.of_arrays: index (%d, %d) out of range" i j)
+  done;
+  (* Counting sort by row into scatter position. *)
   let row_ptr = Array.make (n_rows + 1) 0 in
-  let col_index = Array.make count 0 in
-  let values = Array.make count 0.0 in
-  List.iteri
-    (fun k (i, j, v) ->
-      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
-      col_index.(k) <- j;
-      values.(k) <- v)
-    merged;
+  for k = 0 to nnz_in - 1 do
+    row_ptr.(rows.(k) + 1) <- row_ptr.(rows.(k) + 1) + 1
+  done;
   for i = 1 to n_rows do
     row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
   done;
+  let cursor = Array.copy row_ptr in
+  let col_index = Array.make nnz_in 0 in
+  let vals = Array.make nnz_in 0.0 in
+  for k = 0 to nnz_in - 1 do
+    let i = rows.(k) in
+    let pos = cursor.(i) in
+    col_index.(pos) <- cols.(k);
+    vals.(pos) <- values.(k);
+    cursor.(i) <- pos + 1
+  done;
+  (* Sort each row segment by column (insertion sort: rows are short and
+     the scatter preserves input order, so near-sorted input is linear),
+     then compact the whole array merging duplicate columns by summation. *)
+  let write = ref 0 in
+  for i = 0 to n_rows - 1 do
+    let lo = row_ptr.(i) and hi = row_ptr.(i + 1) in
+    for k = lo + 1 to hi - 1 do
+      let c = col_index.(k) and v = vals.(k) in
+      let p = ref k in
+      while !p > lo && col_index.(!p - 1) > c do
+        col_index.(!p) <- col_index.(!p - 1);
+        vals.(!p) <- vals.(!p - 1);
+        decr p
+      done;
+      col_index.(!p) <- c;
+      vals.(!p) <- v
+    done;
+    let row_write_start = !write in
+    for k = lo to hi - 1 do
+      if !write > row_write_start && col_index.(!write - 1) = col_index.(k) then
+        vals.(!write - 1) <- vals.(!write - 1) +. vals.(k)
+      else begin
+        col_index.(!write) <- col_index.(k);
+        vals.(!write) <- vals.(k);
+        incr write
+      end
+    done;
+    row_ptr.(i) <- row_write_start
+  done;
+  (* row_ptr.(i) now holds the compacted start of row i; shift into the
+     conventional layout with the total count in the last slot. *)
+  row_ptr.(n_rows) <- !write;
+  let count = !write in
+  let col_index = if count = nnz_in then col_index else Array.sub col_index 0 count in
+  let values = if count = nnz_in then vals else Array.sub vals 0 count in
   { n_rows; n_cols; row_ptr; col_index; values }
+
+let of_triplets ~n_rows ~n_cols triplets =
+  let nnz = List.length triplets in
+  let rows = Array.make nnz 0 in
+  let cols = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      rows.(k) <- i;
+      cols.(k) <- j;
+      values.(k) <- v)
+    triplets;
+  try of_arrays ~n_rows ~n_cols ~rows ~cols ~values
+  with Invalid_argument _ ->
+    (* Re-raise with the historical message so existing callers keep
+       their diagnostics. *)
+    let bad =
+      List.find (fun (i, j, _) -> i < 0 || i >= n_rows || j < 0 || j >= n_cols) triplets
+    in
+    let i, j, _ = bad in
+    invalid_arg (Printf.sprintf "Sparse.of_triplets: index (%d, %d) out of range" i j)
 
 let zero ~n_rows ~n_cols = of_triplets ~n_rows ~n_cols []
 
@@ -67,14 +120,20 @@ let fold_row m i f init =
   iter_row m i (fun j v -> acc := f !acc j v);
   !acc
 
-let mul_vec m x =
-  if Array.length x <> m.n_cols then invalid_arg "Sparse.mul_vec: dimension mismatch";
-  let y = Array.make m.n_rows 0.0 in
+let mul_vec_into m x y =
+  if Array.length x <> m.n_cols then invalid_arg "Sparse.mul_vec_into: dimension mismatch";
+  if Array.length y <> m.n_rows then invalid_arg "Sparse.mul_vec_into: output size mismatch";
   for i = 0 to m.n_rows - 1 do
     let s = ref 0.0 in
-    iter_row m i (fun j v -> s := !s +. (v *. x.(j)));
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      s := !s +. (m.values.(k) *. x.(m.col_index.(k)))
+    done;
     y.(i) <- !s
-  done;
+  done
+
+let mul_vec m x =
+  let y = Array.make m.n_rows 0.0 in
+  mul_vec_into m x y;
   y
 
 let vec_mul x m =
@@ -86,12 +145,31 @@ let vec_mul x m =
   done;
   y
 
+(* Direct CSR transpose: counting sort by column.  The source stores each
+   coordinate once, so the result needs no duplicate merge, and scanning
+   rows in order leaves each output row sorted. *)
 let transpose m =
-  let triplets = ref [] in
-  for i = 0 to m.n_rows - 1 do
-    iter_row m i (fun j v -> triplets := (j, i, v) :: !triplets)
+  let nnz = Array.length m.values in
+  let row_ptr = Array.make (m.n_cols + 1) 0 in
+  for k = 0 to nnz - 1 do
+    row_ptr.(m.col_index.(k) + 1) <- row_ptr.(m.col_index.(k) + 1) + 1
   done;
-  of_triplets ~n_rows:m.n_cols ~n_cols:m.n_rows !triplets
+  for j = 1 to m.n_cols do
+    row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+  done;
+  let cursor = Array.copy row_ptr in
+  let col_index = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  for i = 0 to m.n_rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col_index.(k) in
+      let pos = cursor.(j) in
+      col_index.(pos) <- i;
+      values.(pos) <- m.values.(k);
+      cursor.(j) <- pos + 1
+    done
+  done;
+  { n_rows = m.n_cols; n_cols = m.n_rows; row_ptr; col_index; values }
 
 let diagonal m =
   let n = min m.n_rows m.n_cols in

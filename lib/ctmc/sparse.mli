@@ -13,11 +13,26 @@ type t = private {
   values : float array;
 }
 
+val of_arrays :
+  n_rows:int ->
+  n_cols:int ->
+  rows:int array ->
+  cols:int array ->
+  values:float array ->
+  t
+(** Build a matrix from parallel coordinate arrays.  This is the
+    allocation-lean construction path: a counting sort by row places
+    every entry in O(nnz), duplicate coordinates are merged by summation
+    in place, and no intermediate lists are built.  The input arrays are
+    not modified.  Raises [Invalid_argument] if the arrays differ in
+    length or an index is out of range. *)
+
 val of_triplets : n_rows:int -> n_cols:int -> (int * int * float) list -> t
 (** Build a matrix from [(row, col, value)] triplets.  Duplicate
     coordinates are summed; resulting zeros are kept (a stored zero is
     harmless and preserves structure).  Raises [Invalid_argument] if an
-    index is out of range. *)
+    index is out of range.  Thin list-accepting wrapper over
+    {!of_arrays}. *)
 
 val zero : n_rows:int -> n_cols:int -> t
 
@@ -37,11 +52,18 @@ val fold_row : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
 val mul_vec : t -> float array -> float array
 (** [mul_vec m x] is the matrix-vector product [m x]. *)
 
+val mul_vec_into : t -> float array -> float array -> unit
+(** [mul_vec_into m x y] stores [m x] in [y], allocating nothing.  The
+    workhorse of the iterative solvers' residual checks.  Raises
+    [Invalid_argument] on a dimension mismatch. *)
+
 val vec_mul : float array -> t -> float array
 (** [vec_mul x m] is the vector-matrix product [x m] (row vector times
     matrix), the natural operation for probability vectors. *)
 
 val transpose : t -> t
+(** CSR transpose by counting sort on columns: O(nnz + n), no
+    intermediate triplets. *)
 
 val diagonal : t -> float array
 (** The main diagonal as a dense vector (zero where not stored). *)

@@ -1,8 +1,14 @@
-type method_ = Direct | Jacobi | Gauss_seidel | Power
+type method_ = Direct | Jacobi | Gauss_seidel | Sor of float | Power
 
-type options = { tolerance : float; max_iterations : int; direct_limit : int }
+type options = {
+  tolerance : float;
+  max_iterations : int;
+  direct_limit : int;
+  residual_stride : int;
+}
 
-let default_options = { tolerance = 1e-12; max_iterations = 100_000; direct_limit = 3000 }
+let default_options =
+  { tolerance = 1e-12; max_iterations = 100_000; direct_limit = 3000; residual_stride = 8 }
 
 exception Did_not_converge of { iterations : int; residual : float }
 exception Not_solvable of string
@@ -11,17 +17,24 @@ let method_name = function
   | Direct -> "direct"
   | Jacobi -> "jacobi"
   | Gauss_seidel -> "gauss-seidel"
+  | Sor _ -> "sor"
   | Power -> "power"
+
+type stats = { method_used : method_; iterations : int; residual : float }
 
 let residual c pi =
   let qt = Ctmc.generator_transposed c in
   let defect = Sparse.mul_vec qt pi in
   Array.fold_left (fun acc v -> max acc (abs_float v)) 0.0 defect
 
-let normalise pi =
+let normalise_into pi =
   let total = Array.fold_left ( +. ) 0.0 pi in
   if total <= 0.0 then raise (Not_solvable "iteration collapsed to the zero vector");
-  Array.map (fun v -> v /. total) pi
+  let inv = 1.0 /. total in
+  for i = 0 to Array.length pi - 1 do
+    pi.(i) <- pi.(i) *. inv
+  done
+
 
 (* --------------------------------------------------------------- *)
 (* Direct method                                                    *)
@@ -49,7 +62,9 @@ let solve_direct options c =
         raise (Not_solvable "singular system: the chain has no unique steady state")
     in
     (* Clamp tiny negative values produced by rounding. *)
-    normalise (Array.map (fun v -> if v < 0.0 && v > -1e-9 then 0.0 else v) pi)
+    let pi = Array.map (fun v -> if v < 0.0 && v > -1e-9 then 0.0 else v) pi in
+    normalise_into pi;
+    pi
   end
 
 (* --------------------------------------------------------------- *)
@@ -64,19 +79,45 @@ let check_no_absorbing c =
            (Printf.sprintf "state %d is absorbing; use the direct method for reducible chains" i))
   done
 
-let iterate ~options ~c ~update =
+(* Allocation-free iteration driver.  [sweep] advances the candidate one
+   step in place (it may use [work] as scratch space and must leave the
+   new candidate in [pi]).  The residual — a full sparse matrix-vector
+   product — is only measured every [residual_stride] sweeps, which
+   roughly halves the cost per iteration for stationary methods whose
+   sweep is itself one pass over the matrix.  The iteration count
+   reported on failure is the exact number of sweeps performed. *)
+let iterate ~options ~c ~sweep =
   let n = Ctmc.n_states c in
-  let pi = ref (Array.make n (1.0 /. float_of_int n)) in
+  let qt = Ctmc.generator_transposed c in
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let work = Array.make n 0.0 in
+  let defect = Array.make n 0.0 in
+  let measure () =
+    Sparse.mul_vec_into qt pi defect;
+    let m = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = abs_float defect.(i) in
+      if a > !m then m := a
+    done;
+    !m
+  in
+  let stride = max 1 options.residual_stride in
   let iterations = ref 0 in
-  let res = ref (residual c !pi) in
+  let res = ref (measure ()) in
+  (* A single up-front check, decisive when the caller's tolerance
+     already admits the uniform vector. *)
   while !res > options.tolerance do
     if !iterations >= options.max_iterations then
       raise (Did_not_converge { iterations = !iterations; residual = !res });
-    pi := normalise (update !pi);
-    incr iterations;
-    res := residual c !pi
+    let batch = min stride (options.max_iterations - !iterations) in
+    for _ = 1 to batch do
+      sweep ~pi ~work;
+      normalise_into pi
+    done;
+    iterations := !iterations + batch;
+    res := measure ()
   done;
-  !pi
+  (pi, !iterations, !res)
 
 (* Damped (weighted) Jacobi: plain Jacobi oscillates on chains whose
    iteration matrix has eigenvalues on the unit circle (e.g. any 2-state
@@ -87,58 +128,79 @@ let solve_jacobi options c =
   let qt = Ctmc.generator_transposed c in
   let n = Ctmc.n_states c in
   let omega = 0.5 in
-  let update pi =
-    let next = Array.make n 0.0 in
+  let sweep ~pi ~work =
     for i = 0 to n - 1 do
       let off = ref 0.0 in
       Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. pi.(j)));
-      next.(i) <- ((1.0 -. omega) *. pi.(i)) +. (omega *. (!off /. Ctmc.exit_rate c i))
+      work.(i) <- ((1.0 -. omega) *. pi.(i)) +. (omega *. (!off /. Ctmc.exit_rate c i))
     done;
-    next
+    Array.blit work 0 pi 0 n
   in
-  iterate ~options ~c ~update
+  iterate ~options ~c ~sweep
 
-let solve_gauss_seidel options c =
+(* Gauss-Seidel is SOR with unit relaxation; both update the candidate
+   in place, already using each component's new value within the same
+   sweep. *)
+let solve_sor options c omega =
+  if omega <= 0.0 || omega >= 2.0 then
+    raise
+      (Not_solvable
+         (Printf.sprintf "SOR relaxation parameter %g outside the convergent range (0, 2)" omega));
   check_no_absorbing c;
   let qt = Ctmc.generator_transposed c in
   let n = Ctmc.n_states c in
-  let update pi =
-    let x = Array.copy pi in
+  let sweep ~pi ~work:_ =
     for i = 0 to n - 1 do
       let off = ref 0.0 in
-      Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. x.(j)));
-      x.(i) <- !off /. Ctmc.exit_rate c i
-    done;
-    x
+      Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. pi.(j)));
+      let gs = !off /. Ctmc.exit_rate c i in
+      pi.(i) <- if omega = 1.0 then gs else ((1.0 -. omega) *. pi.(i)) +. (omega *. gs)
+    done
   in
-  iterate ~options ~c ~update
+  iterate ~options ~c ~sweep
+
+let solve_gauss_seidel options c = solve_sor options c 1.0
 
 let solve_power options c =
   let n = Ctmc.n_states c in
   let lambda = (Ctmc.max_exit_rate c *. 1.02) +. 1e-9 in
   let qt = Ctmc.generator_transposed c in
   (* pi <- pi (I + Q / lambda), computed through the transpose. *)
-  let update pi =
-    let flow = Sparse.mul_vec qt pi in
-    Array.init n (fun i -> pi.(i) +. (flow.(i) /. lambda))
+  let sweep ~pi ~work =
+    Sparse.mul_vec_into qt pi work;
+    for i = 0 to n - 1 do
+      pi.(i) <- pi.(i) +. (work.(i) /. lambda)
+    done
   in
-  iterate ~options ~c ~update
+  iterate ~options ~c ~sweep
 
-let solve ?method_ ?(options = default_options) c =
-  if Ctmc.n_states c = 0 then [||]
+let solve_stats ?method_ ?(options = default_options) c =
+  if Ctmc.n_states c = 0 then
+    ([||], { method_used = Direct; iterations = 0; residual = 0.0 })
   else
+    let direct () =
+      let pi = solve_direct options c in
+      (pi, { method_used = Direct; iterations = 0; residual = residual c pi })
+    in
+    let iterative method_ run =
+      let pi, iterations, residual = run () in
+      (pi, { method_used = method_; iterations; residual })
+    in
     match method_ with
-    | Some Direct -> solve_direct options c
-    | Some Jacobi -> solve_jacobi options c
-    | Some Gauss_seidel -> solve_gauss_seidel options c
-    | Some Power -> solve_power options c
+    | Some Direct -> direct ()
+    | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi options c)
+    | Some Gauss_seidel -> iterative Gauss_seidel (fun () -> solve_gauss_seidel options c)
+    | Some (Sor omega) -> iterative (Sor omega) (fun () -> solve_sor options c omega)
+    | Some Power -> iterative Power (fun () -> solve_power options c)
     | None -> (
         (* Default policy: Gauss-Seidel, falling back to the direct solver
            for chains it cannot handle (absorbing states, slow mixing). *)
         let fallback () =
-          if Ctmc.n_states c <= options.direct_limit then solve_direct options c
+          if Ctmc.n_states c <= options.direct_limit then direct ()
           else raise (Not_solvable "iteration failed and the chain is too large for LU")
         in
-        try solve_gauss_seidel options c with
+        try iterative Gauss_seidel (fun () -> solve_gauss_seidel options c) with
         | Not_solvable _ -> fallback ()
         | Did_not_converge _ -> fallback ())
+
+let solve ?method_ ?options c = fst (solve_stats ?method_ ?options c)

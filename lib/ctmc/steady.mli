@@ -1,16 +1,27 @@
 (** Steady-state solution of a CTMC: the probability vector [pi] with
     [pi Q = 0] and [sum pi = 1].
 
-    Four solution methods are provided, mirroring the PEPA Workbench:
+    Five solution methods are provided, mirroring the PEPA Workbench:
     a direct dense LU solver (exact up to rounding, limited to small
-    chains), Jacobi and Gauss–Seidel iterations on the normal equations,
-    and the power method on the uniformised jump chain. *)
+    chains), Jacobi, Gauss–Seidel and SOR iterations on the normal
+    equations, and the power method on the uniformised jump chain.
+
+    The iterative methods run allocation-free: each sweep updates a
+    preallocated candidate vector in place and the residual — itself a
+    full sparse matrix–vector product — is only measured every
+    [residual_stride] sweeps. *)
 
 type method_ =
   | Direct       (** dense Gaussian elimination on [Q^T] with the
                      normalisation condition replacing one equation *)
   | Jacobi
   | Gauss_seidel
+  | Sor of float (** successive over-relaxation with the given
+                     relaxation parameter in (0, 2); [Sor 1.0] is
+                     Gauss–Seidel.  Values above 1 can accelerate
+                     slowly-mixing chains but are not universally
+                     convergent (strongly cyclic chains can oscillate);
+                     values below 1 damp such oscillations. *)
   | Power        (** power iteration on [P = I + Q / Lambda] *)
 
 type options = {
@@ -19,11 +30,18 @@ type options = {
   max_iterations : int;   (** iteration cap (default [100_000]) *)
   direct_limit : int;     (** largest chain the direct method accepts
                               (default [3000]) *)
+  residual_stride : int;  (** sweeps between residual checks (default
+                              [8]; clamped to at least 1).  Larger
+                              strides do less measurement work per
+                              sweep at the cost of up to [stride - 1]
+                              extra sweeps past convergence. *)
 }
 
 val default_options : options
 
 exception Did_not_converge of { iterations : int; residual : float }
+(** [iterations] is the exact number of sweeps performed when the cap
+    was hit, regardless of the residual stride. *)
 
 exception Not_solvable of string
 (** Raised when the chain has no unique steady-state distribution that
@@ -31,10 +49,23 @@ exception Not_solvable of string
     chain with an absorbing state, or a reducible chain given to the
     direct solver). *)
 
+type stats = {
+  method_used : method_;  (** the method that produced the answer (the
+                              default policy may fall back to
+                              {!Direct}) *)
+  iterations : int;       (** sweeps performed; 0 for {!Direct} *)
+  residual : float;       (** [||pi Q||_inf] of the returned vector *)
+}
+
 val solve : ?method_:method_ -> ?options:options -> Ctmc.t -> float array
 (** Compute the steady-state distribution.  The default method is
     {!Gauss_seidel} with a fallback to {!Direct} for chains within
     [direct_limit] when iteration fails to converge. *)
+
+val solve_stats : ?method_:method_ -> ?options:options -> Ctmc.t -> float array * stats
+(** Like {!solve}, also reporting how the answer was obtained — the
+    observability hook the benchmark harness uses to record
+    iterations-to-converge. *)
 
 val residual : Ctmc.t -> float array -> float
 (** [residual c pi] is [||pi Q||_inf], the defect of a candidate

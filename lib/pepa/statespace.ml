@@ -1,38 +1,144 @@
 type transition = { src : int; action : Action.t; rate : float; dst : int }
 
+(* Transitions live in flat columns (src/dst/rate/action-id) with the
+   action types interned into a small table: the CTMC assembly, the
+   throughput measures and the benchmark harness all run over arrays
+   without touching a list.  The historical list-returning API survives
+   as a thin compatibility layer that materialises (and caches) records
+   on demand. *)
 type t = {
   compiled : Compile.t;
   states : int array array;
-  transition_list : transition list;
-  outgoing : transition list array;
+  tr_src : int array;
+  tr_dst : int array;
+  tr_rate : float array;
+  tr_action : int array;  (* index into [actions] *)
+  actions : Action.t array;  (* interned action table *)
+  row_start : int array;  (* CSR over transitions grouped by src; length n_states + 1 *)
+  mutable transition_cache : transition list option;
+  mutable outgoing_cache : transition list array option;
   mutable chain : Markov.Ctmc.t option;
 }
 
 exception Too_many_states of int
 exception Passive_transition of { state : string; action : string }
 
+(* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
+   once per interned vector: the table stores each slot's hash, so
+   probing and resizing compare integers, never rehash arrays. *)
+let hash_vec (v : int array) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length v - 1 do
+    h := (!h lxor v.(i)) * 16777619 land max_int
+  done;
+  !h
+
+let vec_equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
 let build ?(max_states = 1_000_000) compiled =
-  let index = Hashtbl.create 1024 in
-  let states = ref [] in
-  let count = ref 0 in
-  let queue = Queue.create () in
+  (* Growable state store; BFS order doubles as the index order, so the
+     work queue is just a cursor into it. *)
+  let states = ref (Array.make 1024 [||]) in
+  let n_states = ref 0 in
+  (* Open-addressing intern table: [slots] holds state index + 1 (0 =
+     empty), [hashes] the stored hash of that slot's vector. *)
+  let capacity = ref 4096 in
+  let slots = ref (Array.make !capacity 0) in
+  let hashes = ref (Array.make !capacity 0) in
+  let rehash () =
+    let old_slots = !slots and old_hashes = !hashes in
+    capacity := !capacity * 2;
+    slots := Array.make !capacity 0;
+    hashes := Array.make !capacity 0;
+    let mask = !capacity - 1 in
+    Array.iteri
+      (fun k s ->
+        if s <> 0 then begin
+          let h = old_hashes.(k) in
+          let pos = ref (h land mask) in
+          while !slots.(!pos) <> 0 do
+            pos := (!pos + 1) land mask
+          done;
+          !slots.(!pos) <- s;
+          !hashes.(!pos) <- h
+        end)
+      old_slots
+  in
   let intern vec =
-    match Hashtbl.find_opt index vec with
-    | Some i -> i
+    let h = hash_vec vec in
+    let mask = !capacity - 1 in
+    let pos = ref (h land mask) in
+    let result = ref (-1) in
+    while !result < 0 do
+      let s = !slots.(!pos) in
+      if s = 0 then begin
+        if !n_states >= max_states then raise (Too_many_states max_states);
+        let i = !n_states in
+        if i >= Array.length !states then begin
+          let bigger = Array.make (2 * Array.length !states) [||] in
+          Array.blit !states 0 bigger 0 i;
+          states := bigger
+        end;
+        !states.(i) <- vec;
+        incr n_states;
+        !slots.(!pos) <- i + 1;
+        !hashes.(!pos) <- h;
+        if 4 * !n_states > 3 * !capacity then rehash ();
+        result := i
+      end
+      else if !hashes.(!pos) = h && vec_equal !states.(s - 1) vec then result := s - 1
+      else pos := (!pos + 1) land mask
+    done;
+    !result
+  in
+  (* Flat transition buffers, doubled on demand. *)
+  let tr_cap = ref 4096 in
+  let tr_src = ref (Array.make !tr_cap 0) in
+  let tr_dst = ref (Array.make !tr_cap 0) in
+  let tr_rate = ref (Array.make !tr_cap 0.0) in
+  let tr_action = ref (Array.make !tr_cap 0) in
+  let n_transitions = ref 0 in
+  let push src dst rate action =
+    if !n_transitions = !tr_cap then begin
+      let grow_int a = let b = Array.make (2 * !tr_cap) 0 in Array.blit a 0 b 0 !tr_cap; b in
+      let grow_float a = let b = Array.make (2 * !tr_cap) 0.0 in Array.blit a 0 b 0 !tr_cap; b in
+      tr_src := grow_int !tr_src;
+      tr_dst := grow_int !tr_dst;
+      tr_action := grow_int !tr_action;
+      tr_rate := grow_float !tr_rate;
+      tr_cap := 2 * !tr_cap
+    end;
+    let k = !n_transitions in
+    !tr_src.(k) <- src;
+    !tr_dst.(k) <- dst;
+    !tr_rate.(k) <- rate;
+    !tr_action.(k) <- action;
+    incr n_transitions
+  in
+  (* Action interning. *)
+  let action_ids = Hashtbl.create 16 in
+  let action_list = ref [] in
+  let n_actions = ref 0 in
+  let intern_action a =
+    match Hashtbl.find_opt action_ids a with
+    | Some id -> id
     | None ->
-        if !count >= max_states then raise (Too_many_states max_states);
-        let i = !count in
-        Hashtbl.add index vec i;
-        states := vec :: !states;
-        incr count;
-        Queue.add (i, vec) queue;
-        i
+        let id = !n_actions in
+        Hashtbl.add action_ids a id;
+        action_list := a :: !action_list;
+        incr n_actions;
+        id
   in
   ignore (intern (Compile.initial_state compiled));
-  let transitions = ref [] in
-  while not (Queue.is_empty queue) do
-    let src, vec = Queue.pop queue in
-    let moves = Semantics.moves compiled vec in
+  let next = ref 0 in
+  while !next < !n_states do
+    let src = !next in
+    let vec = !states.(src) in
     List.iter
       (fun move ->
         let rate =
@@ -47,43 +153,107 @@ let build ?(max_states = 1_000_000) compiled =
                    })
         in
         let dst = intern (Semantics.apply vec move.Semantics.deltas) in
-        transitions := { src; action = move.Semantics.action; rate; dst } :: !transitions)
-      moves
+        push src dst rate (intern_action move.Semantics.action))
+      (Semantics.moves compiled vec);
+    incr next
   done;
-  let states = Array.of_list (List.rev !states) in
-  let transition_list = List.rev !transitions in
-  let outgoing = Array.make (Array.length states) [] in
-  List.iter (fun t -> outgoing.(t.src) <- t :: outgoing.(t.src)) transition_list;
-  Array.iteri (fun i ts -> outgoing.(i) <- List.rev ts) outgoing;
-  { compiled; states; transition_list; outgoing; chain = None }
+  let n = !n_states in
+  let count = !n_transitions in
+  let tr_src = Array.sub !tr_src 0 count in
+  let tr_dst = Array.sub !tr_dst 0 count in
+  let tr_rate = Array.sub !tr_rate 0 count in
+  let tr_action = Array.sub !tr_action 0 count in
+  (* Sources are emitted in increasing order (BFS pops states by index),
+     so the columns are already grouped by src; record the boundaries. *)
+  let row_start = Array.make (n + 1) 0 in
+  Array.iter (fun s -> row_start.(s + 1) <- row_start.(s + 1) + 1) tr_src;
+  for i = 1 to n do
+    row_start.(i) <- row_start.(i) + row_start.(i - 1)
+  done;
+  {
+    compiled;
+    states = Array.sub !states 0 n;
+    tr_src;
+    tr_dst;
+    tr_rate;
+    tr_action;
+    actions = Array.of_list (List.rev !action_list);
+    row_start;
+    transition_cache = None;
+    outgoing_cache = None;
+    chain = None;
+  }
 
 let of_model ?max_states model = build ?max_states (Compile.of_model model)
 let of_string ?max_states src = build ?max_states (Compile.of_string src)
 
 let compiled t = t.compiled
 let n_states t = Array.length t.states
-let n_transitions t = List.length t.transition_list
+let n_transitions t = Array.length t.tr_src
 let state t i = Array.copy t.states.(i)
 let state_label t i = Compile.state_label t.compiled t.states.(i)
 let initial_index _ = 0
-let transitions t = t.transition_list
-let transitions_from t i = t.outgoing.(i)
+
+let transition_record t k =
+  {
+    src = t.tr_src.(k);
+    action = t.actions.(t.tr_action.(k));
+    rate = t.tr_rate.(k);
+    dst = t.tr_dst.(k);
+  }
+
+let iter_transitions t f =
+  for k = 0 to Array.length t.tr_src - 1 do
+    f ~src:t.tr_src.(k) ~action:t.actions.(t.tr_action.(k)) ~rate:t.tr_rate.(k)
+      ~dst:t.tr_dst.(k)
+  done
+
+let fold_transitions t f init =
+  let acc = ref init in
+  for k = 0 to Array.length t.tr_src - 1 do
+    acc :=
+      f !acc ~src:t.tr_src.(k) ~action:t.actions.(t.tr_action.(k)) ~rate:t.tr_rate.(k)
+        ~dst:t.tr_dst.(k)
+  done;
+  !acc
+
+let transitions t =
+  match t.transition_cache with
+  | Some l -> l
+  | None ->
+      let l = List.init (n_transitions t) (transition_record t) in
+      t.transition_cache <- Some l;
+      l
+
+let transitions_from t i =
+  match t.outgoing_cache with
+  | Some rows -> rows.(i)
+  | None ->
+      let rows =
+        Array.init (n_states t) (fun s ->
+            List.init
+              (t.row_start.(s + 1) - t.row_start.(s))
+              (fun k -> transition_record t (t.row_start.(s) + k)))
+      in
+      t.outgoing_cache <- Some rows;
+      rows.(i)
 
 let deadlocks t =
   let result = ref [] in
-  Array.iteri (fun i out -> if out = [] then result := i :: !result) t.outgoing;
-  List.rev !result
+  for i = n_states t - 1 downto 0 do
+    if t.row_start.(i) = t.row_start.(i + 1) then result := i :: !result
+  done;
+  !result
 
 let action_names t =
   List.sort_uniq String.compare
-    (List.filter_map (fun tr -> Action.name tr.action) t.transition_list)
+    (List.filter_map Action.name (Array.to_list t.actions))
 
 let ctmc t =
   match t.chain with
   | Some c -> c
   | None ->
-      let triples = List.map (fun tr -> (tr.src, tr.dst, tr.rate)) t.transition_list in
-      let c = Markov.Ctmc.of_transitions ~n:(n_states t) triples in
+      let c = Markov.Ctmc.of_arrays ~n:(n_states t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate in
       t.chain <- Some c;
       c
 
@@ -95,15 +265,36 @@ let transient t ~time =
   initial.(0) <- 1.0;
   Markov.Transient.probabilities (ctmc t) ~initial ~t:time
 
-let throughput t pi name =
-  List.fold_left
-    (fun acc tr ->
-      match tr.action with
-      | Action.Act n when n = name -> acc +. (pi.(tr.src) *. tr.rate)
-      | Action.Act _ | Action.Tau -> acc)
-    0.0 t.transition_list
+(* Per-action-id steady-state flux in one pass over the columns. *)
+let action_flux t pi =
+  let flux = Array.make (Array.length t.actions) 0.0 in
+  for k = 0 to Array.length t.tr_src - 1 do
+    let id = t.tr_action.(k) in
+    flux.(id) <- flux.(id) +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
+  done;
+  flux
 
-let throughputs t pi = List.map (fun name -> (name, throughput t pi name)) (action_names t)
+let throughput t pi name =
+  let flux = ref 0.0 in
+  for k = 0 to Array.length t.tr_src - 1 do
+    match t.actions.(t.tr_action.(k)) with
+    | Action.Act n when n = name -> flux := !flux +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
+    | Action.Act _ | Action.Tau -> ()
+  done;
+  !flux
+
+let throughputs t pi =
+  (* One pass over the columns; each named action type has exactly one
+     interned id, so no regrouping is needed afterwards. *)
+  let flux = action_flux t pi in
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.filter_map
+       (fun id ->
+         match Action.name t.actions.(id) with
+         | Some name -> Some (name, flux.(id))
+         | None -> None)
+       (List.init (Array.length t.actions) Fun.id))
 
 let local_state_probability t pi ~leaf ~label =
   let total = ref 0.0 in

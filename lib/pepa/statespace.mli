@@ -4,7 +4,14 @@
     treating every distinct leaf-state vector as a CTMC state, exactly as
     in the PEPA Workbench.  The resulting labelled transition system
     retains action labels so that action-type measures (throughput) can
-    be computed after the steady-state solution. *)
+    be computed after the steady-state solution.
+
+    Internally transitions are stored in flat src/dst/rate/action-id
+    columns with the action types interned into a table, state vectors
+    are hashed exactly once on interning, and the CTMC is assembled
+    straight from the columns — the list-returning accessors below are a
+    compatibility layer that materialises records on demand (cached, so
+    repeated calls stay cheap). *)
 
 type transition = { src : int; action : Action.t; rate : float; dst : int }
 
@@ -26,21 +33,41 @@ val of_string : ?max_states:int -> string -> t
 
 val compiled : t -> Compile.t
 val n_states : t -> int
+
 val n_transitions : t -> int
+(** O(1): the count is a consequence of the column layout, not a list
+    traversal. *)
+
 val state : t -> int -> int array
 val state_label : t -> int -> string
 val initial_index : t -> int
+
 val transitions : t -> transition list
+(** All transitions as records, in exploration order (grouped by
+    source).  Materialised from the flat columns on first call and
+    cached. *)
+
 val transitions_from : t -> int -> transition list
+
+val iter_transitions :
+  t -> (src:int -> action:Action.t -> rate:float -> dst:int -> unit) -> unit
+(** Iterate the flat columns directly — no list, no record
+    allocation. *)
+
+val fold_transitions :
+  t -> ('a -> src:int -> action:Action.t -> rate:float -> dst:int -> 'a) -> 'a -> 'a
+
 val deadlocks : t -> int list
 (** Indices of states with no outgoing transitions. *)
 
 val action_names : t -> string list
-(** Named action types occurring on reachable transitions, sorted. *)
+(** Named action types occurring on reachable transitions, sorted.
+    Read from the interned action table: O(#action types). *)
 
 val ctmc : t -> Markov.Ctmc.t
 (** The derived CTMC (transition rates between identical state pairs are
-    summed; computed once and cached). *)
+    summed; computed once and cached).  Assembled from the flat columns
+    via {!Markov.Ctmc.of_arrays}. *)
 
 val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
 
@@ -50,10 +77,12 @@ val transient : t -> time:float -> float array
 val throughput : t -> float array -> string -> float
 (** [throughput space pi action] is the steady-state throughput of the
     named action type: the expected number of completions per time
-    unit. *)
+    unit.  One pass over the flat columns. *)
 
 val throughputs : t -> float array -> (string * float) list
-(** Throughput of every reachable action type, sorted by name. *)
+(** Throughput of every reachable action type, sorted by name.  One
+    pass over the flat columns for all action types together (the seed
+    implementation rescanned the transition list once per name). *)
 
 val local_state_probability : t -> float array -> leaf:int -> label:string -> float
 (** Probability that the given leaf component is in the local state with

@@ -1,27 +1,52 @@
+(* All throughput-style measures select from [Net_statespace.label_flux]:
+   one pass over the flat transition columns computes the flux of every
+   interned label, and each query is then O(#labels) instead of a fresh
+   scan of the whole transition list. *)
+
+let label_matches_action name = function
+  | Net_semantics.Local action -> Pepa.Action.name action = Some name
+  | Net_semantics.Fire { action; _ } -> action = name
+
 let throughput space pi name =
-  List.fold_left
-    (fun acc tr ->
-      let matches =
-        match tr.Net_statespace.label with
-        | Net_semantics.Local action -> Pepa.Action.name action = Some name
-        | Net_semantics.Fire { action; _ } -> action = name
-      in
-      if matches then acc +. (pi.(tr.Net_statespace.src) *. tr.Net_statespace.rate) else acc)
-    0.0
-    (Net_statespace.transitions space)
+  let labels = Net_statespace.labels space in
+  let flux = Net_statespace.label_flux space pi in
+  let total = ref 0.0 in
+  Array.iteri (fun id l -> if label_matches_action name l then total := !total +. flux.(id)) labels;
+  !total
 
 let throughputs space pi =
-  List.map (fun name -> (name, throughput space pi name)) (Net_statespace.action_names space)
+  let labels = Net_statespace.labels space in
+  let flux = Net_statespace.label_flux space pi in
+  let totals = Hashtbl.create 16 in
+  Array.iteri
+    (fun id l ->
+      let name =
+        match l with
+        | Net_semantics.Local action -> Pepa.Action.name action
+        | Net_semantics.Fire { action; _ } -> Some action
+      in
+      match name with
+      | Some name ->
+          let previous = Option.value ~default:0.0 (Hashtbl.find_opt totals name) in
+          Hashtbl.replace totals name (previous +. flux.(id))
+      | None -> ())
+    labels;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name total acc -> (name, total) :: acc) totals [])
 
 let firing_throughput space pi transition_name =
-  List.fold_left
-    (fun acc tr ->
-      match tr.Net_statespace.label with
+  let labels = Net_statespace.labels space in
+  let flux = Net_statespace.label_flux space pi in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun id l ->
+      match l with
       | Net_semantics.Fire { transition; _ } when transition = transition_name ->
-          acc +. (pi.(tr.Net_statespace.src) *. tr.Net_statespace.rate)
-      | Net_semantics.Fire _ | Net_semantics.Local _ -> acc)
-    0.0
-    (Net_statespace.transitions space)
+          total := !total +. flux.(id)
+      | Net_semantics.Fire _ | Net_semantics.Local _ -> ())
+    labels;
+  !total
 
 let token_location_probabilities space pi ~token =
   let compiled = Net_statespace.compiled space in

@@ -1,10 +1,19 @@
 type transition = { src : int; label : Net_semantics.label; rate : float; dst : int }
 
+(* Same column layout as [Pepa.Statespace]: transitions in flat
+   src/dst/rate/label-id arrays with the labels interned, the
+   list-returning API kept as a cached compatibility layer. *)
 type t = {
   compiled : Net_compile.t;
   markings : Marking.t array;
-  transition_list : transition list;
-  outgoing : transition list array;
+  tr_src : int array;
+  tr_dst : int array;
+  tr_rate : float array;
+  tr_label : int array;  (* index into [labels] *)
+  labels : Net_semantics.label array;  (* interned label table *)
+  row_start : int array;  (* CSR over transitions grouped by src; length n_markings + 1 *)
+  mutable transition_cache : transition list option;
+  mutable outgoing_cache : transition list array option;
   mutable chain : Markov.Ctmc.t option;
 }
 
@@ -17,25 +26,65 @@ let label_string = function
 
 let build ?(max_markings = 1_000_000) compiled =
   let index = Hashtbl.create 1024 in
-  let markings = ref [] in
-  let count = ref 0 in
-  let queue = Queue.create () in
+  let markings = ref (Array.make 1024 (Marking.initial compiled)) in
+  let n_markings = ref 0 in
   let intern marking =
     match Hashtbl.find_opt index marking with
     | Some i -> i
     | None ->
-        if !count >= max_markings then raise (Too_many_markings max_markings);
-        let i = !count in
+        if !n_markings >= max_markings then raise (Too_many_markings max_markings);
+        let i = !n_markings in
+        if i >= Array.length !markings then begin
+          let bigger = Array.make (2 * Array.length !markings) marking in
+          Array.blit !markings 0 bigger 0 i;
+          markings := bigger
+        end;
+        !markings.(i) <- marking;
         Hashtbl.add index marking i;
-        markings := marking :: !markings;
-        incr count;
-        Queue.add (i, marking) queue;
+        incr n_markings;
         i
   in
+  let tr_cap = ref 4096 in
+  let tr_src = ref (Array.make !tr_cap 0) in
+  let tr_dst = ref (Array.make !tr_cap 0) in
+  let tr_rate = ref (Array.make !tr_cap 0.0) in
+  let tr_label = ref (Array.make !tr_cap 0) in
+  let n_transitions = ref 0 in
+  let push src dst rate label =
+    if !n_transitions = !tr_cap then begin
+      let grow_int a = let b = Array.make (2 * !tr_cap) 0 in Array.blit a 0 b 0 !tr_cap; b in
+      let grow_float a = let b = Array.make (2 * !tr_cap) 0.0 in Array.blit a 0 b 0 !tr_cap; b in
+      tr_src := grow_int !tr_src;
+      tr_dst := grow_int !tr_dst;
+      tr_label := grow_int !tr_label;
+      tr_rate := grow_float !tr_rate;
+      tr_cap := 2 * !tr_cap
+    end;
+    let k = !n_transitions in
+    !tr_src.(k) <- src;
+    !tr_dst.(k) <- dst;
+    !tr_rate.(k) <- rate;
+    !tr_label.(k) <- label;
+    incr n_transitions
+  in
+  let label_ids = Hashtbl.create 16 in
+  let label_list = ref [] in
+  let n_labels = ref 0 in
+  let intern_label l =
+    match Hashtbl.find_opt label_ids l with
+    | Some id -> id
+    | None ->
+        let id = !n_labels in
+        Hashtbl.add label_ids l id;
+        label_list := l :: !label_list;
+        incr n_labels;
+        id
+  in
   ignore (intern (Marking.initial compiled));
-  let transitions = ref [] in
-  while not (Queue.is_empty queue) do
-    let src, marking = Queue.pop queue in
+  let next = ref 0 in
+  while !next < !n_markings do
+    let src = !next in
+    let marking = !markings.(src) in
     List.iter
       (fun move ->
         let rate =
@@ -50,39 +99,104 @@ let build ?(max_markings = 1_000_000) compiled =
                    })
         in
         let dst = intern (Net_semantics.apply marking move.Net_semantics.updates) in
-        transitions := { src; label = move.Net_semantics.label; rate; dst } :: !transitions)
-      (Net_semantics.moves compiled marking)
+        push src dst rate (intern_label move.Net_semantics.label))
+      (Net_semantics.moves compiled marking);
+    incr next
   done;
-  let markings = Array.of_list (List.rev !markings) in
-  let transition_list = List.rev !transitions in
-  let outgoing = Array.make (Array.length markings) [] in
-  List.iter (fun t -> outgoing.(t.src) <- t :: outgoing.(t.src)) transition_list;
-  Array.iteri (fun i ts -> outgoing.(i) <- List.rev ts) outgoing;
-  { compiled; markings; transition_list; outgoing; chain = None }
+  let n = !n_markings in
+  let count = !n_transitions in
+  let tr_src = Array.sub !tr_src 0 count in
+  let tr_dst = Array.sub !tr_dst 0 count in
+  let tr_rate = Array.sub !tr_rate 0 count in
+  let tr_label = Array.sub !tr_label 0 count in
+  let row_start = Array.make (n + 1) 0 in
+  Array.iter (fun s -> row_start.(s + 1) <- row_start.(s + 1) + 1) tr_src;
+  for i = 1 to n do
+    row_start.(i) <- row_start.(i) + row_start.(i - 1)
+  done;
+  {
+    compiled;
+    markings = Array.sub !markings 0 n;
+    tr_src;
+    tr_dst;
+    tr_rate;
+    tr_label;
+    labels = Array.of_list (List.rev !label_list);
+    row_start;
+    transition_cache = None;
+    outgoing_cache = None;
+    chain = None;
+  }
 
 let of_string ?max_markings src = build ?max_markings (Net_compile.of_string src)
 let of_file ?max_markings path = build ?max_markings (Net_compile.of_file path)
 
 let compiled t = t.compiled
 let n_markings t = Array.length t.markings
-let n_transitions t = List.length t.transition_list
+let n_transitions t = Array.length t.tr_src
 let marking t i = t.markings.(i)
 let marking_label t i = Marking.label t.compiled t.markings.(i)
 let initial_index _ = 0
-let transitions t = t.transition_list
-let transitions_from t i = t.outgoing.(i)
+
+let transition_record t k =
+  {
+    src = t.tr_src.(k);
+    label = t.labels.(t.tr_label.(k));
+    rate = t.tr_rate.(k);
+    dst = t.tr_dst.(k);
+  }
+
+let iter_transitions t f =
+  for k = 0 to Array.length t.tr_src - 1 do
+    f ~src:t.tr_src.(k) ~label:t.labels.(t.tr_label.(k)) ~rate:t.tr_rate.(k)
+      ~dst:t.tr_dst.(k)
+  done
+
+let transitions t =
+  match t.transition_cache with
+  | Some l -> l
+  | None ->
+      let l = List.init (n_transitions t) (transition_record t) in
+      t.transition_cache <- Some l;
+      l
+
+let transitions_from t i =
+  match t.outgoing_cache with
+  | Some rows -> rows.(i)
+  | None ->
+      let rows =
+        Array.init (n_markings t) (fun s ->
+            List.init
+              (t.row_start.(s + 1) - t.row_start.(s))
+              (fun k -> transition_record t (t.row_start.(s) + k)))
+      in
+      t.outgoing_cache <- Some rows;
+      rows.(i)
 
 let deadlocks t =
   let result = ref [] in
-  Array.iteri (fun i out -> if out = [] then result := i :: !result) t.outgoing;
-  List.rev !result
+  for i = n_markings t - 1 downto 0 do
+    if t.row_start.(i) = t.row_start.(i + 1) then result := i :: !result
+  done;
+  !result
+
+let labels t = t.labels
+
+let label_flux t pi =
+  let flux = Array.make (Array.length t.labels) 0.0 in
+  for k = 0 to Array.length t.tr_src - 1 do
+    let id = t.tr_label.(k) in
+    flux.(id) <- flux.(id) +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
+  done;
+  flux
 
 let ctmc t =
   match t.chain with
   | Some c -> c
   | None ->
-      let triples = List.map (fun tr -> (tr.src, tr.dst, tr.rate)) t.transition_list in
-      let c = Markov.Ctmc.of_transitions ~n:(n_markings t) triples in
+      let c =
+        Markov.Ctmc.of_arrays ~n:(n_markings t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+      in
       t.chain <- Some c;
       c
 
@@ -97,11 +211,11 @@ let transient t ~time =
 let action_names t =
   List.sort_uniq String.compare
     (List.filter_map
-       (fun tr ->
-         match tr.label with
+       (fun label ->
+         match label with
          | Net_semantics.Local action -> Pepa.Action.name action
          | Net_semantics.Fire { action; _ } -> Some action)
-       t.transition_list)
+       (Array.to_list t.labels))
 
 let pp_summary fmt t =
   Format.fprintf fmt "%d markings, %d transitions, %d deadlock marking(s)" (n_markings t)

@@ -1,5 +1,10 @@
 (** Reachability graph of a PEPA net and its derived CTMC, treating each
-    marking as a distinct state (as in the paper's Section 2.2). *)
+    marking as a distinct state (as in the paper's Section 2.2).
+
+    Transitions are stored in flat src/dst/rate/label-id columns with
+    the labels interned into a table; the list-returning accessors are a
+    cached compatibility layer over them, and {!Net_measures} works
+    straight off the columns through {!label_flux}. *)
 
 type transition = {
   src : int;
@@ -22,13 +27,32 @@ val of_file : ?max_markings:int -> string -> t
 
 val compiled : t -> Net_compile.t
 val n_markings : t -> int
+
 val n_transitions : t -> int
+(** O(1). *)
+
 val marking : t -> int -> Marking.t
 val marking_label : t -> int -> string
 val initial_index : t -> int
 val transitions : t -> transition list
 val transitions_from : t -> int -> transition list
+
+val iter_transitions :
+  t -> (src:int -> label:Net_semantics.label -> rate:float -> dst:int -> unit) -> unit
+(** Iterate the flat columns directly — no list, no record
+    allocation. *)
+
 val deadlocks : t -> int list
+
+val labels : t -> Net_semantics.label array
+(** The interned label table.  Transition labels index into it; do not
+    mutate. *)
+
+val label_flux : t -> float array -> float array
+(** [label_flux space pi] is the steady-state flux [sum pi(src) * rate]
+    of every interned label, indexed like {!labels}.  One pass over the
+    flat columns; the measure functions select from it instead of
+    rescanning the transitions per query. *)
 
 val ctmc : t -> Markov.Ctmc.t
 val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
@@ -36,6 +60,6 @@ val transient : t -> time:float -> float array
 
 val action_names : t -> string list
 (** All named action types on reachable transitions, local and firing,
-    sorted. *)
+    sorted.  Read from the interned label table. *)
 
 val pp_summary : Format.formatter -> t -> unit

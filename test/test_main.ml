@@ -7,6 +7,7 @@ let () =
       ("pepa-semantics", Test_pepa_semantics.suite);
       ("equivalence", Test_equivalence.suite);
       ("ctmc", Test_ctmc.suite);
+      ("perf-path", Test_perf_path.suite);
       ("transient", Test_transient.suite);
       ("passage", Test_passage.suite);
       ("simulate", Test_simulate.suite);
