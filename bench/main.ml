@@ -291,17 +291,16 @@ let e6 () =
   let rows =
     List.map
       (fun n ->
-        let t0 = Sys.time () in
-        let space = Pepa.Statespace.of_string (replicated_model n) in
-        let built = Sys.time () in
-        let _pi = Pepa.Statespace.steady_state space in
-        let solved = Sys.time () in
+        let space, build_s =
+          Obs.Clock.time (fun () -> Pepa.Statespace.of_string (replicated_model n))
+        in
+        let _pi, solve_s = Obs.Clock.time (fun () -> Pepa.Statespace.steady_state space) in
         [
           string_of_int n;
           string_of_int (Pepa.Statespace.n_states space);
           string_of_int (Pepa.Statespace.n_transitions space);
-          Printf.sprintf "%.4f" (built -. t0);
-          Printf.sprintf "%.4f" (solved -. built);
+          Printf.sprintf "%.4f" build_s;
+          Printf.sprintf "%.4f" solve_s;
         ])
       [ 1; 2; 4; 6; 8; 10 ]
   in
@@ -315,12 +314,14 @@ let e6 () =
         let diagram = Scenarios.Pda.diagram_with_transmitters k in
         let rates = Scenarios.Pda.rates_for_transmitters k in
         let ex = Extract.Ad_to_pepanet.extract ~rates diagram in
-        let t0 = Sys.time () in
-        let space =
-          Pepanet.Net_statespace.build (Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net)
+        let (space, pi), dt =
+          Obs.Clock.time (fun () ->
+              let space =
+                Pepanet.Net_statespace.build
+                  (Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net)
+              in
+              (space, Pepanet.Net_statespace.steady_state space))
         in
-        let pi = Pepanet.Net_statespace.steady_state space in
-        let dt = Sys.time () -. t0 in
         let per_journey = Pepanet.Net_measures.throughput space pi "finish_download" in
         [
           string_of_int k;
@@ -341,9 +342,7 @@ let e6 () =
   let rows =
     List.map
       (fun method_ ->
-        let t0 = Sys.time () in
-        let pi = Markov.Steady.solve ~method_ chain in
-        let dt = Sys.time () -. t0 in
+        let pi, dt = Obs.Clock.time (fun () -> Markov.Steady.solve ~method_ chain) in
         [
           Markov.Steady.method_name method_;
           Printf.sprintf "%.4f" dt;
@@ -366,15 +365,14 @@ let e6 () =
         Hashtbl.replace task_jumps (tr.Pepa.Statespace.src, tr.Pepa.Statespace.dst) ())
     (Pepa.Statespace.transitions space);
   let exact = Pepa.Statespace.throughput space pi "task" in
-  let t0 = Sys.time () in
-  let est =
-    Markov.Simulate.throughput_estimate chain
-      ~rng:(Markov.Simulate.Rng.create ~seed:2006L)
-      ~initial:0 ~batches:20 ~batch_time:100.0 ~warmup:10.0
-      ~counts:(fun src dst -> Hashtbl.mem task_jumps (src, dst))
-      ()
+  let est, dt =
+    Obs.Clock.time (fun () ->
+        Markov.Simulate.throughput_estimate chain
+          ~rng:(Markov.Simulate.Rng.create ~seed:2006L)
+          ~initial:0 ~batches:20 ~batch_time:100.0 ~warmup:10.0
+          ~counts:(fun src dst -> Hashtbl.mem task_jumps (src, dst))
+          ())
   in
-  let dt = Sys.time () -. t0 in
   print_string
     (table
        ~header:[ "approach"; "throughput(task)"; "95% CI"; "time (s)" ]

@@ -8,7 +8,11 @@
 
      dune exec bench/perf.exe            # full sweep, writes BENCH_PIPELINE.json
      dune exec bench/perf.exe -- --smoke # tiny sweep, same format
-     dune exec bench/perf.exe -- --out somewhere.json *)
+     dune exec bench/perf.exe -- --out somewhere.json
+     dune exec bench/perf.exe -- --trace trace.json  # also emit a Chrome trace
+
+   Stage timings go through [Obs.Span.timed], so the numbers in the
+   JSON and the spans in the trace come from the same clock. *)
 
 let replicated_model n =
   Printf.sprintf
@@ -31,23 +35,24 @@ type row = {
   method_used : string;
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+let time = Obs.Span.timed
 
 let solve_options = Markov.Steady.default_options
 
 let pepa_row n =
-  let space, build_s = time (fun () -> Pepa.Statespace.of_string (replicated_model n)) in
+  let attrs = [ ("replicas", Obs.Span.Int n) ] in
+  let space, build_s =
+    time ~attrs "bench.pepa.build" (fun _ -> Pepa.Statespace.of_string (replicated_model n))
+  in
   let chain, assemble_s =
-    time (fun () ->
+    time ~attrs "bench.pepa.assemble" (fun _ ->
         let chain = Pepa.Statespace.ctmc space in
         ignore (Markov.Ctmc.generator_transposed chain);
         chain)
   in
   let (_, stats), solve_s =
-    time (fun () -> Markov.Steady.solve_stats ~options:solve_options chain)
+    time ~attrs "bench.pepa.solve" (fun _ ->
+        Markov.Steady.solve_stats ~options:solve_options chain)
   in
   {
     parameter = n;
@@ -65,18 +70,20 @@ let net_row k =
   let diagram = Scenarios.Pda.diagram_with_transmitters k in
   let rates = Scenarios.Pda.rates_for_transmitters k in
   let ex = Extract.Ad_to_pepanet.extract ~rates diagram in
+  let attrs = [ ("transmitters", Obs.Span.Int k) ] in
   let space, build_s =
-    time (fun () ->
+    time ~attrs "bench.net.build" (fun _ ->
         Pepanet.Net_statespace.build (Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net))
   in
   let chain, assemble_s =
-    time (fun () ->
+    time ~attrs "bench.net.assemble" (fun _ ->
         let chain = Pepanet.Net_statespace.ctmc space in
         ignore (Markov.Ctmc.generator_transposed chain);
         chain)
   in
   let (_, stats), solve_s =
-    time (fun () -> Markov.Steady.solve_stats ~options:solve_options chain)
+    time ~attrs "bench.net.solve" (fun _ ->
+        Markov.Steady.solve_stats ~options:solve_options chain)
   in
   {
     parameter = k;
@@ -106,6 +113,16 @@ let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let out = ref "BENCH_PIPELINE.json" in
   Array.iteri (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
+  (* --trace FILE: collect spans (the same ones the timings come from)
+     and export them as a Chrome trace on exit. *)
+  Array.iteri
+    (fun i a ->
+      if a = "--trace" && i + 1 < Array.length Sys.argv then begin
+        let path = Sys.argv.(i + 1) in
+        Obs.Config.enable ();
+        at_exit (fun () -> Obs.Sink.write_chrome_trace ~path)
+      end)
+    Sys.argv;
   let replicas = if smoke then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
   let transmitters = if smoke then [ 2 ] else [ 2; 3; 5; 8; 12 ] in
   let pepa_rows =

@@ -41,31 +41,6 @@ let load_rates = function
         Printf.eprintf "%s: line %d: %s\n" path line message;
         exit 1)
 
-let method_conv =
-  let parse = function
-    | "direct" -> Ok (Some Markov.Steady.Direct)
-    | "jacobi" -> Ok (Some Markov.Steady.Jacobi)
-    | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
-    | "power" -> Ok (Some Markov.Steady.Power)
-    | "auto" -> Ok None
-    | other -> (
-        (* "sor" or "sor:<omega>", omega in (0, 2); plain "sor" uses a
-           mild over-relaxation. *)
-        match String.split_on_char ':' other with
-        | [ "sor" ] -> Ok (Some (Markov.Steady.Sor 1.2))
-        | [ "sor"; omega ] -> (
-            match float_of_string_opt omega with
-            | Some w when w > 0.0 && w < 2.0 -> Ok (Some (Markov.Steady.Sor w))
-            | Some _ | None ->
-                Error (`Msg (Printf.sprintf "SOR relaxation %s outside (0, 2)" omega)))
-        | _ -> Error (`Msg (Printf.sprintf "unknown method %s" other)))
-  in
-  let print fmt m =
-    Format.pp_print_string fmt
-      (match m with None -> "auto" | Some m -> Markov.Steady.method_name m)
-  in
-  Arg.conv (parse, print)
-
 let input_arg =
   Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input XMI file.")
 
@@ -75,12 +50,7 @@ let rates_arg =
     & opt (some file) None
     & info [ "r"; "rates" ] ~docv:"FILE" ~doc:"Rates file (activity = rate lines).")
 
-let method_arg =
-  Arg.(
-    value
-    & opt method_conv None
-    & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
+let method_arg = Cli_support.method_arg
 
 let absorb_arg =
   Arg.(
@@ -103,6 +73,8 @@ let handle_errors f =
   | Choreographer.Workbench.Analysis_error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
+  | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
+      Cli_support.report_did_not_converge ~method_used ~iterations ~residual
 
 (* ------------------------------------------------------------------ *)
 
@@ -126,11 +98,12 @@ let pipeline_cmd =
       & info [ "html" ] ~docv:"FILE"
           ~doc:"Also write a self-contained HTML report (the Figure 7 view).")
   in
-  let run input output rates_path method_ absorb xmltable html =
+  let run () input output rates_path method_ absorb xmltable html =
     handle_errors (fun () ->
         let options = options_of rates_path method_ absorb in
         let doc = read_document input in
         let outcome = Choreographer.Pipeline.process_document ~options doc in
+        Cli_support.print_solver_stats ();
         Xml_kit.Minixml.write_file output outcome.Choreographer.Pipeline.reflected;
         List.iter
           (fun results -> Format.printf "%a@." Choreographer.Results.pp results)
@@ -152,8 +125,8 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Extract, analyse and reflect a UML model (the full tool chain).")
     Term.(
-      const run $ input_arg $ output_arg $ rates_arg $ method_arg $ absorb_arg $ xmltable_arg
-      $ html_arg)
+      const run $ Cli_support.telemetry_term $ input_arg $ output_arg $ rates_arg $ method_arg
+      $ absorb_arg $ xmltable_arg $ html_arg)
 
 let extract_cmd =
   let output_arg =
@@ -171,7 +144,7 @@ let extract_cmd =
           ~doc:"Also write the resolved activity rates as a .rates file (the second \
                 artefact of the paper's Figure 4).")
   in
-  let run input rates_path absorb output rates_out =
+  let run () input rates_path absorb output rates_out =
     handle_errors (fun () ->
         let doc = Uml.Poseidon.strip (read_document input) in
         let rates = load_rates rates_path in
@@ -219,10 +192,12 @@ let extract_cmd =
   in
   Cmd.v
     (Cmd.info "extract" ~doc:"Extract the PEPA net from an activity diagram (no analysis).")
-    Term.(const run $ input_arg $ rates_arg $ absorb_arg $ output_arg $ rates_out_arg)
+    Term.(
+      const run $ Cli_support.telemetry_term $ input_arg $ rates_arg $ absorb_arg $ output_arg
+      $ rates_out_arg)
 
 let info_cmd =
-  let run input =
+  let run () input =
     let doc = Uml.Poseidon.strip (read_document input) in
     let activities = Uml.Xmi_read.activities_of_xml doc in
     let charts = Uml.Xmi_read.statecharts_of_xml doc in
@@ -242,7 +217,9 @@ let info_cmd =
       charts;
     if activities = [] && charts = [] then Printf.printf "no analysable diagram found\n"
   in
-  Cmd.v (Cmd.info "info" ~doc:"List the diagrams in an XMI document.") Term.(const run $ input_arg)
+  Cmd.v
+    (Cmd.info "info" ~doc:"List the diagrams in an XMI document.")
+    Term.(const run $ Cli_support.telemetry_term $ input_arg)
 
 let strip_cmd =
   let output_arg =
@@ -251,14 +228,14 @@ let strip_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Stripped XMI output file.")
   in
-  let run input output =
+  let run () input output =
     let doc = read_document input in
     Xml_kit.Minixml.write_file output (Uml.Poseidon.strip doc);
     Printf.printf "metamodel-conformant XMI written to %s\n" output
   in
   Cmd.v
     (Cmd.info "strip" ~doc:"Run the Poseidon preprocessor only (remove tool-specific layout).")
-    Term.(const run $ input_arg $ output_arg)
+    Term.(const run $ Cli_support.telemetry_term $ input_arg $ output_arg)
 
 let () =
   let doc = "performance analysis of mobile UML designs via PEPA nets" in

@@ -1,0 +1,113 @@
+(* Command-line plumbing shared by the Choreographer and Workbench
+   front ends: the steady-state method converter and the telemetry
+   flags (--log-level, --trace, --metrics). *)
+
+open Cmdliner
+
+let method_conv =
+  let parse = function
+    | "direct" -> Ok (Some Markov.Steady.Direct)
+    | "jacobi" -> Ok (Some Markov.Steady.Jacobi)
+    | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
+    | "power" -> Ok (Some Markov.Steady.Power)
+    | "auto" -> Ok None
+    | other -> (
+        (* "sor" or "sor:<omega>", omega in (0, 2); plain "sor" uses a
+           mild over-relaxation. *)
+        match String.split_on_char ':' other with
+        | [ "sor" ] -> Ok (Some (Markov.Steady.Sor 1.2))
+        | [ "sor"; omega ] -> (
+            match float_of_string_opt omega with
+            | Some w when w > 0.0 && w < 2.0 -> Ok (Some (Markov.Steady.Sor w))
+            | Some _ | None ->
+                Error (`Msg (Printf.sprintf "SOR relaxation %s outside (0, 2)" omega)))
+        | _ -> Error (`Msg (Printf.sprintf "unknown method %s" other)))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with None -> "auto" | Some m -> Markov.Steady.method_name m)
+  in
+  Arg.conv (parse, print)
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv None
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let level_conv =
+  let parse s =
+    match Obs.Config.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown log level %s (quiet|info|debug)" s))
+  in
+  let print fmt l = Format.pp_print_string fmt (Obs.Config.level_to_string l) in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Diagnostic verbosity: quiet, info or debug.  info and above echo closing \
+              tracing spans and progress to stderr.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON file of the run (open in chrome://tracing \
+              or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write collected metrics (counters, histograms, residual trajectory) as \
+              JSON.")
+
+(* Configure the process-global telemetry state.  File writers run
+   [at_exit] so traces survive error exits too. *)
+let setup_telemetry level trace metrics =
+  (match level with Some l -> Obs.Config.set_level l | None -> ());
+  if level <> None || trace <> None || metrics <> None then Obs.Config.enable ();
+  if Obs.Config.at_least Obs.Config.Info then Obs.Sink.install_stderr ();
+  (match trace with
+  | Some path -> at_exit (fun () -> Obs.Sink.write_chrome_trace ~path)
+  | None -> ());
+  match metrics with
+  | Some path -> at_exit (fun () -> Obs.Sink.write_metrics ~path)
+  | None -> ()
+
+let telemetry_term =
+  Term.(const setup_telemetry $ log_level_arg $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Solver diagnostics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_solver_stats () =
+  match Markov.Steady.last_stats () with
+  | Some { Markov.Steady.method_used; iterations; residual } ->
+      Printf.eprintf "solver: method=%s iterations=%d residual=%.3e\n%!"
+        (Markov.Steady.method_name method_used)
+        iterations residual
+  | None -> ()
+
+(* Non-convergence is distinguished from ordinary model errors (exit 1)
+   so scripted callers can retry with another method or more
+   iterations. *)
+let exit_did_not_converge = 2
+
+let report_did_not_converge ~method_used ~iterations ~residual =
+  Printf.eprintf "error: %s solver did not converge after %d iterations (residual %g)\n%!"
+    (Markov.Steady.method_name method_used)
+    iterations residual;
+  exit exit_did_not_converge

@@ -6,52 +6,24 @@ open Cmdliner
 
 let is_net_file path explicit_net = explicit_net || Filename.check_suffix path ".pepanet"
 
-let method_conv =
-  let parse = function
-    | "direct" -> Ok (Some Markov.Steady.Direct)
-    | "jacobi" -> Ok (Some Markov.Steady.Jacobi)
-    | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
-    | "power" -> Ok (Some Markov.Steady.Power)
-    | "auto" -> Ok None
-    | other -> (
-        (* "sor" or "sor:<omega>", omega in (0, 2); plain "sor" uses a
-           mild over-relaxation. *)
-        match String.split_on_char ':' other with
-        | [ "sor" ] -> Ok (Some (Markov.Steady.Sor 1.2))
-        | [ "sor"; omega ] -> (
-            match float_of_string_opt omega with
-            | Some w when w > 0.0 && w < 2.0 -> Ok (Some (Markov.Steady.Sor w))
-            | Some _ | None ->
-                Error (`Msg (Printf.sprintf "SOR relaxation %s outside (0, 2)" omega)))
-        | _ -> Error (`Msg (Printf.sprintf "unknown method %s" other)))
-  in
-  let print fmt m =
-    Format.pp_print_string fmt
-      (match m with None -> "auto" | Some m -> Markov.Steady.method_name m)
-  in
-  Arg.conv (parse, print)
-
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"A .pepa or .pepanet file.")
 
 let net_arg =
   Arg.(value & flag & info [ "net" ] ~doc:"Force PEPA net interpretation regardless of suffix.")
 
-let method_arg =
-  Arg.(
-    value
-    & opt method_conv None
-    & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
+let method_arg = Cli_support.method_arg
 
 let handle_errors f =
-  try f ()
-  with Choreographer.Workbench.Analysis_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+  try f () with
+  | Choreographer.Workbench.Analysis_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
+      Cli_support.report_did_not_converge ~method_used ~iterations ~residual
 
 let solve_cmd =
-  let run path net method_ =
+  let run () path net method_ =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let analysis = Choreographer.Workbench.analyse_net_file ?method_ path in
@@ -61,17 +33,18 @@ let solve_cmd =
         else begin
           let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ path in
           Format.printf "%a@." Choreographer.Results.pp analysis.Choreographer.Workbench.results
-        end)
+        end;
+        Cli_support.print_solver_stats ())
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Steady-state solution and throughput of every action type.")
-    Term.(const run $ file_arg $ net_arg $ method_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ method_arg)
 
 let statespace_cmd =
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N states.")
   in
-  let run path net limit =
+  let run () path net limit =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let space = Pepanet.Net_statespace.of_file path in
@@ -90,10 +63,10 @@ let statespace_cmd =
   in
   Cmd.v
     (Cmd.info "statespace" ~doc:"Derive and print the reachable state space.")
-    Term.(const run $ file_arg $ net_arg $ limit_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ limit_arg)
 
 let check_cmd =
-  let run path net =
+  let run () path net =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let compiled = Pepanet.Net_compile.of_file path in
@@ -119,13 +92,13 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Static checks, deadlock search and model warnings.")
-    Term.(const run $ file_arg $ net_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg)
 
 let transient_cmd =
   let time_arg =
     Arg.(required & opt (some float) None & info [ "t"; "time" ] ~docv:"T" ~doc:"Time horizon.")
   in
-  let run path net time =
+  let run () path net time =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let space = Pepanet.Net_statespace.of_file path in
@@ -150,7 +123,7 @@ let transient_cmd =
   in
   Cmd.v
     (Cmd.info "transient" ~doc:"Transient state probabilities at a time horizon.")
-    Term.(const run $ file_arg $ net_arg $ time_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ time_arg)
 
 let export_cmd =
   let basename_arg =
@@ -160,7 +133,7 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"BASENAME"
           ~doc:"Basename for the .tra/.sta/.lab files.")
   in
-  let run path net basename =
+  let run () path net basename =
     handle_errors (fun () ->
         let chain, label_groups =
           if is_net_file path net then begin
@@ -187,7 +160,7 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the derived CTMC in PRISM explicit-state format.")
-    Term.(const run $ file_arg $ net_arg $ basename_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ basename_arg)
 
 let passage_cmd =
   let action_arg =
@@ -215,7 +188,7 @@ let passage_cmd =
       (fun (t, p) -> Printf.printf "F(%g) = %.6f\n" t p)
       (Markov.Passage.cdf_curve chain ~sources ~targets ~times)
   in
-  let run path net times action =
+  let run () path net times action =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let space = Pepanet.Net_statespace.of_file path in
@@ -258,7 +231,7 @@ let passage_cmd =
   Cmd.v
     (Cmd.info "passage"
        ~doc:"First-passage-time analysis around an action type.")
-    Term.(const run $ file_arg $ net_arg $ times_arg $ action_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ times_arg $ action_arg)
 
 let graph_cmd =
   let output_arg =
@@ -274,7 +247,7 @@ let graph_cmd =
       & info [ "k"; "kind" ] ~docv:"KIND"
           ~doc:"What to draw: the reachable statespace, or (for nets) the net structure.")
   in
-  let run path net output kind =
+  let run () path net output kind =
     handle_errors (fun () ->
         let dot =
           if is_net_file path net then begin
@@ -294,7 +267,7 @@ let graph_cmd =
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"Render the state space (or net structure) as Graphviz dot.")
-    Term.(const run $ file_arg $ net_arg $ output_arg $ kind_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ output_arg $ kind_arg)
 
 let query_cmd =
   let query_arg =
@@ -306,7 +279,7 @@ let query_cmd =
             "Measure expression, e.g. 'throughput(request)' or \
              'passage(request -> response).mean'.")
   in
-  let run path net query_text =
+  let run () path net query_text =
     handle_errors (fun () ->
         try
           let context =
@@ -323,7 +296,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a measure expression against a solved model.")
-    Term.(const run $ file_arg $ net_arg $ query_arg)
+    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ query_arg)
 
 let () =
   let doc = "the PEPA Workbench for PEPA nets" in

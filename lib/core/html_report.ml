@@ -102,6 +102,24 @@ let net_section buf name net =
   Buffer.add_string buf "<h3>Net structure (Graphviz)</h3>\n";
   Buffer.add_string buf (Printf.sprintf "<pre>%s</pre>\n" (escape (Graphviz.net_structure net)))
 
+(* Only rendered when telemetry collection is on: the span tree and the
+   metric registry as captured at report-generation time. *)
+let telemetry_section buf =
+  if Obs.Config.enabled () then begin
+    let report = Obs.Report.capture () in
+    Buffer.add_string buf "<h2>Telemetry</h2>\n";
+    (match Obs.Report.metric_rows report with
+    | [] -> ()
+    | rows ->
+        table buf ~header:[ "metric"; "value" ]
+          (List.map (fun (name, value) -> [ escape name; escape value ]) rows));
+    match Obs.Report.spans_text report with
+    | "" -> ()
+    | spans ->
+        Buffer.add_string buf "<h3>Trace</h3>\n";
+        Buffer.add_string buf (Printf.sprintf "<pre>%s</pre>\n" (escape spans))
+  end
+
 let of_outcome ?(title = "Choreographer analysis report") outcome =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>\n";
@@ -116,6 +134,7 @@ let of_outcome ?(title = "Choreographer analysis report") outcome =
        (Uml.Xmi_read.activities_of_xml outcome.Pipeline.reflected)
    with Uml.Xmi_read.Xmi_error _ -> ());
   List.iter (fun (name, net) -> net_section buf name net) outcome.Pipeline.extracted_nets;
+  telemetry_section buf;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 

@@ -86,8 +86,13 @@ let analyse_statecharts options charts =
   (reflected_charts, extraction, results)
 
 let process_document ?(options = default_options) original =
-  let stripped = Uml.Poseidon.strip original in
-  let validated = through_mdr stripped in
+  Obs.Span.with_ "pipeline" (fun pipeline_span ->
+  let stripped =
+    Obs.Span.with_ "pipeline.strip" (fun _ -> Uml.Poseidon.strip original)
+  in
+  let validated =
+    Obs.Span.with_ "pipeline.mdr_validate" (fun _ -> through_mdr stripped)
+  in
   let activities =
     try Uml.Xmi_read.activities_of_xml validated
     with Uml.Xmi_read.Xmi_error msg -> fail "reading activity graphs: %s" msg
@@ -107,11 +112,16 @@ let process_document ?(options = default_options) original =
   let reflected_charts =
     match chart_outcome with Some (cs, _, _) -> cs | None -> []
   in
-  let rebuilt =
-    Uml.Xmi_write.document_to_xml ~model_name:(model_name_of validated) ~interactions
-      reflected_activities reflected_charts
+  let reflected =
+    Obs.Span.with_ "pipeline.write_back" (fun _ ->
+        let rebuilt =
+          Uml.Xmi_write.document_to_xml ~model_name:(model_name_of validated)
+            ~interactions reflected_activities reflected_charts
+        in
+        Uml.Poseidon.merge ~original ~reflected:rebuilt ())
   in
-  let reflected = Uml.Poseidon.merge ~original ~reflected:rebuilt () in
+  Obs.Span.add_int pipeline_span "activities" (List.length activities);
+  Obs.Span.add_int pipeline_span "charts" (List.length charts);
   {
     reflected;
     results =
@@ -126,7 +136,7 @@ let process_document ?(options = default_options) original =
       | Some (_, e, _) ->
           [ ("statecharts", e.Extract.Sc_to_pepa.model) ]
       | None -> []);
-  }
+  })
 
 let process_file ?(options = default_options) ?rates_path ~input ~output () =
   let options =

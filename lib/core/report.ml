@@ -47,3 +47,20 @@ let comparison_table ~title ~columns:(c1, c2) rows =
          rows)
 
 let section title = title ^ "\n" ^ String.make (String.length title) '=' ^ "\n"
+
+let telemetry_section () =
+  if not (Obs.Config.enabled ()) then ""
+  else begin
+    let report = Obs.Report.capture () in
+    let metrics =
+      match Obs.Report.metric_rows report with
+      | [] -> ""
+      | rows ->
+          table ~header:[ "metric"; "value" ] (List.map (fun (n, v) -> [ n; v ]) rows)
+    in
+    let spans =
+      match Obs.Report.spans_text report with "" -> "" | text -> text
+    in
+    if metrics = "" && spans = "" then ""
+    else section "Telemetry" ^ metrics ^ (if spans = "" then "" else "\n" ^ spans)
+  end

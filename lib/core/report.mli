@@ -17,3 +17,8 @@ val comparison_table :
 
 val section : string -> string
 (** An underlined section heading. *)
+
+val telemetry_section : unit -> string
+(** A "Telemetry" section with the collected metric rows and the span
+    tree of the run so far, or [""] when collection is disabled (so
+    callers can append it unconditionally). *)

@@ -29,11 +29,10 @@ let wrap name thunk =
   | Pepanet.Net_statespace.Passive_firing { marking; label } ->
       fail "%s: passive activity %s has no active partner in marking %s" name label marking
   | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
-  | Markov.Steady.Did_not_converge { iterations; residual } ->
-      fail "%s: solver did not converge after %d iterations (residual %g)" name iterations
-        residual
 
 let analyse_pepa ?(name = "model") ?method_ ?max_states model =
+  Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
+    (fun _ ->
   wrap name (fun () ->
       let env = Pepa.Env.of_model model in
       let compiled = Pepa.Compile.compile env in
@@ -63,7 +62,7 @@ let analyse_pepa ?(name = "model") ?method_ ?max_states model =
           ~state_probabilities
           ~warnings:(Pepa.Env.warnings env) ()
       in
-      { space; distribution; results })
+      { space; distribution; results }))
 
 let analyse_pepa_string ?(name = "model") ?method_ ?max_states src =
   let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
@@ -75,6 +74,8 @@ let analyse_pepa_file ?method_ ?max_states path =
   analyse_pepa ~name ?method_ ?max_states model
 
 let analyse_net ?(name = "net") ?method_ ?max_markings net =
+  Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net"
+    (fun _ ->
   wrap name (fun () ->
       let compiled = Pepanet.Net_compile.compile net in
       let net_space = Pepanet.Net_statespace.build ?max_markings compiled in
@@ -86,7 +87,7 @@ let analyse_net ?(name = "net") ?method_ ?max_markings net =
           ~throughputs:(Pepanet.Net_measures.throughputs net_space net_distribution)
           ~warnings:(Pepanet.Net_compile.warnings compiled) ()
       in
-      { net_space; net_distribution; net_results })
+      { net_space; net_distribution; net_results }))
 
 let analyse_net_string ?(name = "net") ?method_ ?max_markings src =
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in

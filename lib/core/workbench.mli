@@ -16,7 +16,10 @@ type net_analysis = {
 
 exception Analysis_error of string
 (** Wraps parser, semantic, state-space and solver failures with
-    context. *)
+    context.  {!Markov.Steady.Did_not_converge} is deliberately {e not}
+    wrapped: it carries structured solver statistics (method, iteration
+    count, residual) that the command-line front ends report separately
+    with a distinct exit code. *)
 
 val analyse_pepa :
   ?name:string ->

@@ -12,6 +12,9 @@ let validate_entry ~n ~context i j r =
     invalid_arg (Printf.sprintf "%s: non-positive rate %g on %d -> %d" context r i j)
 
 let of_arrays ~n ~src ~dst ~rate =
+  Obs.Span.with_ "ctmc.assemble" (fun span ->
+  Obs.Span.add_int span "states" n;
+  Obs.Span.add_int span "transitions" (Array.length src);
   let count = Array.length src in
   if Array.length dst <> count || Array.length rate <> count then
     invalid_arg "Ctmc.of_arrays: column arrays of different lengths";
@@ -41,7 +44,7 @@ let of_arrays ~n ~src ~dst ~rate =
   in
   let rates = Sparse.of_arrays ~n_rows:n ~n_cols:n ~rows ~cols ~values in
   let exit = Sparse.row_sums rates in
-  { n; rates; exit; transposed = None }
+  { n; rates; exit; transposed = None })
 
 let of_transitions ~n transitions =
   List.iter
@@ -94,7 +97,11 @@ let generator_transposed c =
   match c.transposed with
   | Some m -> m
   | None ->
-      let m = Sparse.transpose (generator c) in
+      let m =
+        Obs.Span.with_ "ctmc.transpose" (fun span ->
+            Obs.Span.add_int span "states" c.n;
+            Sparse.transpose (generator c))
+      in
       c.transposed <- Some m;
       m
 

@@ -51,7 +51,9 @@ let steady ?(tolerance = 1e-12) ?(max_iterations = 1_000_000) d =
   let iterations = ref 0 in
   while !delta > tolerance do
     if !iterations >= max_iterations then
-      raise (Steady.Did_not_converge { iterations = !iterations; residual = !delta });
+      raise
+        (Steady.Did_not_converge
+           { method_used = Steady.Power; iterations = !iterations; residual = !delta });
     let next = step d !pi in
     delta := 0.0;
     Array.iteri (fun i v -> delta := max !delta (abs_float (v -. !pi.(i)))) next;

@@ -10,7 +10,7 @@ type options = {
 let default_options =
   { tolerance = 1e-12; max_iterations = 100_000; direct_limit = 3000; residual_stride = 8 }
 
-exception Did_not_converge of { iterations : int; residual : float }
+exception Did_not_converge of { method_used : method_; iterations : int; residual : float }
 exception Not_solvable of string
 
 let method_name = function
@@ -21,6 +21,15 @@ let method_name = function
   | Power -> "power"
 
 type stats = { method_used : method_; iterations : int; residual : float }
+
+let last = ref None
+let last_stats () = !last
+
+(* Telemetry handles (all no-ops while collection is disabled). *)
+let solver_iterations = Obs.Metrics.counter "solver_iterations"
+let solver_residual = Obs.Metrics.gauge "solver_residual"
+let residual_trajectory = Obs.Metrics.series "solver.residual_trajectory"
+let sweep_seconds = Obs.Metrics.histogram "solver.sweep_s"
 
 let residual c pi =
   let qt = Ctmc.generator_transposed c in
@@ -86,7 +95,7 @@ let check_no_absorbing c =
    roughly halves the cost per iteration for stationary methods whose
    sweep is itself one pass over the matrix.  The iteration count
    reported on failure is the exact number of sweeps performed. *)
-let iterate ~options ~c ~sweep =
+let iterate ~method_ ~options ~c ~sweep =
   let n = Ctmc.n_states c in
   let qt = Ctmc.generator_transposed c in
   let pi = Array.make n (1.0 /. float_of_int n) in
@@ -101,21 +110,31 @@ let iterate ~options ~c ~sweep =
     done;
     !m
   in
+  let obs_on = Obs.Config.enabled () in
+  let record iterations res =
+    if obs_on then
+      Obs.Metrics.push residual_trajectory ~x:(float_of_int iterations) ~y:res
+  in
   let stride = max 1 options.residual_stride in
   let iterations = ref 0 in
   let res = ref (measure ()) in
+  record 0 !res;
   (* A single up-front check, decisive when the caller's tolerance
      already admits the uniform vector. *)
   while !res > options.tolerance do
     if !iterations >= options.max_iterations then
-      raise (Did_not_converge { iterations = !iterations; residual = !res });
+      raise (Did_not_converge { method_used = method_; iterations = !iterations; residual = !res });
     let batch = min stride (options.max_iterations - !iterations) in
+    let batch_start = if obs_on then Obs.Clock.now () else 0.0 in
     for _ = 1 to batch do
       sweep ~pi ~work;
       normalise_into pi
     done;
+    if obs_on then
+      Obs.Metrics.observe sweep_seconds ((Obs.Clock.now () -. batch_start) /. float_of_int batch);
     iterations := !iterations + batch;
-    res := measure ()
+    res := measure ();
+    record !iterations !res
   done;
   (pi, !iterations, !res)
 
@@ -136,12 +155,12 @@ let solve_jacobi options c =
     done;
     Array.blit work 0 pi 0 n
   in
-  iterate ~options ~c ~sweep
+  iterate ~method_:Jacobi ~options ~c ~sweep
 
 (* Gauss-Seidel is SOR with unit relaxation; both update the candidate
    in place, already using each component's new value within the same
    sweep. *)
-let solve_sor options c omega =
+let solve_relaxed ~method_ options c omega =
   if omega <= 0.0 || omega >= 2.0 then
     raise
       (Not_solvable
@@ -157,9 +176,10 @@ let solve_sor options c omega =
       pi.(i) <- if omega = 1.0 then gs else ((1.0 -. omega) *. pi.(i)) +. (omega *. gs)
     done
   in
-  iterate ~options ~c ~sweep
+  iterate ~method_ ~options ~c ~sweep
 
-let solve_gauss_seidel options c = solve_sor options c 1.0
+let solve_sor options c omega = solve_relaxed ~method_:(Sor omega) options c omega
+let solve_gauss_seidel options c = solve_relaxed ~method_:Gauss_seidel options c 1.0
 
 let solve_power options c =
   let n = Ctmc.n_states c in
@@ -172,35 +192,51 @@ let solve_power options c =
       pi.(i) <- pi.(i) +. (work.(i) /. lambda)
     done
   in
-  iterate ~options ~c ~sweep
+  iterate ~method_:Power ~options ~c ~sweep
+
+let record_stats stats =
+  last := Some stats;
+  stats
 
 let solve_stats ?method_ ?(options = default_options) c =
   if Ctmc.n_states c = 0 then
-    ([||], { method_used = Direct; iterations = 0; residual = 0.0 })
+    ([||], record_stats { method_used = Direct; iterations = 0; residual = 0.0 })
   else
-    let direct () =
-      let pi = solve_direct options c in
-      (pi, { method_used = Direct; iterations = 0; residual = residual c pi })
-    in
-    let iterative method_ run =
-      let pi, iterations, residual = run () in
-      (pi, { method_used = method_; iterations; residual })
-    in
-    match method_ with
-    | Some Direct -> direct ()
-    | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi options c)
-    | Some Gauss_seidel -> iterative Gauss_seidel (fun () -> solve_gauss_seidel options c)
-    | Some (Sor omega) -> iterative (Sor omega) (fun () -> solve_sor options c omega)
-    | Some Power -> iterative Power (fun () -> solve_power options c)
-    | None -> (
-        (* Default policy: Gauss-Seidel, falling back to the direct solver
-           for chains it cannot handle (absorbing states, slow mixing). *)
-        let fallback () =
-          if Ctmc.n_states c <= options.direct_limit then direct ()
-          else raise (Not_solvable "iteration failed and the chain is too large for LU")
+    Obs.Span.with_ "steady.solve" (fun span ->
+        Obs.Span.add_int span "states" (Ctmc.n_states c);
+        let direct () =
+          let pi = solve_direct options c in
+          (pi, { method_used = Direct; iterations = 0; residual = residual c pi })
         in
-        try iterative Gauss_seidel (fun () -> solve_gauss_seidel options c) with
-        | Not_solvable _ -> fallback ()
-        | Did_not_converge _ -> fallback ())
+        let iterative method_ run =
+          let pi, iterations, residual = run () in
+          (pi, { method_used = method_; iterations; residual })
+        in
+        let pi, stats =
+          match method_ with
+          | Some Direct -> direct ()
+          | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi options c)
+          | Some Gauss_seidel -> iterative Gauss_seidel (fun () -> solve_gauss_seidel options c)
+          | Some (Sor omega) -> iterative (Sor omega) (fun () -> solve_sor options c omega)
+          | Some Power -> iterative Power (fun () -> solve_power options c)
+          | None -> (
+              (* Default policy: Gauss-Seidel, falling back to the direct solver
+                 for chains it cannot handle (absorbing states, slow mixing). *)
+              let fallback () =
+                if Ctmc.n_states c <= options.direct_limit then direct ()
+                else raise (Not_solvable "iteration failed and the chain is too large for LU")
+              in
+              try iterative Gauss_seidel (fun () -> solve_gauss_seidel options c) with
+              | Not_solvable _ -> fallback ()
+              | Did_not_converge _ -> fallback ())
+        in
+        Obs.Span.add_str span "method" (method_name stats.method_used);
+        Obs.Span.add_int span "iterations" stats.iterations;
+        Obs.Span.add_float span "residual" stats.residual;
+        Obs.Metrics.add solver_iterations stats.iterations;
+        Obs.Metrics.set solver_residual stats.residual;
+        Obs.Log.debug "steady.solve: method=%s iterations=%d residual=%.3e"
+          (method_name stats.method_used) stats.iterations stats.residual;
+        (pi, record_stats stats))
 
 let solve ?method_ ?options c = fst (solve_stats ?method_ ?options c)

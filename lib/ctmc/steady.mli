@@ -39,9 +39,12 @@ type options = {
 
 val default_options : options
 
-exception Did_not_converge of { iterations : int; residual : float }
+exception
+  Did_not_converge of { method_used : method_; iterations : int; residual : float }
 (** [iterations] is the exact number of sweeps performed when the cap
-    was hit, regardless of the residual stride. *)
+    was hit, regardless of the residual stride; [method_used] names the
+    iteration that gave up, so callers can report solver statistics
+    before exiting. *)
 
 exception Not_solvable of string
 (** Raised when the chain has no unique steady-state distribution that
@@ -66,6 +69,11 @@ val solve_stats : ?method_:method_ -> ?options:options -> Ctmc.t -> float array 
 (** Like {!solve}, also reporting how the answer was obtained — the
     observability hook the benchmark harness uses to record
     iterations-to-converge. *)
+
+val last_stats : unit -> stats option
+(** Statistics of the most recent successful [solve]/[solve_stats] call
+    in this process, if any — the hook the CLIs use to echo solver
+    diagnostics to stderr after a run. *)
 
 val residual : Ctmc.t -> float array -> float
 (** [residual c pi] is [||pi Q||_inf], the defect of a candidate

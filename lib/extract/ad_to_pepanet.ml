@@ -173,7 +173,7 @@ let assign_static_locations d ~mobile ~pinned ~initial_location =
 (* Extraction                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let extract ?(rates = Uml.Rates_file.empty) ?(restart = `Cycle) ?(interactions = []) d =
+let extract_untraced ?(rates = Uml.Rates_file.empty) ?(restart = `Cycle) ?(interactions = []) d =
   A.validate d;
   let locations = A.locations d in
   let mobile = locations <> [] in
@@ -486,3 +486,12 @@ let extract ?(rates = Uml.Rates_file.empty) ?(restart = `Cycle) ?(interactions =
     }
   in
   { net; action_of_node; token_of_object; place_of_location }
+
+let extract ?rates ?restart ?interactions d =
+  Obs.Span.with_ "extract.activity" (fun span ->
+      Obs.Span.add_str span "diagram" d.Uml.Activity.diagram_name;
+      let extraction = extract_untraced ?rates ?restart ?interactions d in
+      Obs.Span.add_int span "places" (List.length extraction.net.Pepanet.Net.places);
+      Obs.Span.add_int span "transitions"
+        (List.length extraction.net.Pepanet.Net.transitions);
+      extraction)

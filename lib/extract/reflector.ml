@@ -4,28 +4,33 @@ let probability_tag = "steadyStateProbability"
 let format_measure v = Printf.sprintf "%.6g" v
 
 let reflect_activity (extraction : Ad_to_pepanet.extraction) ~throughputs diagram =
-  List.fold_left
-    (fun diagram (node_id, action) ->
-      match List.assoc_opt action throughputs with
-      | Some value ->
-          Uml.Activity.annotate diagram ~node_id ~tag:throughput_tag
-            ~value:(format_measure value)
-      | None -> diagram)
-    diagram extraction.Ad_to_pepanet.action_of_node
+  Obs.Span.with_ "reflect.activity" (fun span ->
+      Obs.Span.add_int span "measures" (List.length throughputs);
+      List.fold_left
+        (fun diagram (node_id, action) ->
+          match List.assoc_opt action throughputs with
+          | Some value ->
+              Uml.Activity.annotate diagram ~node_id ~tag:throughput_tag
+                ~value:(format_measure value)
+          | None -> diagram)
+        diagram extraction.Ad_to_pepanet.action_of_node)
 
 let reflect_statecharts (extraction : Sc_to_pepa.extraction) ~probabilities charts =
-  List.map
-    (fun chart ->
-      let chart_name = chart.Uml.Statechart.chart_name in
-      match List.assoc_opt chart_name extraction.Sc_to_pepa.constant_of_state with
-      | None -> chart
-      | Some mapping ->
-          List.fold_left
-            (fun chart (state_id, constant) ->
-              match List.assoc_opt constant probabilities with
-              | Some value ->
-                  Uml.Statechart.annotate chart ~state_id ~tag:probability_tag
-                    ~value:(format_measure value)
-              | None -> chart)
-            chart mapping)
-    charts
+  Obs.Span.with_ "reflect.statecharts" (fun span ->
+      Obs.Span.add_int span "charts" (List.length charts);
+      Obs.Span.add_int span "measures" (List.length probabilities);
+      List.map
+        (fun chart ->
+          let chart_name = chart.Uml.Statechart.chart_name in
+          match List.assoc_opt chart_name extraction.Sc_to_pepa.constant_of_state with
+          | None -> chart
+          | Some mapping ->
+              List.fold_left
+                (fun chart (state_id, constant) ->
+                  match List.assoc_opt constant probabilities with
+                  | Some value ->
+                      Uml.Statechart.annotate chart ~state_id ~tag:probability_tag
+                        ~value:(format_measure value)
+                  | None -> chart)
+                chart mapping)
+        charts)

@@ -12,7 +12,7 @@ exception Extraction_error of string
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Extraction_error msg)) fmt
 
-let extract ?(rates = Uml.Rates_file.empty) charts =
+let extract_untraced ?(rates = Uml.Rates_file.empty) charts =
   if charts = [] then fail "no state diagram to extract";
   List.iter Uml.Statechart.validate charts;
   let names = List.map (fun c -> c.Uml.Statechart.chart_name) charts in
@@ -113,3 +113,11 @@ let extract ?(rates = Uml.Rates_file.empty) charts =
     chart_leaf;
     shared_actions = String_set.elements shared;
   }
+
+let extract ?rates charts =
+  Obs.Span.with_ "extract.statecharts" (fun span ->
+      Obs.Span.add_int span "charts" (List.length charts);
+      let extraction = extract_untraced ?rates charts in
+      Obs.Span.add_int span "definitions"
+        (List.length extraction.model.S.definitions);
+      extraction)

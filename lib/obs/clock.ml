@@ -1,0 +1,8 @@
+let origin = Unix.gettimeofday ()
+let now () = Unix.gettimeofday ()
+let since_origin () = now () -. origin
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)

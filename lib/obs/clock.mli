@@ -1,0 +1,18 @@
+(** Wall-clock timing shared by the spans, the benchmark harnesses and
+    the run report, so every emitted duration comes from the same
+    clock. *)
+
+val origin : float
+(** [Unix.gettimeofday] captured when the process loaded this module;
+    span start offsets are reported relative to it. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds. *)
+
+val since_origin : unit -> float
+(** Seconds elapsed since {!origin}. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result together with the elapsed
+    wall-clock seconds — the helper previously copied between the two
+    bench executables. *)

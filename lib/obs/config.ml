@@ -1,0 +1,26 @@
+type level = Quiet | Info | Debug
+
+let current_level = ref Quiet
+let collecting = ref false
+let interval = ref 8192
+
+let set_level l = current_level := l
+let level () = !current_level
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+let at_least l = rank !current_level >= rank l
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let level_to_string = function Quiet -> "quiet" | Info -> "info" | Debug -> "debug"
+
+let enable () = collecting := true
+let disable () = collecting := false
+let enabled () = !collecting
+
+let set_progress_interval n = interval := max 1 n
+let progress_interval () = !interval

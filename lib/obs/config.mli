@@ -1,0 +1,29 @@
+(** Process-global telemetry configuration.
+
+    Two independent switches:
+    - the {e collection} flag gates every span and metric: when off
+      (the default) instrumented code paths reduce to a single boolean
+      load, so the hot loops pay nothing;
+    - the {e log level} gates what reaches stderr. *)
+
+type level = Quiet | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+val at_least : level -> bool
+(** [at_least l] is true when the current level is [l] or chattier. *)
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+val enable : unit -> unit
+(** Turn span and metric collection on. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val set_progress_interval : int -> unit
+(** How many states/markings between progress callbacks during
+    state-space construction (default 8192; clamped to at least 1). *)
+
+val progress_interval : unit -> int

@@ -1,0 +1,14 @@
+let logf level fmt =
+  if Config.at_least level then Printf.eprintf ("[obs] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr ("[obs] " ^^ fmt ^^ "\n%!")
+
+let info fmt = logf Config.Info fmt
+let debug fmt = logf Config.Debug fmt
+
+let callbacks : (stage:string -> count:int -> detail:string -> unit) list ref = ref []
+let on_progress f = callbacks := f :: !callbacks
+let clear_progress () = callbacks := []
+
+let progress ~stage ~count ~detail =
+  List.iter (fun f -> f ~stage ~count ~detail) !callbacks;
+  debug "%s: %d (%s)" stage count detail

@@ -1,0 +1,19 @@
+(** Level-gated stderr logging and the periodic progress channel the
+    state-space builders report through. *)
+
+val info : ('a, out_channel, unit) format -> 'a
+(** Printed when the level is [Info] or [Debug], prefixed ["[obs] "]. *)
+
+val debug : ('a, out_channel, unit) format -> 'a
+(** Printed only at [Debug]. *)
+
+val on_progress : (stage:string -> count:int -> detail:string -> unit) -> unit
+(** Register a callback fired on every progress report (in addition to
+    the debug-level stderr line).  Callbacks persist until
+    {!clear_progress}. *)
+
+val clear_progress : unit -> unit
+
+val progress : stage:string -> count:int -> detail:string -> unit
+(** Emitted by long-running builders every
+    [Config.progress_interval ()] states. *)

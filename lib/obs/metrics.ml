@@ -1,0 +1,105 @@
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable level : float }
+
+type histogram = {
+  hname : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type series = { sname : string; mutable points : (float * float) list (* reversed *) }
+
+(* One registry per kind, each remembering registration order so dumps
+   are stable. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let all_series : (string, series) Hashtbl.t = Hashtbl.create 16
+let counter_order : string list ref = ref []
+let gauge_order : string list ref = ref []
+let histogram_order : string list ref = ref []
+let series_order : string list ref = ref []
+
+let find_or_create table order name make =
+  match Hashtbl.find_opt table name with
+  | Some m -> m
+  | None ->
+      let m = make name in
+      Hashtbl.add table name m;
+      order := name :: !order;
+      m
+
+let counter name =
+  find_or_create counters counter_order name (fun cname -> { cname; count = 0 })
+
+let add c n = if Config.enabled () then c.count <- c.count + n
+let incr c = add c 1
+let value c = c.count
+
+let gauge name = find_or_create gauges gauge_order name (fun gname -> { gname; level = 0.0 })
+let set g v = if Config.enabled () then g.level <- v
+let gauge_value g = g.level
+
+let histogram name =
+  find_or_create histograms histogram_order name (fun hname ->
+      { hname; n = 0; sum = 0.0; lo = infinity; hi = neg_infinity })
+
+let observe h v =
+  if Config.enabled () then begin
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v
+  end
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+let histogram_stats h =
+  if h.n = 0 then { count = 0; sum = 0.0; min = 0.0; max = 0.0; mean = 0.0 }
+  else { count = h.n; sum = h.sum; min = h.lo; max = h.hi; mean = h.sum /. float_of_int h.n }
+
+let series name =
+  find_or_create all_series series_order name (fun sname -> { sname; points = [] })
+
+let push s ~x ~y = if Config.enabled () then s.points <- (x, y) :: s.points
+let series_points s = List.rev s.points
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+  series_data : (string * (float * float) list) list;
+}
+
+(* [order] lists names newest-first; rev_map restores registration
+   order. *)
+let ordered table order project =
+  List.rev_map (fun name -> (name, project (Hashtbl.find table name))) !order
+
+let snapshot () =
+  {
+    counters = ordered counters counter_order (fun c -> c.count);
+    gauges = ordered gauges gauge_order (fun g -> g.level);
+    histograms = ordered histograms histogram_order histogram_stats;
+    series_data = ordered all_series series_order series_points;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.level <- 0.0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.lo <- infinity;
+      h.hi <- neg_infinity)
+    histograms;
+  Hashtbl.iter (fun _ s -> s.points <- []) all_series

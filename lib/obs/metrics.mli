@@ -1,0 +1,55 @@
+(** A process-global metrics registry: monotonic counters, gauges,
+    histograms and ordered (x, y) series.
+
+    Handles are get-or-create by name, so instrumented modules and
+    their observers agree on metrics without threading state through
+    APIs.  Every mutation is gated on {!Config.enabled}: with
+    collection off an increment is a boolean test and nothing more,
+    and all values read back as zero/empty.  {!reset} zeroes values
+    but keeps registrations, so handles held by instrumented code
+    never go stale. *)
+
+type counter
+type gauge
+type histogram
+type series
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** 0 when empty *)
+  max : float;
+  mean : float;
+}
+
+val histogram_stats : histogram -> histogram_stats
+
+val series : string -> series
+val push : series -> x:float -> y:float -> unit
+(** Append a point, e.g. (iteration, residual) along a solve. *)
+
+val series_points : series -> (float * float) list
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+  series_data : (string * (float * float) list) list;
+}
+
+val snapshot : unit -> snapshot
+(** Every registered metric, each kind in registration order. *)
+
+val reset : unit -> unit

@@ -1,0 +1,35 @@
+type t = {
+  wall_s : float;
+  spans : Span.completed list;
+  metrics : Metrics.snapshot;
+}
+
+let capture () =
+  { wall_s = Clock.since_origin (); spans = Span.completed_spans (); metrics = Metrics.snapshot () }
+
+let to_json r =
+  Json.Obj
+    [
+      ("wall_s", Json.Num r.wall_s);
+      ("spans", Json.Arr (List.map Sink.span_json r.spans));
+      ("metrics", Sink.metrics_json r.metrics);
+    ]
+
+let spans_text r = Sink.render_tree r.spans
+
+let metric_rows r =
+  let counters = List.map (fun (k, v) -> (k, string_of_int v)) r.metrics.Metrics.counters in
+  let gauges = List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) r.metrics.Metrics.gauges in
+  let histograms =
+    List.map
+      (fun (k, (h : Metrics.histogram_stats)) ->
+        ( k,
+          Printf.sprintf "count=%d mean=%g min=%g max=%g" h.count h.mean h.min h.max ))
+      r.metrics.Metrics.histograms
+  in
+  let series =
+    List.map
+      (fun (k, pts) -> (k, Printf.sprintf "%d points" (List.length pts)))
+      r.metrics.Metrics.series_data
+  in
+  counters @ gauges @ histograms @ series

@@ -1,0 +1,21 @@
+(** The structured run report: a point-in-time snapshot of the span
+    tree and the metrics registry, renderable as JSON or text and
+    embedded in the HTML report. *)
+
+type t = {
+  wall_s : float;  (** process wall-clock age at capture *)
+  spans : Span.completed list;
+  metrics : Metrics.snapshot;
+}
+
+val capture : unit -> t
+
+val to_json : t -> Json.t
+
+val spans_text : t -> string
+(** The span forest as an indented text tree. *)
+
+val metric_rows : t -> (string * string) list
+(** Flat (name, value) rows covering counters, gauges, histogram
+    summaries and series lengths — ready for the table renderers in
+    the report generators. *)

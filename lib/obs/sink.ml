@@ -1,0 +1,143 @@
+let value_json : Span.value -> Json.t = function
+  | Span.Int i -> Json.Num (float_of_int i)
+  | Span.Float v -> Json.Num v
+  | Span.Str s -> Json.Str s
+  | Span.Bool b -> Json.Bool b
+
+let value_text : Span.value -> string = function
+  | Span.Int i -> string_of_int i
+  | Span.Float v -> Printf.sprintf "%g" v
+  | Span.Str s -> s
+  | Span.Bool b -> string_of_bool b
+
+let attrs_text attrs =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ value_text v) attrs)
+
+(* ---------------------------------------------------------------- *)
+(* stderr tree printer                                               *)
+(* ---------------------------------------------------------------- *)
+
+let stderr_installed = ref false
+
+let install_stderr () =
+  if not !stderr_installed then begin
+    stderr_installed := true;
+    Span.on_complete (fun (c : Span.completed) ->
+        if Config.at_least Config.Debug || (Config.at_least Config.Info && c.depth <= 1) then
+          Printf.eprintf "[obs] %s%-32s %8.3f ms  %s\n%!"
+            (String.make (2 * c.depth) ' ')
+            c.name (1e3 *. c.duration_s) (attrs_text c.attrs))
+  end
+
+(* ---------------------------------------------------------------- *)
+(* JSON-lines event sink                                             *)
+(* ---------------------------------------------------------------- *)
+
+let span_json (c : Span.completed) =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("id", Json.Num (float_of_int c.id));
+      ("parent", Json.Num (float_of_int c.parent));
+      ("depth", Json.Num (float_of_int c.depth));
+      ("name", Json.Str c.name);
+      ("start_s", Json.Num c.start_s);
+      ("duration_s", Json.Num c.duration_s);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, value_json v)) c.attrs));
+    ]
+
+let install_jsonl oc =
+  Span.on_complete (fun c ->
+      output_string oc (Json.to_string (span_json c));
+      output_char oc '\n';
+      flush oc)
+
+(* ---------------------------------------------------------------- *)
+(* Chrome trace_event exporter                                       *)
+(* ---------------------------------------------------------------- *)
+
+let chrome_trace spans =
+  let event (c : Span.completed) =
+    Json.Obj
+      [
+        ("name", Json.Str c.name);
+        ("cat", Json.Str "choreographer");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (1e6 *. c.start_s));
+        ("dur", Json.Num (1e6 *. c.duration_s));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("args", Json.Obj (List.map (fun (k, v) -> (k, value_json v)) c.attrs));
+      ]
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (List.map event spans));
+    ]
+
+let write_chrome_trace ~path =
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Json.to_string ~pretty:true (chrome_trace (Span.completed_spans ())));
+      output_char oc '\n')
+
+(* ---------------------------------------------------------------- *)
+(* Metrics dump                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let metrics_json (m : Metrics.snapshot) =
+  let histogram (h : Metrics.histogram_stats) =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int h.count));
+        ("sum", Json.Num h.sum);
+        ("min", Json.Num h.min);
+        ("max", Json.Num h.max);
+        ("mean", Json.Num h.mean);
+      ]
+  in
+  let point (x, y) = Json.Arr [ Json.Num x; Json.Num y ] in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) m.counters) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) m.gauges));
+      ("histograms", Json.Obj (List.map (fun (k, h) -> (k, histogram h)) m.histograms));
+      ( "series",
+        Json.Obj (List.map (fun (k, pts) -> (k, Json.Arr (List.map point pts))) m.series_data)
+      );
+    ]
+
+let write_metrics ~path =
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Json.to_string ~pretty:true (metrics_json (Metrics.snapshot ())));
+      output_char oc '\n')
+
+(* ---------------------------------------------------------------- *)
+(* Text tree (run report, tests)                                     *)
+(* ---------------------------------------------------------------- *)
+
+let render_tree spans =
+  (* Children precede their parents in completion order; rebuild the
+     forest keyed on parent ids, children in start order. *)
+  let children : (int, Span.completed list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Span.completed) ->
+      let siblings = Option.value ~default:[] (Hashtbl.find_opt children c.parent) in
+      Hashtbl.replace children c.parent (c :: siblings))
+    spans;
+  let sorted parent =
+    List.sort
+      (fun (a : Span.completed) b -> compare a.start_s b.start_s)
+      (Option.value ~default:[] (Hashtbl.find_opt children parent))
+  in
+  let buf = Buffer.create 512 in
+  let rec walk depth (c : Span.completed) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-32s %8.3f ms  %s\n"
+         (String.make (2 * depth) ' ')
+         c.name (1e3 *. c.duration_s) (attrs_text c.attrs));
+    List.iter (walk (depth + 1)) (sorted c.id)
+  in
+  List.iter (walk 0) (sorted (-1));
+  Buffer.contents buf

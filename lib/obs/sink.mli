@@ -1,0 +1,37 @@
+(** Pluggable telemetry sinks.
+
+    Three concrete sinks are provided:
+    - a human-readable stderr printer that echoes spans as they close
+      (installed by the CLIs at [--log-level info] and above);
+    - a JSON-lines event sink streaming one object per completed span;
+    - a Chrome [trace_event] JSON exporter whose output loads in
+      [chrome://tracing] / Perfetto. *)
+
+val install_stderr : unit -> unit
+(** Echo closing spans to stderr, indented by nesting depth.  At
+    [Info] only the two outermost levels print; at [Debug] every span
+    does.  Installing twice is a no-op. *)
+
+val install_jsonl : out_channel -> unit
+(** Stream every completed span to [oc] as one JSON object per line
+    ([{"type":"span",...}]).  The channel is not closed by the sink. *)
+
+val span_json : Span.completed -> Json.t
+
+val chrome_trace : Span.completed list -> Json.t
+(** The spans as a Chrome [trace_event] document: one ["ph": "X"]
+    complete event per span, timestamps and durations in microseconds,
+    attributes under ["args"]. *)
+
+val write_chrome_trace : path:string -> unit
+(** Export every span recorded so far to [path]. *)
+
+val metrics_json : Metrics.snapshot -> Json.t
+
+val write_metrics : path:string -> unit
+(** Dump the current metrics registry to [path] as pretty-printed
+    JSON. *)
+
+val render_tree : Span.completed list -> string
+(** Pure pretty-printer: the span forest as an indented text tree with
+    durations and attributes (used by the run report and tests). *)

@@ -1,0 +1,109 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type completed = {
+  id : int;
+  parent : int;
+  depth : int;
+  name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * value) list;
+}
+
+type live = {
+  lid : int;
+  lparent : int;
+  ldepth : int;
+  lname : string;
+  lstart : float;
+  mutable lattrs : (string * value) list;  (* reversed *)
+}
+
+type t = Dummy | Live of live
+
+let next_id = ref 0
+let stack : live list ref = ref []
+let recorded : completed list ref = ref []  (* reversed completion order *)
+let listeners : (completed -> unit) list ref = ref []
+
+let on_complete f = listeners := f :: !listeners
+let clear_listeners () = listeners := []
+
+let reset () =
+  stack := [];
+  recorded := [];
+  next_id := 0
+
+let completed_spans () = List.rev !recorded
+
+let current_name () = match !stack with [] -> None | sp :: _ -> Some sp.lname
+
+let add_attr span key v =
+  match span with Dummy -> () | Live sp -> sp.lattrs <- (key, v) :: sp.lattrs
+
+let add_int span key v = add_attr span key (Int v)
+let add_float span key v = add_attr span key (Float v)
+let add_str span key v = add_attr span key (Str v)
+let add_bool span key v = add_attr span key (Bool v)
+
+let close sp =
+  (match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ ->
+      (* A body that escaped with the span still open deeper in the
+         stack: unwind down to (and including) it. *)
+      let rec unwind = function
+        | top :: rest -> if top == sp then stack := rest else unwind rest
+        | [] -> ()
+      in
+      unwind !stack);
+  let c =
+    {
+      id = sp.lid;
+      parent = sp.lparent;
+      depth = sp.ldepth;
+      name = sp.lname;
+      start_s = sp.lstart -. Clock.origin;
+      duration_s = Clock.now () -. sp.lstart;
+      attrs = List.rev sp.lattrs;
+    }
+  in
+  recorded := c :: !recorded;
+  List.iter (fun f -> f c) !listeners;
+  c
+
+let open_span ?(attrs = []) name =
+  let parent, depth =
+    match !stack with [] -> (-1, 0) | p :: _ -> (p.lid, p.ldepth + 1)
+  in
+  let sp =
+    {
+      lid = !next_id;
+      lparent = parent;
+      ldepth = depth;
+      lname = name;
+      lstart = Clock.now ();
+      lattrs = List.rev attrs;
+    }
+  in
+  incr next_id;
+  stack := sp :: !stack;
+  sp
+
+let run_live ?attrs name f =
+  let sp = open_span ?attrs name in
+  match f (Live sp) with
+  | x -> (x, close sp)
+  | exception e ->
+      sp.lattrs <- ("error", Str (Printexc.to_string e)) :: sp.lattrs;
+      ignore (close sp);
+      raise e
+
+let with_ ?attrs name f =
+  if not (Config.enabled ()) then f Dummy else fst (run_live ?attrs name f)
+
+let timed ?attrs name f =
+  if not (Config.enabled ()) then Clock.time (fun () -> f Dummy)
+  else
+    let x, c = run_live ?attrs name f in
+    (x, c.duration_s)

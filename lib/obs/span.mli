@@ -1,0 +1,55 @@
+(** Hierarchical tracing spans.
+
+    [Span.with_ "statespace.build" (fun sp -> ...)] times the enclosed
+    computation, nests under whatever span is currently open, and
+    records key/value attributes added through [add_*].  When
+    collection is disabled ({!Config.enabled} false) the whole
+    machinery reduces to one boolean test and a call through a dummy
+    span, so instrumented library code costs nothing in normal runs.
+
+    Spans survive exceptions: a span whose body raises is still closed
+    and recorded, with an ["error"] attribute naming the exception. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type t
+(** A live span handle (possibly the dummy when collection is off). *)
+
+type completed = {
+  id : int;
+  parent : int;  (** id of the enclosing span, or [-1] for roots *)
+  depth : int;   (** 0 for roots *)
+  name : string;
+  start_s : float;     (** seconds since {!Clock.origin} *)
+  duration_s : float;
+  attrs : (string * value) list;  (** in insertion order *)
+}
+
+val with_ : ?attrs:(string * value) list -> string -> (t -> 'a) -> 'a
+(** Open a span, run the body, close and record it. *)
+
+val timed : ?attrs:(string * value) list -> string -> (t -> 'a) -> 'a * float
+(** Like {!with_}, also returning the span's own recorded wall-clock
+    duration — the single timing source the bench harnesses print, so
+    their reports cannot drift from the emitted traces. *)
+
+val add_int : t -> string -> int -> unit
+val add_float : t -> string -> float -> unit
+val add_str : t -> string -> string -> unit
+val add_bool : t -> string -> bool -> unit
+
+val current_name : unit -> string option
+(** Name of the innermost open span, if any. *)
+
+val completed_spans : unit -> completed list
+(** Every span recorded since the last {!reset}, in completion order
+    (children before their parents). *)
+
+val on_complete : (completed -> unit) -> unit
+(** Register a listener fired as each span closes (the streaming sinks
+    attach here).  Persists until {!clear_listeners}. *)
+
+val clear_listeners : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and any dangling open-span state. *)

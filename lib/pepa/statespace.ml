@@ -23,6 +23,12 @@ type t = {
 exception Too_many_states of int
 exception Passive_transition of { state : string; action : string }
 
+(* Shared exploration metrics (the PEPA-net builder adds to the same
+   counters, so a pipeline run reports one total per name). *)
+let states_explored = Obs.Metrics.counter "states_explored"
+let transitions_emitted = Obs.Metrics.counter "transitions_emitted"
+let intern_collisions = Obs.Metrics.counter "intern_collisions"
+
 (* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
    once per interned vector: the table stores each slot's hash, so
    probing and resizing compare integers, never rehash arrays. *)
@@ -41,6 +47,10 @@ let vec_equal (a : int array) (b : int array) =
   go 0
 
 let build ?(max_states = 1_000_000) compiled =
+  Obs.Span.with_ "statespace.build" (fun span ->
+  let obs_on = Obs.Config.enabled () in
+  let progress_every = Obs.Config.progress_interval () in
+  let collisions = ref 0 in
   (* Growable state store; BFS order doubles as the index order, so the
      work queue is just a cursor into it. *)
   let states = ref (Array.make 1024 [||]) in
@@ -92,7 +102,10 @@ let build ?(max_states = 1_000_000) compiled =
         result := i
       end
       else if !hashes.(!pos) = h && vec_equal !states.(s - 1) vec then result := s - 1
-      else pos := (!pos + 1) land mask
+      else begin
+        incr collisions;
+        pos := (!pos + 1) land mask
+      end
     done;
     !result
   in
@@ -138,6 +151,10 @@ let build ?(max_states = 1_000_000) compiled =
   let next = ref 0 in
   while !next < !n_states do
     let src = !next in
+    if obs_on && src > 0 && src mod progress_every = 0 then
+      Obs.Log.progress ~stage:"statespace.build" ~count:src
+        ~detail:
+          (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions);
     let vec = !states.(src) in
     List.iter
       (fun move ->
@@ -170,6 +187,14 @@ let build ?(max_states = 1_000_000) compiled =
   for i = 1 to n do
     row_start.(i) <- row_start.(i) + row_start.(i - 1)
   done;
+  if obs_on then begin
+    Obs.Metrics.add states_explored n;
+    Obs.Metrics.add transitions_emitted count;
+    Obs.Metrics.add intern_collisions !collisions;
+    Obs.Span.add_int span "states" n;
+    Obs.Span.add_int span "transitions" count;
+    Obs.Span.add_int span "intern_collisions" !collisions
+  end;
   {
     compiled;
     states = Array.sub !states 0 n;
@@ -182,7 +207,7 @@ let build ?(max_states = 1_000_000) compiled =
     transition_cache = None;
     outgoing_cache = None;
     chain = None;
-  }
+  })
 
 let of_model ?max_states model = build ?max_states (Compile.of_model model)
 let of_string ?max_states src = build ?max_states (Compile.of_string src)

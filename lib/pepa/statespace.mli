@@ -25,8 +25,21 @@ exception Passive_transition of { state : string; action : string }
     model: its rate is unspecified, so no CTMC exists.  The offending
     state and action are reported. *)
 
+val states_explored : Obs.Metrics.counter
+(** Shared exploration counters: this builder and
+    {!Pepanet.Net_statespace.build} add to the same process-global
+    metrics, so a pipeline run reports one total per name.
+    [intern_collisions] counts probes past an occupied slot in the
+    open-addressing intern table. *)
+
+val transitions_emitted : Obs.Metrics.counter
+val intern_collisions : Obs.Metrics.counter
+
 val build : ?max_states:int -> Compile.t -> t
-(** Explore the full state space (default bound: 1_000_000 states). *)
+(** Explore the full state space (default bound: 1_000_000 states).
+    Emits a ["statespace.build"] tracing span, adds to the exploration
+    counters, and reports progress every [Obs.Config.progress_interval]
+    states when telemetry is enabled. *)
 
 val of_model : ?max_states:int -> Syntax.model -> t
 val of_string : ?max_states:int -> string -> t

@@ -25,6 +25,9 @@ let label_string = function
   | Net_semantics.Fire { action; transition } -> Printf.sprintf "%s!%s" action transition
 
 let build ?(max_markings = 1_000_000) compiled =
+  Obs.Span.with_ "net_statespace.build" (fun span ->
+  let obs_on = Obs.Config.enabled () in
+  let progress_every = Obs.Config.progress_interval () in
   let index = Hashtbl.create 1024 in
   let markings = ref (Array.make 1024 (Marking.initial compiled)) in
   let n_markings = ref 0 in
@@ -84,6 +87,10 @@ let build ?(max_markings = 1_000_000) compiled =
   let next = ref 0 in
   while !next < !n_markings do
     let src = !next in
+    if obs_on && src > 0 && src mod progress_every = 0 then
+      Obs.Log.progress ~stage:"net_statespace.build" ~count:src
+        ~detail:
+          (Printf.sprintf "%d discovered, %d transitions" !n_markings !n_transitions);
     let marking = !markings.(src) in
     List.iter
       (fun move ->
@@ -114,6 +121,12 @@ let build ?(max_markings = 1_000_000) compiled =
   for i = 1 to n do
     row_start.(i) <- row_start.(i) + row_start.(i - 1)
   done;
+  if obs_on then begin
+    Obs.Metrics.add Pepa.Statespace.states_explored n;
+    Obs.Metrics.add Pepa.Statespace.transitions_emitted count;
+    Obs.Span.add_int span "markings" n;
+    Obs.Span.add_int span "transitions" count
+  end;
   {
     compiled;
     markings = Array.sub !markings 0 n;
@@ -126,7 +139,7 @@ let build ?(max_markings = 1_000_000) compiled =
     transition_cache = None;
     outgoing_cache = None;
     chain = None;
-  }
+  })
 
 let of_string ?max_markings src = build ?max_markings (Net_compile.of_string src)
 let of_file ?max_markings path = build ?max_markings (Net_compile.of_file path)

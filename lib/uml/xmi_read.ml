@@ -126,7 +126,13 @@ let read_activity_graph graph =
   diagram
 
 let activities_of_xml doc =
-  Xml_kit.Xpath_lite.descendants ~name:"UML:ActivityGraph" doc |> List.map read_activity_graph
+  Obs.Span.with_ "xmi.read.activities" (fun span ->
+      let diagrams =
+        Xml_kit.Xpath_lite.descendants ~name:"UML:ActivityGraph" doc
+        |> List.map read_activity_graph
+      in
+      Obs.Span.add_int span "diagrams" (List.length diagrams);
+      diagrams)
 
 let activity_of_xml doc =
   match activities_of_xml doc with
@@ -205,19 +211,32 @@ let read_state_machine machine =
 let statecharts_of_xml doc =
   (* ActivityGraph extends StateMachine in UML 1.4; exclude activity
      graphs when collecting plain state machines. *)
-  Xml_kit.Xpath_lite.descendants ~name:"UML:StateMachine" doc |> List.map read_state_machine
+  Obs.Span.with_ "xmi.read.statecharts" (fun span ->
+      let charts =
+        Xml_kit.Xpath_lite.descendants ~name:"UML:StateMachine" doc
+        |> List.map read_state_machine
+      in
+      Obs.Span.add_int span "charts" (List.length charts);
+      charts)
 
 let interactions_of_xml doc =
-  Xml_kit.Xpath_lite.descendants ~name:"UML:Collaboration" doc
-  |> List.map (fun collaboration ->
-         let name = Option.value ~default:"interaction" (X.attribute "name" collaboration) in
-         let messages =
-           Xml_kit.Xpath_lite.descendants ~name:"UML:Message" collaboration
-           |> List.map (fun m ->
-                  (attr_exn m "sender", attr_exn m "receiver", attr_exn m "name"))
-         in
-         try Interaction.make ~name ~messages
-         with Interaction.Invalid_interaction msg -> fail "%s" msg)
+  Obs.Span.with_ "xmi.read.interactions" (fun span ->
+      let interactions =
+        Xml_kit.Xpath_lite.descendants ~name:"UML:Collaboration" doc
+        |> List.map (fun collaboration ->
+               let name =
+                 Option.value ~default:"interaction" (X.attribute "name" collaboration)
+               in
+               let messages =
+                 Xml_kit.Xpath_lite.descendants ~name:"UML:Message" collaboration
+                 |> List.map (fun m ->
+                        (attr_exn m "sender", attr_exn m "receiver", attr_exn m "name"))
+               in
+               try Interaction.make ~name ~messages
+               with Interaction.Invalid_interaction msg -> fail "%s" msg)
+      in
+      Obs.Span.add_int span "interactions" (List.length interactions);
+      interactions)
 
 let activity_of_string src = activity_of_xml (X.parse_string src)
 let activity_of_file path = activity_of_xml (X.parse_file path)

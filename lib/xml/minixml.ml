@@ -292,14 +292,17 @@ let parse_toplevel cur =
 let parse_fragments s = parse_toplevel (cursor_of_string s)
 
 let parse_string s =
-  let cur = cursor_of_string s in
-  let nodes = parse_toplevel cur in
-  let roots = List.filter (function Element _ -> true | _ -> false) nodes in
-  match roots with
-  | [ root ] -> root
-  | [] -> raise (Parse_error { line = cur.line; col = cur.col; message = "no root element" })
-  | _ ->
-      raise (Parse_error { line = cur.line; col = cur.col; message = "multiple root elements" })
+  Obs.Span.with_ "xml.parse" (fun span ->
+      Obs.Span.add_int span "bytes" (String.length s);
+      let cur = cursor_of_string s in
+      let nodes = parse_toplevel cur in
+      let roots = List.filter (function Element _ -> true | _ -> false) nodes in
+      match roots with
+      | [ root ] -> root
+      | [] -> raise (Parse_error { line = cur.line; col = cur.col; message = "no root element" })
+      | _ ->
+          raise
+            (Parse_error { line = cur.line; col = cur.col; message = "multiple root elements" }))
 
 let read_whole_file path =
   let ic = open_in_bin path in
@@ -307,7 +310,10 @@ let read_whole_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_file path = parse_string (read_whole_file path)
+let parse_file path =
+  Obs.Span.with_ "xml.parse_file" (fun span ->
+      Obs.Span.add_str span "file" path;
+      parse_string (read_whole_file path))
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "choreographer"
     [
+      ("obs", Test_obs.suite);
       ("xml", Test_xml.suite);
       ("rates", Test_rate.suite);
       ("pepa-parser", Test_pepa_parser.suite);
