@@ -35,9 +35,34 @@ type row = {
   method_used : string;
 }
 
+(* The same pipeline run under [--aggregate both]: symmetry reduction
+   while exploring, lumping before the solve.  [divergence] is the
+   largest absolute throughput difference against the unaggregated run
+   — aggregation is exact, so anything beyond float noise is a bug and
+   fails the benchmark. *)
+type agg = {
+  agg_states : int;
+  agg_transitions : int;
+  agg_classes : int;
+  agg_build_s : float;
+  agg_lump_s : float;
+  agg_solve_s : float;
+  speedup : float;
+  divergence : float;
+}
+
 let time = Obs.Span.timed
 
 let solve_options = Markov.Steady.default_options
+
+let max_divergence = ref 0.0
+
+let compare_throughputs unagg agg =
+  List.fold_left2
+    (fun acc (name_u, v_u) (name_a, v_a) ->
+      assert (name_u = name_a);
+      Float.max acc (Float.abs (v_u -. v_a)))
+    0.0 unagg agg
 
 let pepa_row n =
   let attrs = [ ("replicas", Obs.Span.Int n) ] in
@@ -50,30 +75,60 @@ let pepa_row n =
         ignore (Markov.Ctmc.generator_transposed chain);
         chain)
   in
-  let (_, stats), solve_s =
+  let (pi, stats), solve_s =
     time ~attrs "bench.pepa.solve" (fun _ ->
         Markov.Steady.solve_stats ~options:solve_options chain)
   in
-  {
-    parameter = n;
-    states = Pepa.Statespace.n_states space;
-    transitions = Pepa.Statespace.n_transitions space;
-    build_s;
-    assemble_s;
-    solve_s;
-    iterations = stats.Markov.Steady.iterations;
-    residual = stats.Markov.Steady.residual;
-    method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
-  }
+  (* Aggregated run of the same instance. *)
+  let space_a, agg_build_s =
+    time ~attrs "bench.pepa.build_agg" (fun _ ->
+        Pepa.Statespace.of_string ~symmetry:true (replicated_model n))
+  in
+  let part, agg_lump_s =
+    time ~attrs "bench.pepa.lump" (fun _ -> Pepa.Statespace.lump_partition space_a)
+  in
+  let pi_a, agg_solve_s =
+    time ~attrs "bench.pepa.solve_agg" (fun _ ->
+        Pepa.Statespace.steady_state ~options:solve_options ~lump:true space_a)
+  in
+  let divergence =
+    compare_throughputs
+      (Pepa.Statespace.throughputs space pi)
+      (Pepa.Statespace.throughputs space_a pi_a)
+  in
+  max_divergence := Float.max !max_divergence divergence;
+  let total = build_s +. assemble_s +. solve_s in
+  let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
+  ( {
+      parameter = n;
+      states = Pepa.Statespace.n_states space;
+      transitions = Pepa.Statespace.n_transitions space;
+      build_s;
+      assemble_s;
+      solve_s;
+      iterations = stats.Markov.Steady.iterations;
+      residual = stats.Markov.Steady.residual;
+      method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+    },
+    {
+      agg_states = Pepa.Statespace.n_states space_a;
+      agg_transitions = Pepa.Statespace.n_transitions space_a;
+      agg_classes = part.Markov.Lump.n_classes;
+      agg_build_s;
+      agg_lump_s;
+      agg_solve_s;
+      speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
+      divergence;
+    } )
 
 let net_row k =
   let diagram = Scenarios.Pda.diagram_with_transmitters k in
   let rates = Scenarios.Pda.rates_for_transmitters k in
   let ex = Extract.Ad_to_pepanet.extract ~rates diagram in
+  let compiled = Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net in
   let attrs = [ ("transmitters", Obs.Span.Int k) ] in
   let space, build_s =
-    time ~attrs "bench.net.build" (fun _ ->
-        Pepanet.Net_statespace.build (Pepanet.Net_compile.compile ex.Extract.Ad_to_pepanet.net))
+    time ~attrs "bench.net.build" (fun _ -> Pepanet.Net_statespace.build compiled)
   in
   let chain, assemble_s =
     time ~attrs "bench.net.assemble" (fun _ ->
@@ -81,33 +136,68 @@ let net_row k =
         ignore (Markov.Ctmc.generator_transposed chain);
         chain)
   in
-  let (_, stats), solve_s =
+  let (pi, stats), solve_s =
     time ~attrs "bench.net.solve" (fun _ ->
         Markov.Steady.solve_stats ~options:solve_options chain)
   in
-  {
-    parameter = k;
-    states = Pepanet.Net_statespace.n_markings space;
-    transitions = Pepanet.Net_statespace.n_transitions space;
-    build_s;
-    assemble_s;
-    solve_s;
-    iterations = stats.Markov.Steady.iterations;
-    residual = stats.Markov.Steady.residual;
-    method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
-  }
+  let space_a, agg_build_s =
+    time ~attrs "bench.net.build_agg" (fun _ ->
+        Pepanet.Net_statespace.build ~symmetry:true compiled)
+  in
+  let part, agg_lump_s =
+    time ~attrs "bench.net.lump" (fun _ -> Pepanet.Net_statespace.lump_partition space_a)
+  in
+  let pi_a, agg_solve_s =
+    time ~attrs "bench.net.solve_agg" (fun _ ->
+        Pepanet.Net_statespace.steady_state ~options:solve_options ~lump:true space_a)
+  in
+  let divergence =
+    compare_throughputs
+      (Pepanet.Net_measures.throughputs space pi)
+      (Pepanet.Net_measures.throughputs space_a pi_a)
+  in
+  max_divergence := Float.max !max_divergence divergence;
+  let total = build_s +. assemble_s +. solve_s in
+  let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
+  ( {
+      parameter = k;
+      states = Pepanet.Net_statespace.n_markings space;
+      transitions = Pepanet.Net_statespace.n_transitions space;
+      build_s;
+      assemble_s;
+      solve_s;
+      iterations = stats.Markov.Steady.iterations;
+      residual = stats.Markov.Steady.residual;
+      method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+    },
+    {
+      agg_states = Pepanet.Net_statespace.n_markings space_a;
+      agg_transitions = Pepanet.Net_statespace.n_transitions space_a;
+      agg_classes = part.Markov.Lump.n_classes;
+      agg_build_s;
+      agg_lump_s;
+      agg_solve_s;
+      speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
+      divergence;
+    } )
 
-let row_json ~parameter_name r =
+let row_json ~parameter_name (r, a) =
   let states_per_sec =
     if r.build_s > 0.0 then float_of_int r.states /. r.build_s else 0.0
   in
   Printf.sprintf
     {|    { "%s": %d, "states": %d, "transitions": %d,
       "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
-      "states_per_sec_build": %.0f, "iterations": %d, "residual": %.3e, "method": "%s" }|}
+      "states_per_sec_build": %.0f, "iterations": %d, "residual": %.3e, "method": "%s",
+      "aggregated": { "states": %d, "transitions": %d, "lumped_classes": %d,
+        "build_s": %.6f, "lump_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
+        "speedup": %.2f, "throughput_divergence": %.3e } }|}
     parameter_name r.parameter r.states r.transitions r.build_s r.assemble_s r.solve_s
     (r.build_s +. r.assemble_s +. r.solve_s)
-    states_per_sec r.iterations r.residual r.method_used
+    states_per_sec r.iterations r.residual r.method_used a.agg_states a.agg_transitions
+    a.agg_classes a.agg_build_s a.agg_lump_s a.agg_solve_s
+    (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
+    a.speedup a.divergence
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -128,24 +218,34 @@ let () =
   let pepa_rows =
     List.map
       (fun n ->
-        let r = pepa_row n in
+        let r, a = pepa_row n in
         Printf.eprintf
           "replicas=%2d states=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
           n r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
-        r)
+        Printf.eprintf
+          "            aggregated: states=%7d classes=%7d total=%.4fs speedup=%.1fx divergence=%.1e\n%!"
+          a.agg_states a.agg_classes
+          (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
+          a.speedup a.divergence;
+        (r, a))
       replicas
   in
   let net_rows =
     List.map
       (fun k ->
-        let r = net_row k in
+        let r, a = net_row k in
         Printf.eprintf
           "transmitters=%2d markings=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
           k r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
-        r)
+        Printf.eprintf
+          "            aggregated: markings=%6d classes=%7d total=%.4fs speedup=%.1fx divergence=%.1e\n%!"
+          a.agg_states a.agg_classes
+          (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
+          a.speedup a.divergence;
+        (r, a))
       transmitters
   in
-  let largest = List.nth pepa_rows (List.length pepa_rows - 1) in
+  let largest, largest_agg = List.nth pepa_rows (List.length pepa_rows - 1) in
   let json =
     String.concat "\n"
       [
@@ -163,9 +263,11 @@ let () =
         String.concat ",\n" (List.map (row_json ~parameter_name:"transmitters") net_rows);
         "  ],";
         Printf.sprintf
-          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f },|}
+          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f },|}
           largest.parameter largest.states largest.transitions
-          (largest.build_s +. largest.assemble_s +. largest.solve_s);
+          (largest.build_s +. largest.assemble_s +. largest.solve_s)
+          (largest_agg.agg_build_s +. largest_agg.agg_lump_s +. largest_agg.agg_solve_s)
+          largest_agg.speedup;
         (* Trajectory anchor: the list-based seed pipeline measured on
            this same container immediately before the flat-array rewrite
            (PR 1), same solver tolerance and direct limit.  Kept static
@@ -187,4 +289,12 @@ let () =
   let oc = open_out !out in
   output_string oc json;
   close_out oc;
-  Printf.eprintf "wrote %s\n%!" !out
+  Printf.eprintf "wrote %s\n%!" !out;
+  (* Exactness gate: aggregation must reproduce every throughput to
+     float noise.  A real divergence means the lumping or the symmetry
+     reduction is wrong — fail loudly so CI catches it. *)
+  if !max_divergence > 1e-9 then begin
+    Printf.eprintf "error: aggregated throughputs diverge by %.3e (tolerance 1e-9)\n%!"
+      !max_divergence;
+    exit 1
+  end

@@ -59,12 +59,13 @@ let absorb_arg =
         ~doc:
           "Keep terminating behaviour instead of cycling tokens back to their initial activity.")
 
-let options_of rates_path method_ absorb =
+let options_of rates_path method_ absorb aggregate =
   {
     Choreographer.Pipeline.default_options with
     rates = load_rates rates_path;
     method_;
     restart = (if absorb then `Absorb else `Cycle);
+    aggregate;
   }
 
 let handle_errors f =
@@ -98,9 +99,9 @@ let pipeline_cmd =
       & info [ "html" ] ~docv:"FILE"
           ~doc:"Also write a self-contained HTML report (the Figure 7 view).")
   in
-  let run () input output rates_path method_ absorb xmltable html =
+  let run () input output rates_path method_ absorb aggregate xmltable html =
     handle_errors (fun () ->
-        let options = options_of rates_path method_ absorb in
+        let options = options_of rates_path method_ absorb aggregate in
         let doc = read_document input in
         let outcome = Choreographer.Pipeline.process_document ~options doc in
         Cli_support.print_solver_stats ();
@@ -126,7 +127,7 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Extract, analyse and reflect a UML model (the full tool chain).")
     Term.(
       const run $ Cli_support.telemetry_term $ input_arg $ output_arg $ rates_arg $ method_arg
-      $ absorb_arg $ xmltable_arg $ html_arg)
+      $ absorb_arg $ Cli_support.aggregate_arg $ xmltable_arg $ html_arg)
 
 let extract_cmd =
   let output_arg =

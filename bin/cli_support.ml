@@ -36,6 +36,28 @@ let method_arg =
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
 
+let aggregate_conv =
+  let parse s =
+    match Markov.Lump.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown aggregation mode %s (none|symmetry|lump|both)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Markov.Lump.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let aggregate_arg =
+  Arg.(
+    value
+    & opt aggregate_conv Markov.Lump.No_agg
+    & info [ "aggregate" ] ~docv:"MODE"
+        ~doc:
+          "Aggregation before the solve: $(b,none), $(b,symmetry) (collapse \
+           permutation-equivalent states of replicated components while exploring), \
+           $(b,lump) (solve the ordinarily-lumped quotient chain and disaggregate) or \
+           $(b,both).  Every mode reports exactly the same measures; aggregation only \
+           shrinks the chain the solver sees.")
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -23,38 +23,44 @@ let handle_errors f =
       Cli_support.report_did_not_converge ~method_used ~iterations ~residual
 
 let solve_cmd =
-  let run () path net method_ =
+  let run () path net method_ aggregate =
     handle_errors (fun () ->
         if is_net_file path net then begin
-          let analysis = Choreographer.Workbench.analyse_net_file ?method_ path in
+          let analysis = Choreographer.Workbench.analyse_net_file ?method_ ~aggregate path in
           Format.printf "%a@." Choreographer.Results.pp
             analysis.Choreographer.Workbench.net_results
         end
         else begin
-          let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ path in
+          let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate path in
           Format.printf "%a@." Choreographer.Results.pp analysis.Choreographer.Workbench.results
         end;
         Cli_support.print_solver_stats ())
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Steady-state solution and throughput of every action type.")
-    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ method_arg)
+    Term.(
+      const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ method_arg
+      $ Cli_support.aggregate_arg)
 
 let statespace_cmd =
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N states.")
   in
-  let run () path net limit =
+  let run () path net limit aggregate =
+    let symmetry = Markov.Lump.symmetry_enabled aggregate in
     handle_errors (fun () ->
         if is_net_file path net then begin
-          let space = Pepanet.Net_statespace.of_file path in
+          let space = Pepanet.Net_statespace.of_file ~symmetry path in
           Format.printf "%a@." Pepanet.Net_statespace.pp_summary space;
           for i = 0 to min (limit - 1) (Pepanet.Net_statespace.n_markings space - 1) do
             Printf.printf "M%-4d %s\n" i (Pepanet.Net_statespace.marking_label space i)
           done
         end
         else begin
-          let space = Pepa.Statespace.of_string (In_channel.with_open_bin path In_channel.input_all) in
+          let space =
+            Pepa.Statespace.of_string ~symmetry
+              (In_channel.with_open_bin path In_channel.input_all)
+          in
           Format.printf "%a@." Pepa.Statespace.pp_summary space;
           for i = 0 to min (limit - 1) (Pepa.Statespace.n_states space - 1) do
             Printf.printf "S%-4d %s\n" i (Pepa.Statespace.state_label space i)
@@ -63,7 +69,9 @@ let statespace_cmd =
   in
   Cmd.v
     (Cmd.info "statespace" ~doc:"Derive and print the reachable state space.")
-    Term.(const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ limit_arg)
+    Term.(
+      const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ limit_arg
+      $ Cli_support.aggregate_arg)
 
 let check_cmd =
   let run () path net =

@@ -5,10 +5,17 @@ type options = {
   restart : [ `Cycle | `Absorb ];
   method_ : Markov.Steady.method_ option;
   max_states : int option;
+  aggregate : Markov.Lump.mode;
 }
 
 let default_options =
-  { rates = Uml.Rates_file.empty; restart = `Cycle; method_ = None; max_states = None }
+  {
+    rates = Uml.Rates_file.empty;
+    restart = `Cycle;
+    method_ = None;
+    max_states = None;
+    aggregate = Markov.Lump.No_agg;
+  }
 
 type outcome = {
   reflected : X.t;
@@ -43,7 +50,8 @@ let analyse_activity options interactions diagram =
   let analysis =
     try
       Workbench.analyse_net ~name:diagram.Uml.Activity.diagram_name ?method_:options.method_
-        ?max_markings:options.max_states extraction.Extract.Ad_to_pepanet.net
+        ?max_markings:options.max_states ~aggregate:options.aggregate
+        extraction.Extract.Ad_to_pepanet.net
     with Workbench.Analysis_error msg -> fail "%s" msg
   in
   let throughputs = analysis.Workbench.net_results.Results.throughputs in
@@ -64,7 +72,7 @@ let analyse_statecharts options charts =
   let analysis =
     try
       Workbench.analyse_pepa ~name ?method_:options.method_ ?max_states:options.max_states
-        extraction.Extract.Sc_to_pepa.model
+        ~aggregate:options.aggregate extraction.Extract.Sc_to_pepa.model
     with Workbench.Analysis_error msg -> fail "%s" msg
   in
   (* Steady-state probability of each state constant, computed per chart

@@ -14,6 +14,11 @@ type options = {
   restart : [ `Cycle | `Absorb ];
   method_ : Markov.Steady.method_ option;
   max_states : int option;
+  aggregate : Markov.Lump.mode;
+      (** aggregation passes applied between state-space construction
+          and the solve of every extracted model (default
+          {!Markov.Lump.No_agg}); all reflected measures are exact under
+          every mode *)
 }
 
 val default_options : options

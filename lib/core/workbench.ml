@@ -30,14 +30,22 @@ let wrap name thunk =
       fail "%s: passive activity %s has no active partner in marking %s" name label marking
   | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
 
-let analyse_pepa ?(name = "model") ?method_ ?max_states model =
+let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg) model =
   Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
     (fun _ ->
   wrap name (fun () ->
       let env = Pepa.Env.of_model model in
       let compiled = Pepa.Compile.compile env in
-      let space = Pepa.Statespace.build ?max_states compiled in
-      let distribution = Pepa.Statespace.steady_state ?method_ space in
+      let space =
+        Pepa.Statespace.build ?max_states
+          ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
+          compiled
+      in
+      let distribution =
+        Pepa.Statespace.steady_state ?method_
+          ~lump:(Markov.Lump.lumping_enabled aggregate)
+          space
+      in
       (* Component-state utilisations, one entry per (leaf, local state):
          the measure the Reflector writes onto state diagrams. *)
       let leaf_labels = Pepa.Compile.leaf_labels compiled in
@@ -64,22 +72,30 @@ let analyse_pepa ?(name = "model") ?method_ ?max_states model =
       in
       { space; distribution; results }))
 
-let analyse_pepa_string ?(name = "model") ?method_ ?max_states src =
+let analyse_pepa_string ?(name = "model") ?method_ ?max_states ?aggregate src =
   let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
-  analyse_pepa ~name ?method_ ?max_states model
+  analyse_pepa ~name ?method_ ?max_states ?aggregate model
 
-let analyse_pepa_file ?method_ ?max_states path =
+let analyse_pepa_file ?method_ ?max_states ?aggregate path =
   let name = Filename.basename path in
   let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
-  analyse_pepa ~name ?method_ ?max_states model
+  analyse_pepa ~name ?method_ ?max_states ?aggregate model
 
-let analyse_net ?(name = "net") ?method_ ?max_markings net =
+let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump.No_agg) net =
   Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net"
     (fun _ ->
   wrap name (fun () ->
       let compiled = Pepanet.Net_compile.compile net in
-      let net_space = Pepanet.Net_statespace.build ?max_markings compiled in
-      let net_distribution = Pepanet.Net_statespace.steady_state ?method_ net_space in
+      let net_space =
+        Pepanet.Net_statespace.build ?max_markings
+          ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
+          compiled
+      in
+      let net_distribution =
+        Pepanet.Net_statespace.steady_state ?method_
+          ~lump:(Markov.Lump.lumping_enabled aggregate)
+          net_space
+      in
       let net_results =
         Results.make ~source:name ~kind:Results.Pepa_net
           ~n_states:(Pepanet.Net_statespace.n_markings net_space)
@@ -89,14 +105,14 @@ let analyse_net ?(name = "net") ?method_ ?max_markings net =
       in
       { net_space; net_distribution; net_results }))
 
-let analyse_net_string ?(name = "net") ?method_ ?max_markings src =
+let analyse_net_string ?(name = "net") ?method_ ?max_markings ?aggregate src =
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
-  analyse_net ~name ?method_ ?max_markings net
+  analyse_net ~name ?method_ ?max_markings ?aggregate net
 
-let analyse_net_file ?method_ ?max_markings path =
+let analyse_net_file ?method_ ?max_markings ?aggregate path =
   let name = Filename.basename path in
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_file path) in
-  analyse_net ~name ?method_ ?max_markings net
+  analyse_net ~name ?method_ ?max_markings ?aggregate net
 
 let local_probabilities analysis ~leaf =
   let compiled = Pepa.Statespace.compiled analysis.space in

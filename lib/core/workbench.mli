@@ -25,27 +25,57 @@ val analyse_pepa :
   ?name:string ->
   ?method_:Markov.Steady.method_ ->
   ?max_states:int ->
+  ?aggregate:Markov.Lump.mode ->
   Pepa.Syntax.model ->
   pepa_analysis
+(** [aggregate] (default {!Markov.Lump.No_agg}) selects the aggregation
+    passes run between state-space construction and the solve:
+    [Symmetry] canonicalises replica permutations at exploration time,
+    [Lumping] solves the ordinarily-lumped quotient chain and
+    disaggregates, [Both] does both.  All reported measures
+    (throughputs, local-state probabilities) are exact under every
+    mode. *)
 
 val analyse_pepa_string :
-  ?name:string -> ?method_:Markov.Steady.method_ -> ?max_states:int -> string -> pepa_analysis
+  ?name:string ->
+  ?method_:Markov.Steady.method_ ->
+  ?max_states:int ->
+  ?aggregate:Markov.Lump.mode ->
+  string ->
+  pepa_analysis
 
 val analyse_pepa_file :
-  ?method_:Markov.Steady.method_ -> ?max_states:int -> string -> pepa_analysis
+  ?method_:Markov.Steady.method_ ->
+  ?max_states:int ->
+  ?aggregate:Markov.Lump.mode ->
+  string ->
+  pepa_analysis
 
 val analyse_net :
   ?name:string ->
   ?method_:Markov.Steady.method_ ->
   ?max_markings:int ->
+  ?aggregate:Markov.Lump.mode ->
   Pepanet.Net.t ->
   net_analysis
+(** [aggregate] as in {!analyse_pepa}; the symmetry pass permutes
+    interchangeable cell contents, so token- and place-level measures
+    are exact. *)
 
 val analyse_net_string :
-  ?name:string -> ?method_:Markov.Steady.method_ -> ?max_markings:int -> string -> net_analysis
+  ?name:string ->
+  ?method_:Markov.Steady.method_ ->
+  ?max_markings:int ->
+  ?aggregate:Markov.Lump.mode ->
+  string ->
+  net_analysis
 
 val analyse_net_file :
-  ?method_:Markov.Steady.method_ -> ?max_markings:int -> string -> net_analysis
+  ?method_:Markov.Steady.method_ ->
+  ?max_markings:int ->
+  ?aggregate:Markov.Lump.mode ->
+  string ->
+  net_analysis
 
 val local_probabilities : pepa_analysis -> leaf:int -> (string * float) list
 (** Distribution over the local derivative states of one sequential

@@ -1,0 +1,269 @@
+(* Ordinary-lumpability partition refinement over flat transition
+   columns.
+
+   The initial partition groups states by their per-label total exit
+   rate (the action signature), so every final class has a constant
+   per-label rate vector and flux-table measures survive uniform
+   disaggregation exactly.  Refinement then runs a splitter queue:
+   popping a block S, states are split by their total rate into S, one
+   label at a time.  A block changed by a split is requeued, so at
+   termination every block has been used as a splitter in its final
+   form and the partition is ordinarily lumpable.
+
+   Splitting an already-split (stale) S is harmless: a stale member
+   list is a union of current blocks, and rates into a union of blocks
+   of the coarsest lumpable partition are still constant on its
+   classes, so no split ever separates states that partition keeps
+   together.  The fixpoint is therefore the coarsest lumpable
+   refinement of the action signature (up to the float tolerance). *)
+
+type mode = No_agg | Symmetry | Lumping | Both
+
+let mode_of_string = function
+  | "none" -> Some No_agg
+  | "symmetry" -> Some Symmetry
+  | "lump" -> Some Lumping
+  | "both" -> Some Both
+  | _ -> None
+
+let mode_to_string = function
+  | No_agg -> "none"
+  | Symmetry -> "symmetry"
+  | Lumping -> "lump"
+  | Both -> "both"
+
+let symmetry_enabled = function Symmetry | Both -> true | No_agg | Lumping -> false
+let lumping_enabled = function Lumping | Both -> true | No_agg | Symmetry -> false
+
+type t = {
+  n_states : int;
+  n_classes : int;
+  class_of : int array;
+  class_size : int array;
+  representative : int array;
+}
+
+let identity n =
+  {
+    n_states = n;
+    n_classes = n;
+    class_of = Array.init n Fun.id;
+    class_size = Array.make n 1;
+    representative = Array.init n Fun.id;
+  }
+
+(* Telemetry: the lumped class counts surface in run reports. *)
+let classes_before_gauge = Obs.Metrics.gauge "ctmc.lump.classes_before"
+let classes_after_gauge = Obs.Metrics.gauge "ctmc.lump.classes_after"
+let lump_seconds_gauge = Obs.Metrics.gauge "ctmc.lump.seconds"
+
+let refine ?(tol = 1e-9) ~n ~src ~dst ~rate ~label () =
+  let partition, seconds =
+    Obs.Span.timed "ctmc.lump" (fun span ->
+  let m = Array.length src in
+  if Array.length dst <> m || Array.length rate <> m || Array.length label <> m then
+    invalid_arg "Lump.refine: column arrays of different lengths";
+  if n = 0 then identity 0
+  else begin
+  (* Incoming-transition index (counting sort by dst), self-loops
+     dropped: they never affect a CTMC. *)
+  let in_start = Array.make (n + 1) 0 in
+  for k = 0 to m - 1 do
+    if src.(k) < 0 || src.(k) >= n || dst.(k) < 0 || dst.(k) >= n then
+      invalid_arg "Lump.refine: state index out of range";
+    if src.(k) <> dst.(k) then in_start.(dst.(k) + 1) <- in_start.(dst.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    in_start.(i) <- in_start.(i) + in_start.(i - 1)
+  done;
+  let in_trans = Array.make in_start.(n) 0 in
+  let cursor = Array.copy in_start in
+  for k = 0 to m - 1 do
+    if src.(k) <> dst.(k) then begin
+      let d = dst.(k) in
+      in_trans.(cursor.(d)) <- k;
+      cursor.(d) <- cursor.(d) + 1
+    end
+  done;
+  (* Growable block store: member array per block id. *)
+  let cap = ref 64 in
+  let blocks = ref (Array.make !cap [||]) in
+  let n_blocks = ref 0 in
+  let class_of = Array.make n 0 in
+  let fresh_block members =
+    if !n_blocks = !cap then begin
+      let bigger = Array.make (2 * !cap) [||] in
+      Array.blit !blocks 0 bigger 0 !cap;
+      blocks := bigger;
+      cap := 2 * !cap
+    end;
+    let id = !n_blocks in
+    incr n_blocks;
+    !blocks.(id) <- members;
+    Array.iter (fun s -> class_of.(s) <- id) members;
+    id
+  in
+  let worklist = Queue.create () in
+  (* n is an upper bound on the number of blocks ever created: splits
+     replace one block by sub-blocks and the total never exceeds n. *)
+  let queued = Array.make n false in
+  let enqueue b =
+    if not queued.(b) then begin
+      queued.(b) <- true;
+      Queue.add b worklist
+    end
+  in
+  let close_enough a b = abs_float (a -. b) <= tol *. (1.0 +. abs_float a +. abs_float b) in
+  (* Split block [b] by the weight function, keeping id [b] for the
+     first weight group; requeues every resulting block on a split. *)
+  let scratch_weight = Array.make n 0.0 in
+  let split_block weight_of b =
+    let members = !blocks.(b) in
+    if Array.length members > 1 then begin
+      Array.iter (fun s -> scratch_weight.(s) <- weight_of s) members;
+      let sorted = Array.copy members in
+      Array.sort (fun a c -> Float.compare scratch_weight.(a) scratch_weight.(c)) sorted;
+      (* Boundaries where consecutive sorted weights genuinely differ. *)
+      let k = Array.length sorted in
+      let boundaries = ref [] in
+      for i = k - 1 downto 1 do
+        if not (close_enough scratch_weight.(sorted.(i - 1)) scratch_weight.(sorted.(i))) then
+          boundaries := i :: !boundaries
+      done;
+      match !boundaries with
+      | [] -> ()
+      | cuts ->
+          let starts = 0 :: cuts and stops = cuts @ [ k ] in
+          List.iter2
+            (fun start stop ->
+              let group = Array.sub sorted start (stop - start) in
+              if start = 0 then begin
+                !blocks.(b) <- group;
+                enqueue b
+              end
+              else enqueue (fresh_block group))
+            starts stops
+    end
+  in
+  (* Initial partition: one block, split by the per-label total exit
+     rate (dense pass per label). *)
+  ignore (fresh_block (Array.init n Fun.id));
+  let n_labels = Array.fold_left (fun acc l -> max acc (l + 1)) 0 label in
+  let dense = Array.make n 0.0 in
+  for l = 0 to n_labels - 1 do
+    Array.fill dense 0 n 0.0;
+    for k = 0 to m - 1 do
+      if label.(k) = l then dense.(src.(k)) <- dense.(src.(k)) +. rate.(k)
+    done;
+    (* Every block may contain states with differing totals: split all. *)
+    let current = !n_blocks in
+    for b = 0 to current - 1 do
+      split_block (fun s -> dense.(s)) b
+    done
+  done;
+  let classes_before = !n_blocks in
+  Obs.Span.add_int span "classes_initial" classes_before;
+  (* Drain the signature-split queue: the loop below refills it. *)
+  Queue.clear worklist;
+  Array.fill queued 0 n false;
+  for b = 0 to !n_blocks - 1 do
+    enqueue b
+  done;
+  (* Per-splitter weights, one hash table per label actually incoming. *)
+  let by_label : (int, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  while not (Queue.is_empty worklist) do
+    let s_id = Queue.pop worklist in
+    queued.(s_id) <- false;
+    Hashtbl.reset by_label;
+    Array.iter
+      (fun d ->
+        for idx = in_start.(d) to in_start.(d + 1) - 1 do
+          let k = in_trans.(idx) in
+          let l = label.(k) in
+          let tbl =
+            match Hashtbl.find_opt by_label l with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 64 in
+                Hashtbl.add by_label l tbl;
+                tbl
+          in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl src.(k)) in
+          Hashtbl.replace tbl src.(k) (prev +. rate.(k))
+        done)
+      !blocks.(s_id);
+    Hashtbl.iter
+      (fun _l tbl ->
+        (* Blocks holding a predecessor of the splitter; untouched
+           members weigh zero inside split_block. *)
+        let affected = Hashtbl.create 16 in
+        Hashtbl.iter (fun s _ -> Hashtbl.replace affected class_of.(s) ()) tbl;
+        Hashtbl.iter
+          (fun b () ->
+            split_block (fun s -> Option.value ~default:0.0 (Hashtbl.find_opt tbl s)) b)
+          affected)
+      by_label
+  done;
+  (* Renumber classes by smallest member for a deterministic layout. *)
+  let ids = Array.init !n_blocks Fun.id in
+  let min_member b = Array.fold_left min max_int !blocks.(b) in
+  let mins = Array.map min_member ids in
+  Array.sort (fun a b -> compare mins.(a) mins.(b)) ids;
+  let n_classes = !n_blocks in
+  let class_size = Array.make n_classes 0 in
+  let representative = Array.make n_classes 0 in
+  let final_class = Array.make n 0 in
+  Array.iteri
+    (fun c b ->
+      class_size.(c) <- Array.length !blocks.(b);
+      representative.(c) <- mins.(b);
+      Array.iter (fun s -> final_class.(s) <- c) !blocks.(b))
+    ids;
+  Obs.Span.add_int span "classes_before" classes_before;
+  Obs.Span.add_int span "classes_after" n_classes;
+  Obs.Span.add_int span "states" n;
+  { n_states = n; n_classes; class_of = final_class; class_size; representative }
+  end)
+  in
+  if Obs.Config.enabled () then begin
+    Obs.Metrics.set classes_before_gauge (float_of_int partition.n_states);
+    Obs.Metrics.set classes_after_gauge (float_of_int partition.n_classes);
+    Obs.Metrics.set lump_seconds_gauge seconds
+  end;
+  partition
+
+let quotient_ctmc t ~src ~dst ~rate =
+  let m = Array.length src in
+  (* Count the representatives' transitions, then fill mapped columns;
+     class-internal moves become self-loops that Ctmc.of_arrays drops. *)
+  let is_rep = Array.make t.n_states false in
+  Array.iter (fun r -> is_rep.(r) <- true) t.representative;
+  let count = ref 0 in
+  for k = 0 to m - 1 do
+    if is_rep.(src.(k)) then incr count
+  done;
+  let q_src = Array.make !count 0 in
+  let q_dst = Array.make !count 0 in
+  let q_rate = Array.make !count 0.0 in
+  let w = ref 0 in
+  for k = 0 to m - 1 do
+    if is_rep.(src.(k)) then begin
+      q_src.(!w) <- t.class_of.(src.(k));
+      q_dst.(!w) <- t.class_of.(dst.(k));
+      q_rate.(!w) <- rate.(k);
+      incr w
+    end
+  done;
+  Ctmc.of_arrays ~n:t.n_classes ~src:q_src ~dst:q_dst ~rate:q_rate
+
+let aggregate t pi =
+  if Array.length pi <> t.n_states then invalid_arg "Lump.aggregate: dimension mismatch";
+  let out = Array.make t.n_classes 0.0 in
+  Array.iteri (fun s p -> out.(t.class_of.(s)) <- out.(t.class_of.(s)) +. p) pi;
+  out
+
+let disaggregate t pi_hat =
+  if Array.length pi_hat <> t.n_classes then
+    invalid_arg "Lump.disaggregate: dimension mismatch";
+  Array.init t.n_states (fun s ->
+      pi_hat.(t.class_of.(s)) /. float_of_int t.class_size.(t.class_of.(s)))

@@ -1,0 +1,81 @@
+(** CTMC aggregation by ordinary lumpability.
+
+    Partition refinement over the flat src/dst/rate/label transition
+    columns the state-space builders already keep: starting from the
+    partition induced by each state's per-label total exit rate (the
+    action signature), blocks are split until every state of a block
+    has the same total rate, per label, into every other block.  The
+    fixpoint is ordinarily lumpable, so the quotient chain's
+    steady-state distribution aggregates the original one exactly:
+    [pi_hat(C) = sum_{s in C} pi(s)].
+
+    Because the initial partition fixes the per-label exit-rate vector
+    on every block, uniform-over-class disaggregation of the lumped
+    solution reproduces every flux-table measure (throughput per
+    action/label) of the original chain exactly — see the
+    "Aggregation" section of DESIGN.md for the argument.  Per-state
+    probabilities from uniform disaggregation are exact only when the
+    classes are symmetry orbits (as produced by replica
+    canonicalisation), which is the configuration the pipeline uses. *)
+
+(** How much aggregation to apply between state-space construction and
+    the steady-state solve.  [Symmetry] canonicalises
+    permutation-equivalent states of replicated components at
+    exploration time; [Lumping] quotients the assembled CTMC by
+    ordinary lumpability; [Both] applies the two in sequence (symmetry
+    first, then lumping over whatever structure remains). *)
+type mode = No_agg | Symmetry | Lumping | Both
+
+val mode_of_string : string -> mode option
+(** Recognises ["none"], ["symmetry"], ["lump"] and ["both"]. *)
+
+val mode_to_string : mode -> string
+val symmetry_enabled : mode -> bool
+val lumping_enabled : mode -> bool
+
+type t = {
+  n_states : int;
+  n_classes : int;
+  class_of : int array;      (** state -> class, classes numbered by
+                                 smallest member state *)
+  class_size : int array;
+  representative : int array;  (** smallest member state per class *)
+}
+
+val identity : int -> t
+(** The discrete partition: every state its own class. *)
+
+val refine :
+  ?tol:float ->
+  n:int ->
+  src:int array ->
+  dst:int array ->
+  rate:float array ->
+  label:int array ->
+  unit ->
+  t
+(** Coarsest partition, refining the per-label exit-rate signature,
+    such that for every pair of blocks [B], [D] and every label, all
+    states of [B] have the same total rate into [D] (splitter-queue
+    partition refinement).  Rates within [tol] relative distance
+    (default [1e-9]) are treated as equal, absorbing float summation
+    noise.  Self-loops ([src = dst]) are ignored: they never affect a
+    CTMC.  Emits a ["ctmc.lump"] tracing span with classes
+    before/after and records the [ctmc.lump.classes_before/after/
+    seconds] gauges when telemetry is on. *)
+
+val quotient_ctmc :
+  t -> src:int array -> dst:int array -> rate:float array -> Ctmc.t
+(** The lumped chain: transitions of each class representative with
+    destinations mapped to classes (parallel transitions summed by
+    {!Ctmc.of_arrays}, class-internal transitions dropped as self
+    loops). *)
+
+val aggregate : t -> float array -> float array
+(** Per-class sums of a per-state vector: the exact lumped image of a
+    distribution. *)
+
+val disaggregate : t -> float array -> float array
+(** Uniform-over-class expansion of a per-class distribution back to
+    states: [pi(s) = pi_hat(class_of s) / class_size].  Exact for
+    symmetry-orbit classes; flux-exact for all classes. *)

@@ -95,10 +95,21 @@ let check_no_absorbing c =
    roughly halves the cost per iteration for stationary methods whose
    sweep is itself one pass over the matrix.  The iteration count
    reported on failure is the exact number of sweeps performed. *)
-let iterate ~method_ ~options ~c ~sweep =
+let iterate ?initial ~method_ ~options ~c ~sweep () =
   let n = Ctmc.n_states c in
   let qt = Ctmc.generator_transposed c in
-  let pi = Array.make n (1.0 /. float_of_int n) in
+  let pi =
+    match initial with
+    | None -> Array.make n (1.0 /. float_of_int n)
+    | Some v ->
+        if Array.length v <> n then
+          raise (Not_solvable "warm-start vector has the wrong dimension");
+        (* A warm start must still be a distribution candidate: negative
+           entries are clamped, then the copy is normalised. *)
+        let pi = Array.map (fun x -> if x > 0.0 then x else 0.0) v in
+        normalise_into pi;
+        pi
+  in
   let work = Array.make n 0.0 in
   let defect = Array.make n 0.0 in
   let measure () =
@@ -142,7 +153,7 @@ let iterate ~method_ ~options ~c ~sweep =
    iteration matrix has eigenvalues on the unit circle (e.g. any 2-state
    chain), while the 1/2-damped variant converges whenever the plain
    iteration does not diverge. *)
-let solve_jacobi options c =
+let solve_jacobi ?initial options c =
   check_no_absorbing c;
   let qt = Ctmc.generator_transposed c in
   let n = Ctmc.n_states c in
@@ -155,12 +166,12 @@ let solve_jacobi options c =
     done;
     Array.blit work 0 pi 0 n
   in
-  iterate ~method_:Jacobi ~options ~c ~sweep
+  iterate ?initial ~method_:Jacobi ~options ~c ~sweep ()
 
 (* Gauss-Seidel is SOR with unit relaxation; both update the candidate
    in place, already using each component's new value within the same
    sweep. *)
-let solve_relaxed ~method_ options c omega =
+let solve_relaxed ?initial ~method_ options c omega =
   if omega <= 0.0 || omega >= 2.0 then
     raise
       (Not_solvable
@@ -176,12 +187,12 @@ let solve_relaxed ~method_ options c omega =
       pi.(i) <- if omega = 1.0 then gs else ((1.0 -. omega) *. pi.(i)) +. (omega *. gs)
     done
   in
-  iterate ~method_ ~options ~c ~sweep
+  iterate ?initial ~method_ ~options ~c ~sweep ()
 
-let solve_sor options c omega = solve_relaxed ~method_:(Sor omega) options c omega
-let solve_gauss_seidel options c = solve_relaxed ~method_:Gauss_seidel options c 1.0
+let solve_sor ?initial options c omega = solve_relaxed ?initial ~method_:(Sor omega) options c omega
+let solve_gauss_seidel ?initial options c = solve_relaxed ?initial ~method_:Gauss_seidel options c 1.0
 
-let solve_power options c =
+let solve_power ?initial options c =
   let n = Ctmc.n_states c in
   let lambda = (Ctmc.max_exit_rate c *. 1.02) +. 1e-9 in
   let qt = Ctmc.generator_transposed c in
@@ -192,13 +203,13 @@ let solve_power options c =
       pi.(i) <- pi.(i) +. (work.(i) /. lambda)
     done
   in
-  iterate ~method_:Power ~options ~c ~sweep
+  iterate ?initial ~method_:Power ~options ~c ~sweep ()
 
 let record_stats stats =
   last := Some stats;
   stats
 
-let solve_stats ?method_ ?(options = default_options) c =
+let solve_stats ?method_ ?(options = default_options) ?initial c =
   if Ctmc.n_states c = 0 then
     ([||], record_stats { method_used = Direct; iterations = 0; residual = 0.0 })
   else
@@ -215,10 +226,12 @@ let solve_stats ?method_ ?(options = default_options) c =
         let pi, stats =
           match method_ with
           | Some Direct -> direct ()
-          | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi options c)
-          | Some Gauss_seidel -> iterative Gauss_seidel (fun () -> solve_gauss_seidel options c)
-          | Some (Sor omega) -> iterative (Sor omega) (fun () -> solve_sor options c omega)
-          | Some Power -> iterative Power (fun () -> solve_power options c)
+          | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi ?initial options c)
+          | Some Gauss_seidel ->
+              iterative Gauss_seidel (fun () -> solve_gauss_seidel ?initial options c)
+          | Some (Sor omega) ->
+              iterative (Sor omega) (fun () -> solve_sor ?initial options c omega)
+          | Some Power -> iterative Power (fun () -> solve_power ?initial options c)
           | None -> (
               (* Default policy: Gauss-Seidel, falling back to the direct solver
                  for chains it cannot handle (absorbing states, slow mixing). *)
@@ -226,7 +239,7 @@ let solve_stats ?method_ ?(options = default_options) c =
                 if Ctmc.n_states c <= options.direct_limit then direct ()
                 else raise (Not_solvable "iteration failed and the chain is too large for LU")
               in
-              try iterative Gauss_seidel (fun () -> solve_gauss_seidel options c) with
+              try iterative Gauss_seidel (fun () -> solve_gauss_seidel ?initial options c) with
               | Not_solvable _ -> fallback ()
               | Did_not_converge _ -> fallback ())
         in
@@ -239,4 +252,4 @@ let solve_stats ?method_ ?(options = default_options) c =
           (method_name stats.method_used) stats.iterations stats.residual;
         (pi, record_stats stats))
 
-let solve ?method_ ?options c = fst (solve_stats ?method_ ?options c)
+let solve ?method_ ?options ?initial c = fst (solve_stats ?method_ ?options ?initial c)

@@ -60,12 +60,26 @@ type stats = {
   residual : float;       (** [||pi Q||_inf] of the returned vector *)
 }
 
-val solve : ?method_:method_ -> ?options:options -> Ctmc.t -> float array
+val solve :
+  ?method_:method_ -> ?options:options -> ?initial:float array -> Ctmc.t -> float array
 (** Compute the steady-state distribution.  The default method is
     {!Gauss_seidel} with a fallback to {!Direct} for chains within
-    [direct_limit] when iteration fails to converge. *)
+    [direct_limit] when iteration fails to converge.
 
-val solve_stats : ?method_:method_ -> ?options:options -> Ctmc.t -> float array * stats
+    [initial] warm-starts the iterative methods from the given vector
+    instead of the uniform distribution (negative entries are clamped
+    and the copy normalised; the caller's array is never modified).  A
+    disaggregated lumped solution is the intended use: cross-checking
+    an aggregated solve against the full chain then converges in a
+    handful of sweeps.  The direct method ignores it.  Raises
+    {!Not_solvable} on a dimension mismatch. *)
+
+val solve_stats :
+  ?method_:method_ ->
+  ?options:options ->
+  ?initial:float array ->
+  Ctmc.t ->
+  float array * stats
 (** Like {!solve}, also reporting how the answer was obtained — the
     observability hook the benchmark harness uses to record
     iterations-to-converge. *)

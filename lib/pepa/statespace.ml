@@ -8,6 +8,7 @@ type transition = { src : int; action : Action.t; rate : float; dst : int }
    on demand. *)
 type t = {
   compiled : Compile.t;
+  symmetry : Symmetry.t;  (* trivial unless built with ~symmetry:true *)
   states : int array array;
   tr_src : int array;
   tr_dst : int array;
@@ -18,6 +19,7 @@ type t = {
   mutable transition_cache : transition list option;
   mutable outgoing_cache : transition list array option;
   mutable chain : Markov.Ctmc.t option;
+  mutable lump : Markov.Lump.t option;
 }
 
 exception Too_many_states of int
@@ -28,6 +30,7 @@ exception Passive_transition of { state : string; action : string }
 let states_explored = Obs.Metrics.counter "states_explored"
 let transitions_emitted = Obs.Metrics.counter "transitions_emitted"
 let intern_collisions = Obs.Metrics.counter "intern_collisions"
+let canonical_hits = Obs.Metrics.counter "statespace.canonical_hits"
 
 (* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
    once per interned vector: the table stores each slot's hash, so
@@ -46,11 +49,23 @@ let vec_equal (a : int array) (b : int array) =
   let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
   go 0
 
-let build ?(max_states = 1_000_000) compiled =
+let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
   Obs.Span.with_ "statespace.build" (fun span ->
   let obs_on = Obs.Config.enabled () in
   let progress_every = Obs.Config.progress_interval () in
   let collisions = ref 0 in
+  (* Replica symmetry: every explored vector is canonicalised before
+     interning, so an orbit of permutation-equivalent states collapses
+     to one representative (counter abstraction).  Sound because the
+     permutations are automorphisms of the labelled chain — the reduced
+     chain is its exact ordinary lumping. *)
+  let sym = if symmetry then Symmetry.detect compiled else Symmetry.trivial in
+  let use_sym = not (Symmetry.is_trivial sym) in
+  let hits = ref 0 in
+  let canonical vec =
+    if use_sym && Symmetry.canonicalise sym vec then incr hits;
+    vec
+  in
   (* Growable state store; BFS order doubles as the index order, so the
      work queue is just a cursor into it. *)
   let states = ref (Array.make 1024 [||]) in
@@ -147,7 +162,7 @@ let build ?(max_states = 1_000_000) compiled =
         incr n_actions;
         id
   in
-  ignore (intern (Compile.initial_state compiled));
+  ignore (intern (canonical (Compile.initial_state compiled)));
   let next = ref 0 in
   while !next < !n_states do
     let src = !next in
@@ -169,7 +184,7 @@ let build ?(max_states = 1_000_000) compiled =
                      action = Action.to_string move.Semantics.action;
                    })
         in
-        let dst = intern (Semantics.apply vec move.Semantics.deltas) in
+        let dst = intern (canonical (Semantics.apply vec move.Semantics.deltas)) in
         push src dst rate (intern_action move.Semantics.action))
       (Semantics.moves compiled vec);
     incr next
@@ -193,10 +208,16 @@ let build ?(max_states = 1_000_000) compiled =
     Obs.Metrics.add intern_collisions !collisions;
     Obs.Span.add_int span "states" n;
     Obs.Span.add_int span "transitions" count;
-    Obs.Span.add_int span "intern_collisions" !collisions
+    Obs.Span.add_int span "intern_collisions" !collisions;
+    if use_sym then begin
+      Obs.Metrics.add canonical_hits !hits;
+      Obs.Span.add_int span "symmetry_groups" (Symmetry.n_groups sym);
+      Obs.Span.add_int span "canonical_hits" !hits
+    end
   end;
   {
     compiled;
+    symmetry = sym;
     states = Array.sub !states 0 n;
     tr_src;
     tr_dst;
@@ -207,12 +228,14 @@ let build ?(max_states = 1_000_000) compiled =
     transition_cache = None;
     outgoing_cache = None;
     chain = None;
+    lump = None;
   })
 
-let of_model ?max_states model = build ?max_states (Compile.of_model model)
-let of_string ?max_states src = build ?max_states (Compile.of_string src)
+let of_model ?max_states ?symmetry model = build ?max_states ?symmetry (Compile.of_model model)
+let of_string ?max_states ?symmetry src = build ?max_states ?symmetry (Compile.of_string src)
 
 let compiled t = t.compiled
+let symmetry t = t.symmetry
 let n_states t = Array.length t.states
 let n_transitions t = Array.length t.tr_src
 let state t i = Array.copy t.states.(i)
@@ -282,7 +305,34 @@ let ctmc t =
       t.chain <- Some c;
       c
 
-let steady_state ?method_ ?options t = Markov.Steady.solve ?method_ ?options (ctmc t)
+let lump_partition t =
+  match t.lump with
+  | Some part -> part
+  | None ->
+      (* Labels are the interned action ids, so the refinement never
+         merges states with different per-action exit signatures and
+         every throughput measure is exact on the uniformly
+         disaggregated solution. *)
+      let part =
+        Markov.Lump.refine ~n:(n_states t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+          ~label:t.tr_action ()
+      in
+      t.lump <- Some part;
+      part
+
+let steady_state ?method_ ?options ?(lump = false) t =
+  if not lump then Markov.Steady.solve ?method_ ?options (ctmc t)
+  else begin
+    let part = lump_partition t in
+    if part.Markov.Lump.n_classes >= n_states t then
+      Markov.Steady.solve ?method_ ?options (ctmc t)
+    else begin
+      let quotient =
+        Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+      in
+      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options quotient)
+    end
+  end
 
 let transient t ~time =
   let n = n_states t in
@@ -322,11 +372,22 @@ let throughputs t pi =
        (List.init (Array.length t.actions) Fun.id))
 
 let local_state_probability t pi ~leaf ~label =
+  (* Under symmetry reduction a single leaf's column of the canonical
+     vectors is not its true marginal (canonicalisation shuffles values
+     across the orbit), but the orbit-count is permutation-invariant, so
+     averaging over the leaf's orbit recovers the exact measure.  With
+     trivial symmetry the orbit is the singleton [leaf] and this is the
+     plain sum. *)
+  let orbit = Symmetry.orbit t.symmetry leaf in
+  let scale = 1.0 /. float_of_int (Array.length orbit) in
   let total = ref 0.0 in
   Array.iteri
     (fun i vec ->
-      if Compile.local_label t.compiled ~leaf ~local:vec.(leaf) = label then
-        total := !total +. pi.(i))
+      let hits = ref 0 in
+      Array.iter
+        (fun j -> if Compile.local_label t.compiled ~leaf:j ~local:vec.(j) = label then incr hits)
+        orbit;
+      if !hits > 0 then total := !total +. (pi.(i) *. float_of_int !hits *. scale))
     t.states;
   !total
 

@@ -35,16 +35,33 @@ val states_explored : Obs.Metrics.counter
 val transitions_emitted : Obs.Metrics.counter
 val intern_collisions : Obs.Metrics.counter
 
-val build : ?max_states:int -> Compile.t -> t
+val canonical_hits : Obs.Metrics.counter
+(** States rewritten to a previously seen orbit representative during a
+    symmetry-reduced build (["statespace.canonical_hits"]). *)
+
+val build : ?max_states:int -> ?symmetry:bool -> Compile.t -> t
 (** Explore the full state space (default bound: 1_000_000 states).
     Emits a ["statespace.build"] tracing span, adds to the exploration
     counters, and reports progress every [Obs.Config.progress_interval]
-    states when telemetry is enabled. *)
+    states when telemetry is enabled.
 
-val of_model : ?max_states:int -> Syntax.model -> t
-val of_string : ?max_states:int -> string -> t
+    With [~symmetry:true] every vector is canonicalised through
+    {!Symmetry.canonicalise} before interning, so permutation-equivalent
+    states of replicated components collapse to one representative.
+    The reduced chain is the exact ordinary lumping of the full one:
+    throughputs are unchanged and {!local_state_probability} averages
+    over the leaf's orbit.  Models without replica groups explore
+    identically (detection is a one-off structural pass). *)
+
+val of_model : ?max_states:int -> ?symmetry:bool -> Syntax.model -> t
+val of_string : ?max_states:int -> ?symmetry:bool -> string -> t
 
 val compiled : t -> Compile.t
+
+val symmetry : t -> Symmetry.t
+(** The replica symmetry used during the build ({!Symmetry.trivial}
+    unless [~symmetry:true] found groups). *)
+
 val n_states : t -> int
 
 val n_transitions : t -> int
@@ -82,7 +99,23 @@ val ctmc : t -> Markov.Ctmc.t
     summed; computed once and cached).  Assembled from the flat columns
     via {!Markov.Ctmc.of_arrays}. *)
 
-val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
+val lump_partition : t -> Markov.Lump.t
+(** Coarsest ordinary lumping of the derived chain that respects the
+    per-action-type exit signature (computed once and cached).  Because
+    classes never mix action signatures, throughput measures on the
+    uniformly disaggregated lumped solution are exact. *)
+
+val steady_state :
+  ?method_:Markov.Steady.method_ ->
+  ?options:Markov.Steady.options ->
+  ?lump:bool ->
+  t ->
+  float array
+(** Steady-state distribution over the explored states.  With
+    [~lump:true] the solver runs on the lumped quotient chain and the
+    result is disaggregated uniformly within each class — same length,
+    same throughputs, exact per-class probabilities.  Chains the
+    refinement cannot compress solve directly. *)
 
 val transient : t -> time:float -> float array
 (** Transient distribution starting from the initial state. *)
@@ -99,6 +132,9 @@ val throughputs : t -> float array -> (string * float) list
 
 val local_state_probability : t -> float array -> leaf:int -> label:string -> float
 (** Probability that the given leaf component is in the local state with
-    the given label (a component-state "utilisation" measure). *)
+    the given label (a component-state "utilisation" measure).  On a
+    symmetry-reduced space this averages over the leaf's orbit —
+    symmetric replicas share one marginal — so the value matches the
+    unreduced model exactly. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+(* Replica-group detection and state canonicalisation.
+
+   A cooperation chain [m1 <S> m2 <S> ... <S> mk] (the compiler emits
+   exactly this right-nested shape for [P[k]], with S empty) is
+   associative and commutative over the one set S, so members with the
+   same structural fingerprint may be permuted freely.  Each maximal
+   set of identical members forms a group; the group records every
+   member's leaves in traversal order, and canonicalisation sorts the
+   members' leaf-state sub-vectors. *)
+
+module String_set = Syntax.String_set
+
+type group = {
+  replicas : int array array;  (* replicas.(r) = leaf indices of replica r *)
+  sub_len : int;
+}
+
+type t = {
+  groups : group array;  (* innermost groups first *)
+  orbits : int array array;  (* orbits.(leaf) = symmetric leaves, incl. self *)
+}
+
+let trivial = { groups = [||]; orbits = [||] }
+let is_trivial t = Array.length t.groups = 0
+let n_groups t = Array.length t.groups
+
+let set_signature set = String.concat "," (String_set.elements set)
+
+(* Structural fingerprint: equal strings iff the subtrees are
+   isomorphic (same shape, same cooperation/hiding sets, same
+   component at every leaf position). *)
+let rec signature = function
+  | Compile.Leaf { comp; _ } -> Printf.sprintf "L%d" comp
+  | Compile.Coop (a, set, b) ->
+      Printf.sprintf "C(%s|%s|%s)" (signature a) (set_signature set) (signature b)
+  | Compile.Hide (a, set) -> Printf.sprintf "H(%s|%s)" (signature a) (set_signature set)
+
+let rec leaves_of acc = function
+  | Compile.Leaf { leaf; _ } -> leaf :: acc
+  | Compile.Coop (a, _, b) -> leaves_of (leaves_of acc a) b
+  | Compile.Hide (a, _) -> leaves_of acc a
+
+let leaves_in_order s = Array.of_list (List.rev (leaves_of [] s))
+
+let detect compiled =
+  let groups = ref [] in
+  (* Flatten a maximal cooperation chain over one set into its member
+     subtrees (none of which is itself a Coop over the same set). *)
+  let rec flatten set s acc =
+    match s with
+    | Compile.Coop (a, s2, b) when String_set.equal s2 set ->
+        flatten set b (flatten set a acc)
+    | member -> member :: acc
+  in
+  let rec walk s =
+    match s with
+    | Compile.Leaf _ -> ()
+    | Compile.Hide (inner, _) -> walk inner
+    | Compile.Coop (_, set, _) ->
+        let members = List.rev (flatten set s []) in
+        (* Innermost first: groups inside a member are canonicalised
+           before the outer sort compares member sub-vectors. *)
+        List.iter walk members;
+        let by_sig = Hashtbl.create 8 in
+        List.iter
+          (fun member ->
+            let key = signature member in
+            let existing = Option.value ~default:[] (Hashtbl.find_opt by_sig key) in
+            Hashtbl.replace by_sig key (member :: existing))
+          members;
+        Hashtbl.iter
+          (fun _key rev_members ->
+            match rev_members with
+            | [] | [ _ ] -> ()
+            | _ ->
+                let replicas =
+                  Array.of_list (List.rev_map leaves_in_order rev_members)
+                in
+                groups := { replicas; sub_len = Array.length replicas.(0) } :: !groups)
+          by_sig
+  in
+  walk compiled.Compile.structure;
+  let groups = Array.of_list (List.rev !groups) in
+  if Array.length groups = 0 then trivial
+  else begin
+    (* A leaf's orbit under the generated permutation group is its
+       connected component across the groups' positional orbits (nested
+       replication chains them), computed by union-find. *)
+    let n_leaves = Compile.n_leaves compiled in
+    let parent = Array.init n_leaves Fun.id in
+    let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+    let union a b = parent.(find a) <- find b in
+    Array.iter
+      (fun g ->
+        for pos = 0 to g.sub_len - 1 do
+          let first = g.replicas.(0).(pos) in
+          Array.iter (fun leaves -> union leaves.(pos) first) g.replicas
+        done)
+      groups;
+    let members = Hashtbl.create 16 in
+    for leaf = n_leaves - 1 downto 0 do
+      let root = find leaf in
+      Hashtbl.replace members root
+        (leaf :: Option.value ~default:[] (Hashtbl.find_opt members root))
+    done;
+    let orbits =
+      Array.init n_leaves (fun leaf -> Array.of_list (Hashtbl.find members (find leaf)))
+    in
+    { groups; orbits }
+  end
+
+let compare_sub (vec : int array) (a : int array) (b : int array) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = compare vec.(a.(i)) vec.(b.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let canonicalise t vec =
+  let changed = ref false in
+  Array.iter
+    (fun g ->
+      (* Sort the replicas' current sub-vectors by sorting an index
+         permutation, then write the values back through the fixed
+         leaf layout. *)
+      let k = Array.length g.replicas in
+      let order = Array.init k Fun.id in
+      Array.sort (fun a b -> compare_sub vec g.replicas.(a) g.replicas.(b)) order;
+      let sorted = Array.init k (fun r -> Array.map (fun l -> vec.(l)) g.replicas.(order.(r))) in
+      for r = 0 to k - 1 do
+        let leaves = g.replicas.(r) in
+        for p = 0 to g.sub_len - 1 do
+          if vec.(leaves.(p)) <> sorted.(r).(p) then begin
+            vec.(leaves.(p)) <- sorted.(r).(p);
+            changed := true
+          end
+        done
+      done)
+    t.groups;
+  !changed
+
+let orbit t leaf =
+  if is_trivial t || leaf >= Array.length t.orbits then [| leaf |] else t.orbits.(leaf)

@@ -1,0 +1,49 @@
+(** Replica symmetry of compiled PEPA models: counter abstraction at
+    exploration time.
+
+    [P\[n\]] (and any hand-written cooperation chain over one set whose
+    members are structurally identical) produces [n] interchangeable
+    copies of the same behaviour: permuting the copies' local states
+    yields a strongly equivalent global state.  {!detect} finds these
+    replica groups in the compiled cooperation structure and
+    {!canonicalise} maps every leaf-state vector to its
+    lexicographically least permutation, so the state-space builder
+    interns one representative per orbit — the choose-with-repetition
+    counter abstraction that turns the [2^n] states of a replicated
+    two-state process into [n + 1].
+
+    Outgoing rates from a representative are those of every orbit
+    member (the permutation is an automorphism of the labelled chain),
+    so the reduced chain is the exact ordinary lumping of the full one
+    and all action-flux measures are preserved.  Per-leaf measures are
+    recovered by orbit averaging: symmetric leaves share one marginal
+    distribution, exposed through {!orbit}. *)
+
+type t
+
+val detect : Compile.t -> t
+(** Find the replica groups of the model's cooperation structure:
+    members of a same-set cooperation chain with identical structure
+    (components, cooperation and hiding sets).  Nested replication is
+    detected innermost-first, so canonicalisation orders inner replicas
+    before comparing outer ones. *)
+
+val trivial : t
+(** No groups: {!canonicalise} is the identity. *)
+
+val is_trivial : t -> bool
+(** [true] when the model has no replica group of two or more members
+    (canonicalisation would never change a state). *)
+
+val n_groups : t -> int
+
+val canonicalise : t -> int array -> bool
+(** Rewrite the leaf-state vector in place to the orbit representative:
+    within each group, replica sub-vectors are sorted lexicographically.
+    Returns [true] when the vector changed (a "canonical hit"). *)
+
+val orbit : t -> int -> int array
+(** The leaves symmetric to the given leaf (its position across all
+    replicas of its group), including the leaf itself; a singleton for
+    leaves outside every group.  Per-leaf measures on the reduced chain
+    average over this orbit. *)

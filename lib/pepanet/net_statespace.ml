@@ -15,6 +15,7 @@ type t = {
   mutable transition_cache : transition list option;
   mutable outgoing_cache : transition list array option;
   mutable chain : Markov.Ctmc.t option;
+  mutable lump : Markov.Lump.t option;
 }
 
 exception Too_many_markings of int
@@ -24,10 +25,93 @@ let label_string = function
   | Net_semantics.Local action -> Pepa.Action.to_string action
   | Net_semantics.Fire { action; transition } -> Printf.sprintf "%s!%s" action transition
 
-let build ?(max_markings = 1_000_000) compiled =
+(* Interchangeable cells: plain cell leaves of the same token family
+   that are members of one maximal same-set cooperation chain inside a
+   place's context.  Cooperation over a single set is associative and
+   commutative, so permuting the *contents* of such cells is an
+   automorphism of the marking graph; tokens keep their identity and
+   stay in the same place, so every token- and place-level measure is
+   unchanged.  Sorting the contents picks one representative marking
+   per orbit — and also merges the branch-per-vacant-cell alternatives
+   a firing creates, whose rates [of_arrays] then sums. *)
+let cell_groups compiled =
+  let groups = ref [] in
+  let rec flatten set s acc =
+    match s with
+    | Net_compile.Pcoop (a, s2, b) when Pepa.Syntax.String_set.equal s2 set ->
+        flatten set b (flatten set a acc)
+    | member -> member :: acc
+  in
+  let rec walk s =
+    match s with
+    | Net_compile.Pleaf _ -> ()
+    | Net_compile.Pcoop (_, set, _) ->
+        let members = List.rev (flatten set s []) in
+        List.iter
+          (function Net_compile.Pcoop _ as inner -> walk inner | Net_compile.Pleaf _ -> ())
+          members;
+        let by_family = Hashtbl.create 4 in
+        List.iter
+          (function
+            | Net_compile.Pleaf (Net_compile.Lcell { cell; family }) ->
+                Hashtbl.replace by_family family
+                  (cell :: Option.value ~default:[] (Hashtbl.find_opt by_family family))
+            | Net_compile.Pleaf (Net_compile.Lstatic _) | Net_compile.Pcoop _ -> ())
+          members;
+        Hashtbl.iter
+          (fun _family rev_cells ->
+            match rev_cells with
+            | [] | [ _ ] -> ()
+            | _ -> groups := Array.of_list (List.rev rev_cells) :: !groups)
+          by_family
+  in
+  Array.iter (fun p -> walk p.Net_compile.structure) compiled.Net_compile.places;
+  Array.of_list (List.rev !groups)
+
+(* Sort each group's cell contents (with [Empty] ordering before any
+   token); returns the input marking unchanged when already canonical. *)
+let canonicalise groups marking =
+  let cells = ref None in
+  Array.iter
+    (fun group ->
+      let current = match !cells with Some c -> c | None -> marking.Marking.cells in
+      let k = Array.length group in
+      let sorted = ref true in
+      for i = 0 to k - 2 do
+        if compare current.(group.(i)) current.(group.(i + 1)) > 0 then sorted := false
+      done;
+      if not !sorted then begin
+        let c =
+          match !cells with
+          | Some c -> c
+          | None ->
+              let c = Array.copy marking.Marking.cells in
+              cells := Some c;
+              c
+        in
+        let values = Array.map (fun cell -> c.(cell)) group in
+        Array.sort compare values;
+        Array.iteri (fun i cell -> c.(cell) <- values.(i)) group
+      end)
+    groups;
+  match !cells with
+  | None -> (marking, false)
+  | Some c -> ({ marking with Marking.cells = c }, true)
+
+let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
   Obs.Span.with_ "net_statespace.build" (fun span ->
   let obs_on = Obs.Config.enabled () in
   let progress_every = Obs.Config.progress_interval () in
+  let groups = if symmetry then cell_groups compiled else [||] in
+  let hits = ref 0 in
+  let canonical marking =
+    if Array.length groups = 0 then marking
+    else begin
+      let marking, changed = canonicalise groups marking in
+      if changed then incr hits;
+      marking
+    end
+  in
   let index = Hashtbl.create 1024 in
   let markings = ref (Array.make 1024 (Marking.initial compiled)) in
   let n_markings = ref 0 in
@@ -83,7 +167,7 @@ let build ?(max_markings = 1_000_000) compiled =
         incr n_labels;
         id
   in
-  ignore (intern (Marking.initial compiled));
+  ignore (intern (canonical (Marking.initial compiled)));
   let next = ref 0 in
   while !next < !n_markings do
     let src = !next in
@@ -105,7 +189,7 @@ let build ?(max_markings = 1_000_000) compiled =
                      label = label_string move.Net_semantics.label;
                    })
         in
-        let dst = intern (Net_semantics.apply marking move.Net_semantics.updates) in
+        let dst = intern (canonical (Net_semantics.apply marking move.Net_semantics.updates)) in
         push src dst rate (intern_label move.Net_semantics.label))
       (Net_semantics.moves compiled marking);
     incr next
@@ -125,7 +209,12 @@ let build ?(max_markings = 1_000_000) compiled =
     Obs.Metrics.add Pepa.Statespace.states_explored n;
     Obs.Metrics.add Pepa.Statespace.transitions_emitted count;
     Obs.Span.add_int span "markings" n;
-    Obs.Span.add_int span "transitions" count
+    Obs.Span.add_int span "transitions" count;
+    if Array.length groups > 0 then begin
+      Obs.Metrics.add Pepa.Statespace.canonical_hits !hits;
+      Obs.Span.add_int span "symmetry_groups" (Array.length groups);
+      Obs.Span.add_int span "canonical_hits" !hits
+    end
   end;
   {
     compiled;
@@ -139,10 +228,11 @@ let build ?(max_markings = 1_000_000) compiled =
     transition_cache = None;
     outgoing_cache = None;
     chain = None;
+    lump = None;
   })
 
-let of_string ?max_markings src = build ?max_markings (Net_compile.of_string src)
-let of_file ?max_markings path = build ?max_markings (Net_compile.of_file path)
+let of_string ?max_markings ?symmetry src = build ?max_markings ?symmetry (Net_compile.of_string src)
+let of_file ?max_markings ?symmetry path = build ?max_markings ?symmetry (Net_compile.of_file path)
 
 let compiled t = t.compiled
 let n_markings t = Array.length t.markings
@@ -213,7 +303,30 @@ let ctmc t =
       t.chain <- Some c;
       c
 
-let steady_state ?method_ ?options t = Markov.Steady.solve ?method_ ?options (ctmc t)
+let lump_partition t =
+  match t.lump with
+  | Some part -> part
+  | None ->
+      let part =
+        Markov.Lump.refine ~n:(n_markings t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+          ~label:t.tr_label ()
+      in
+      t.lump <- Some part;
+      part
+
+let steady_state ?method_ ?options ?(lump = false) t =
+  if not lump then Markov.Steady.solve ?method_ ?options (ctmc t)
+  else begin
+    let part = lump_partition t in
+    if part.Markov.Lump.n_classes >= n_markings t then
+      Markov.Steady.solve ?method_ ?options (ctmc t)
+    else begin
+      let quotient =
+        Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+      in
+      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options quotient)
+    end
+  end
 
 let transient t ~time =
   let n = n_markings t in

@@ -21,9 +21,19 @@ exception Passive_firing of { marking : string; label : string }
 (** A passive activity (local or firing) survived with no active
     participant to set its rate: the model is incomplete. *)
 
-val build : ?max_markings:int -> Net_compile.t -> t
-val of_string : ?max_markings:int -> string -> t
-val of_file : ?max_markings:int -> string -> t
+val build : ?max_markings:int -> ?symmetry:bool -> Net_compile.t -> t
+(** With [~symmetry:true], interchangeable cells — cell leaves of the
+    same token family composed in one same-set cooperation chain of a
+    place's context — have their contents sorted before each marking is
+    interned, so markings differing only by a permutation of
+    indistinguishable cells collapse to one representative.  Tokens keep
+    their identity and place, so token- and place-level measures are
+    exact; the reduction is the marking-graph analogue of
+    {!Pepa.Statespace.build}'s replica symmetry and adds to the same
+    ["statespace.canonical_hits"] counter. *)
+
+val of_string : ?max_markings:int -> ?symmetry:bool -> string -> t
+val of_file : ?max_markings:int -> ?symmetry:bool -> string -> t
 
 val compiled : t -> Net_compile.t
 val n_markings : t -> int
@@ -55,7 +65,22 @@ val label_flux : t -> float array -> float array
     rescanning the transitions per query. *)
 
 val ctmc : t -> Markov.Ctmc.t
-val steady_state : ?method_:Markov.Steady.method_ -> ?options:Markov.Steady.options -> t -> float array
+
+val lump_partition : t -> Markov.Lump.t
+(** Coarsest ordinary lumping of the marking chain respecting the
+    per-label exit signature (computed once and cached); see
+    {!Pepa.Statespace.lump_partition}. *)
+
+val steady_state :
+  ?method_:Markov.Steady.method_ ->
+  ?options:Markov.Steady.options ->
+  ?lump:bool ->
+  t ->
+  float array
+(** Steady-state distribution over the markings; with [~lump:true] the
+    solve runs on the lumped quotient and is disaggregated uniformly,
+    preserving every label flux exactly. *)
+
 val transient : t -> time:float -> float array
 
 val action_names : t -> string list

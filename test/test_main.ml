@@ -27,6 +27,7 @@ let () =
       ("scenarios", Test_scenarios.suite);
       ("code-mobility", Test_code_mobility.suite);
       ("properties", Test_props.suite);
+      ("aggregation", Test_aggregate.suite);
       ("assets", Test_assets.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("surface", Test_surface.suite);
