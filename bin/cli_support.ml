@@ -55,8 +55,9 @@ let aggregate_arg =
           "Aggregation before the solve: $(b,none), $(b,symmetry) (collapse \
            permutation-equivalent states of replicated components while exploring), \
            $(b,lump) (solve the ordinarily-lumped quotient chain and disaggregate) or \
-           $(b,both).  Every mode reports exactly the same measures; aggregation only \
-           shrinks the chain the solver sees.")
+           $(b,both).  Every mode reports exactly the same measures: lumping only \
+           merges states within one symmetry orbit or with identical local-state \
+           labels, so aggregation only shrinks the chain the solver sees.")
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                     *)

@@ -34,7 +34,10 @@ val analyse_pepa :
     [Lumping] solves the ordinarily-lumped quotient chain and
     disaggregates, [Both] does both.  All reported measures
     (throughputs, local-state probabilities) are exact under every
-    mode. *)
+    mode: the lump partition only ever merges states that are either
+    in one symmetry orbit (equal probability) or indistinguishable by
+    every local-state label, so nothing the disaggregated solution is
+    read for depends on how mass is spread within a class. *)
 
 val analyse_pepa_string :
   ?name:string ->

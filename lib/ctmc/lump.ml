@@ -57,13 +57,17 @@ let classes_before_gauge = Obs.Metrics.gauge "ctmc.lump.classes_before"
 let classes_after_gauge = Obs.Metrics.gauge "ctmc.lump.classes_after"
 let lump_seconds_gauge = Obs.Metrics.gauge "ctmc.lump.seconds"
 
-let refine ?(tol = 1e-9) ~n ~src ~dst ~rate ~label () =
-  let partition, seconds =
+let refine ?(tol = 1e-9) ?respect ~n ~src ~dst ~rate ~label () =
+  let (partition, classes_before), seconds =
     Obs.Span.timed "ctmc.lump" (fun span ->
   let m = Array.length src in
   if Array.length dst <> m || Array.length rate <> m || Array.length label <> m then
     invalid_arg "Lump.refine: column arrays of different lengths";
-  if n = 0 then identity 0
+  (match respect with
+  | Some key when Array.length key <> n ->
+      invalid_arg "Lump.refine: respect array of the wrong length"
+  | Some _ | None -> ());
+  if n = 0 then (identity 0, 0)
   else begin
   (* Incoming-transition index (counting sort by dst), self-loops
      dropped: they never affect a CTMC. *)
@@ -145,22 +149,52 @@ let refine ?(tol = 1e-9) ~n ~src ~dst ~rate ~label () =
             starts stops
     end
   in
-  (* Initial partition: one block, split by the per-label total exit
-     rate (dense pass per label). *)
-  ignore (fresh_block (Array.init n Fun.id));
-  let n_labels = Array.fold_left (fun acc l -> max acc (l + 1)) 0 label in
-  let dense = Array.make n 0.0 in
-  for l = 0 to n_labels - 1 do
-    Array.fill dense 0 n 0.0;
-    for k = 0 to m - 1 do
-      if label.(k) = l then dense.(src.(k)) <- dense.(src.(k)) +. rate.(k)
-    done;
-    (* Every block may contain states with differing totals: split all. *)
-    let current = !n_blocks in
-    for b = 0 to current - 1 do
-      split_block (fun s -> dense.(s)) b
-    done
+  (* Initial partition: the caller's respect classes (states with
+     different keys are never merged), each split by the per-label
+     total exit rate.  The per-(state, label) totals are accumulated
+     sparsely in one pass over the columns, so the cost is O(n + m)
+     rather than O(n_labels * (n + m)); self-loops stay in the
+     signature because they carry label flux even though they never
+     affect the generator. *)
+  (match respect with
+  | None -> ignore (fresh_block (Array.init n Fun.id))
+  | Some key ->
+      let members = Hashtbl.create 64 in
+      for s = n - 1 downto 0 do
+        Hashtbl.replace members key.(s)
+          (s :: Option.value ~default:[] (Hashtbl.find_opt members key.(s)))
+      done;
+      for s = 0 to n - 1 do
+        match Hashtbl.find_opt members key.(s) with
+        | Some group ->
+            Hashtbl.remove members key.(s);
+            ignore (fresh_block (Array.of_list group))
+        | None -> ()
+      done);
+  let signature : (int, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  for k = 0 to m - 1 do
+    let tbl =
+      match Hashtbl.find_opt signature label.(k) with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 64 in
+          Hashtbl.add signature label.(k) tbl;
+          tbl
+    in
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl src.(k)) in
+    Hashtbl.replace tbl src.(k) (prev +. rate.(k))
   done;
+  Hashtbl.iter
+    (fun _l tbl ->
+      (* Blocks with no exit on this label are untouched: all their
+         members weigh zero and the old dense pass never split them. *)
+      let affected = Hashtbl.create 16 in
+      Hashtbl.iter (fun s _ -> Hashtbl.replace affected class_of.(s) ()) tbl;
+      Hashtbl.iter
+        (fun b () ->
+          split_block (fun s -> Option.value ~default:0.0 (Hashtbl.find_opt tbl s)) b)
+        affected)
+    signature;
   let classes_before = !n_blocks in
   Obs.Span.add_int span "classes_initial" classes_before;
   (* Drain the signature-split queue: the loop below refills it. *)
@@ -222,11 +256,14 @@ let refine ?(tol = 1e-9) ~n ~src ~dst ~rate ~label () =
   Obs.Span.add_int span "classes_before" classes_before;
   Obs.Span.add_int span "classes_after" n_classes;
   Obs.Span.add_int span "states" n;
-  { n_states = n; n_classes; class_of = final_class; class_size; representative }
+  ({ n_states = n; n_classes; class_of = final_class; class_size; representative },
+   classes_before)
   end)
   in
   if Obs.Config.enabled () then begin
-    Obs.Metrics.set classes_before_gauge (float_of_int partition.n_states);
+    (* Same quantity as the span's [classes_before] attribute: the
+       initial signature-class count, not the state count. *)
+    Obs.Metrics.set classes_before_gauge (float_of_int classes_before);
     Obs.Metrics.set classes_after_gauge (float_of_int partition.n_classes);
     Obs.Metrics.set lump_seconds_gauge seconds
   end;

@@ -15,8 +15,10 @@
     action/label) of the original chain exactly — see the
     "Aggregation" section of DESIGN.md for the argument.  Per-state
     probabilities from uniform disaggregation are exact only when the
-    classes are symmetry orbits (as produced by replica
-    canonicalisation), which is the configuration the pipeline uses. *)
+    classes are symmetry orbits; for any other per-state observable
+    the caller must pass a [respect] key under which the observable is
+    class-constant, which is how the PEPA and PEPA-net state spaces
+    keep their local-state and marking measures exact. *)
 
 (** How much aggregation to apply between state-space construction and
     the steady-state solve.  [Symmetry] canonicalises
@@ -47,6 +49,7 @@ val identity : int -> t
 
 val refine :
   ?tol:float ->
+  ?respect:int array ->
   n:int ->
   src:int array ->
   dst:int array ->
@@ -57,12 +60,22 @@ val refine :
 (** Coarsest partition, refining the per-label exit-rate signature,
     such that for every pair of blocks [B], [D] and every label, all
     states of [B] have the same total rate into [D] (splitter-queue
-    partition refinement).  Rates within [tol] relative distance
-    (default [1e-9]) are treated as equal, absorbing float summation
-    noise.  Self-loops ([src = dst]) are ignored: they never affect a
-    CTMC.  Emits a ["ctmc.lump"] tracing span with classes
-    before/after and records the [ctmc.lump.classes_before/after/
-    seconds] gauges when telemetry is on. *)
+    partition refinement).  [respect] (one key per state) further
+    constrains the initial partition: states with different keys are
+    never merged.  Callers use it to keep every class homogeneous in
+    the per-state observables they will read off the disaggregated
+    solution — ordinary lumpability alone only guarantees exact
+    {e class sums}, not exact per-state probabilities, so without a
+    respect key the uniform disaggregation of the quotient solution is
+    trustworthy only for flux measures.  Rates within [tol] relative
+    distance (default [1e-9]) are treated as equal, absorbing float
+    summation noise.  Self-loops ([src = dst]) are ignored by the
+    refinement itself but kept in the initial exit signature: they
+    carry label flux even though they never affect the generator.
+    Emits a ["ctmc.lump"] tracing span with classes before/after and
+    records the [ctmc.lump.classes_before/after/seconds] gauges when
+    telemetry is on ([classes_before] is the initial signature-class
+    count in both). *)
 
 val quotient_ctmc :
   t -> src:int array -> dst:int array -> rate:float array -> Ctmc.t
@@ -77,5 +90,8 @@ val aggregate : t -> float array -> float array
 
 val disaggregate : t -> float array -> float array
 (** Uniform-over-class expansion of a per-class distribution back to
-    states: [pi(s) = pi_hat(class_of s) / class_size].  Exact for
-    symmetry-orbit classes; flux-exact for all classes. *)
+    states: [pi(s) = pi_hat(class_of s) / class_size].  Per-state
+    entries are exact when classes are symmetry orbits (states of an
+    orbit have equal probability); for any other class only quantities
+    constant on the class — class sums, per-label fluxes, and whatever
+    the caller's [respect] key held fixed — are exact. *)

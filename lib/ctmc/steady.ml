@@ -105,8 +105,12 @@ let iterate ?initial ~method_ ~options ~c ~sweep () =
         if Array.length v <> n then
           raise (Not_solvable "warm-start vector has the wrong dimension");
         (* A warm start must still be a distribution candidate: negative
-           entries are clamped, then the copy is normalised. *)
+           entries are clamped, then the copy is normalised.  The mass
+           check must come before [normalise_into], whose collapse
+           message would blame the iteration for a bad argument. *)
         let pi = Array.map (fun x -> if x > 0.0 then x else 0.0) v in
+        if Array.fold_left ( +. ) 0.0 pi <= 0.0 then
+          raise (Not_solvable "warm-start vector has no positive mass");
         normalise_into pi;
         pi
   in

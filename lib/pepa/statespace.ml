@@ -305,6 +305,69 @@ let ctmc t =
       t.chain <- Some c;
       c
 
+(* The lump partition's classes must keep every reported measure exact
+   under uniform disaggregation.  Ordinary lumpability alone guarantees
+   exact class sums, not exact per-state probabilities, so the
+   refinement is seeded with a respect key restricting which states may
+   ever share a class:
+
+   - with replica symmetry, each state's orbit (its canonicalised leaf
+     vector): orbit members have equal steady-state probability (the
+     permutations are chain automorphisms), so spreading a class mass
+     uniformly is exact per state;
+   - otherwise, each state's per-leaf local-label vector: classes are
+     then homogeneous in the indicator of every [local_state_probability]
+     query, so those measures (and all fluxes) survive even though
+     merged states may have unequal probabilities.
+
+   On a space already built with [~symmetry:true] the stored vectors are
+   themselves canonical, the orbit keys are distinct per state, and the
+   lump pass degenerates to the identity partition — correctly so, since
+   distinct representatives are distinguishable by some local measure. *)
+let lump_respect t =
+  let n = n_states t in
+  let keys : (int array, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  let intern_key v =
+    match Hashtbl.find_opt keys v with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        Hashtbl.add keys v id;
+        incr next;
+        id
+  in
+  let sym =
+    if Symmetry.is_trivial t.symmetry then Symmetry.detect t.compiled else t.symmetry
+  in
+  if not (Symmetry.is_trivial sym) then
+    Array.map
+      (fun vec ->
+        let c = Array.copy vec in
+        ignore (Symmetry.canonicalise sym c);
+        intern_key c)
+      t.states
+  else begin
+    let codes = Hashtbl.create 64 in
+    let n_codes = ref 0 in
+    let code s =
+      match Hashtbl.find_opt codes s with
+      | Some c -> c
+      | None ->
+          let c = !n_codes in
+          Hashtbl.add codes s c;
+          incr n_codes;
+          c
+    in
+    Array.map
+      (fun vec ->
+        intern_key
+          (Array.mapi
+             (fun leaf local -> code (Compile.local_label t.compiled ~leaf ~local))
+             vec))
+      t.states
+  end
+
 let lump_partition t =
   match t.lump with
   | Some part -> part
@@ -312,10 +375,11 @@ let lump_partition t =
       (* Labels are the interned action ids, so the refinement never
          merges states with different per-action exit signatures and
          every throughput measure is exact on the uniformly
-         disaggregated solution. *)
+         disaggregated solution; the respect key keeps the per-state
+         measures exact as well. *)
       let part =
-        Markov.Lump.refine ~n:(n_states t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
-          ~label:t.tr_action ()
+        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_states t) ~src:t.tr_src
+          ~dst:t.tr_dst ~rate:t.tr_rate ~label:t.tr_action ()
       in
       t.lump <- Some part;
       part

@@ -303,13 +303,39 @@ let ctmc t =
       t.chain <- Some c;
       c
 
+(* Net measures go all the way down to individual markings
+   ([marking_probabilities], [Marking.label] in queries), so the only
+   classes whose uniform disaggregation is exact for every reported
+   measure are cell-permutation orbits: orbit members have equal
+   probability (permuting interchangeable cell contents is a chain
+   automorphism).  The respect key is therefore each marking's
+   canonical form — on a space already built with [~symmetry:true] (or
+   one with no interchangeable cells) the keys are distinct per marking
+   and the lump pass degenerates to the identity partition. *)
+let lump_respect t =
+  let n = n_markings t in
+  let groups = cell_groups t.compiled in
+  let keys : (Marking.t, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  Array.map
+    (fun marking ->
+      let canonical, _ = canonicalise groups marking in
+      match Hashtbl.find_opt keys canonical with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          Hashtbl.add keys canonical id;
+          incr next;
+          id)
+    t.markings
+
 let lump_partition t =
   match t.lump with
   | Some part -> part
   | None ->
       let part =
-        Markov.Lump.refine ~n:(n_markings t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
-          ~label:t.tr_label ()
+        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_markings t) ~src:t.tr_src
+          ~dst:t.tr_dst ~rate:t.tr_rate ~label:t.tr_label ()
       in
       t.lump <- Some part;
       part

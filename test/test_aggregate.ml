@@ -71,6 +71,61 @@ let test_lump_e6 () =
     (fun c v -> Alcotest.check close (Printf.sprintf "class %d mass" c) v agg_lumped.(c))
     agg_true
 
+(* Ordinarily lumpable but asymmetric: S1 and S2 share their exit
+   signature (one [go] at rate 1 into S3) so plain refinement would
+   merge them, yet their true probabilities differ (S3 feeds S1 at 2.0
+   and S2 at 3.0: pi = 1/3, 1/2 vs 1/6).  The respect key must keep
+   them apart so per-state and local-state measures survive uniform
+   disaggregation exactly. *)
+let asymmetric =
+  "S1 = (go, 1.0).S3;\n\
+   S2 = (go, 1.0).S3;\n\
+   S3 = (left, 2.0).S1 + (right, 3.0).S2;\n\
+   system S1;"
+
+let test_lump_asymmetric () =
+  let space = Pepa.Statespace.of_string asymmetric in
+  let pi = Pepa.Statespace.steady_state space in
+  let pi_lumped = Pepa.Statespace.steady_state ~lump:true space in
+  Array.iteri
+    (fun i v -> Alcotest.check close (Printf.sprintf "pi(%d)" i) v pi_lumped.(i))
+    pi;
+  let compiled = Pepa.Statespace.compiled space in
+  for local = 0 to 2 do
+    let label = Pepa.Compile.local_label compiled ~leaf:0 ~local in
+    Alcotest.check close
+      (Printf.sprintf "local probability of %s" label)
+      (Pepa.Statespace.local_state_probability space pi ~leaf:0 ~label)
+      (Pepa.Statespace.local_state_probability space pi_lumped ~leaf:0 ~label)
+  done;
+  (* The same model through the workbench: per-state measures reported
+     under lump-only aggregation equal the unaggregated ones. *)
+  let analyse aggregate = Choreographer.Workbench.analyse_pepa_string ~aggregate asymmetric in
+  let plain = analyse Markov.Lump.No_agg in
+  let lumped = analyse Markov.Lump.Lumping in
+  List.iter2
+    (fun (name_p, v_p) (name_l, v_l) ->
+      Alcotest.(check string) "probability name" name_p name_l;
+      Alcotest.check close ("workbench probability of " ^ name_p) v_p v_l)
+    plain.Choreographer.Workbench.results.Choreographer.Results.state_probabilities
+    lumped.Choreographer.Workbench.results.Choreographer.Results.state_probabilities
+
+(* The respect key at the Markov level: the same chain as columns.
+   Without it the signature merges states 0 and 1; with distinct keys
+   they stay apart; with a shared key they may merge again. *)
+let test_refine_respect () =
+  let src = [| 0; 1; 2; 2 |] and dst = [| 2; 2; 0; 1 |] in
+  let rate = [| 1.0; 1.0; 2.0; 3.0 |] and label = [| 0; 0; 1; 2 |] in
+  let free = Markov.Lump.refine ~n:3 ~src ~dst ~rate ~label () in
+  Alcotest.(check int) "signature alone merges" 2 free.Markov.Lump.n_classes;
+  let kept = Markov.Lump.refine ~respect:[| 0; 1; 2 |] ~n:3 ~src ~dst ~rate ~label () in
+  Alcotest.(check int) "distinct keys forbid the merge" 3 kept.Markov.Lump.n_classes;
+  let shared = Markov.Lump.refine ~respect:[| 7; 7; 4 |] ~n:3 ~src ~dst ~rate ~label () in
+  Alcotest.(check int) "shared keys allow the merge" 2 shared.Markov.Lump.n_classes;
+  Alcotest.check_raises "wrong length rejected"
+    (Invalid_argument "Lump.refine: respect array of the wrong length") (fun () ->
+      ignore (Markov.Lump.refine ~respect:[| 0 |] ~n:3 ~src ~dst ~rate ~label ()))
+
 let test_symmetry_then_lump () =
   let full = Pepa.Statespace.of_string (e6 5) in
   let reduced = Pepa.Statespace.of_string ~symmetry:true (e6 5) in
@@ -95,7 +150,17 @@ let test_warm_start () =
     (stats.Markov.Steady.residual <= Markov.Steady.default_options.Markov.Steady.tolerance);
   Alcotest.check_raises "dimension mismatch rejected"
     (Markov.Steady.Not_solvable "warm-start vector has the wrong dimension") (fun () ->
-      ignore (Markov.Steady.solve ~method_:Markov.Steady.Gauss_seidel ~initial:[| 1.0 |] c))
+      ignore (Markov.Steady.solve ~method_:Markov.Steady.Gauss_seidel ~initial:[| 1.0 |] c));
+  let zero = Array.make (Markov.Ctmc.n_states c) 0.0 in
+  Alcotest.check_raises "massless warm start rejected"
+    (Markov.Steady.Not_solvable "warm-start vector has no positive mass") (fun () ->
+      ignore (Markov.Steady.solve ~method_:Markov.Steady.Gauss_seidel ~initial:zero c));
+  Alcotest.check_raises "negative warm start rejected"
+    (Markov.Steady.Not_solvable "warm-start vector has no positive mass") (fun () ->
+      ignore
+        (Markov.Steady.solve ~method_:Markov.Steady.Gauss_seidel
+           ~initial:(Array.make (Markov.Ctmc.n_states c) (-1.0))
+           c))
 
 let test_modes () =
   let open Markov.Lump in
@@ -290,6 +355,8 @@ let suite =
     Alcotest.test_case "symmetry collapses replicas" `Quick test_symmetry_collapses_replicas;
     Alcotest.test_case "symmetry preserves measures" `Quick test_symmetry_preserves_measures;
     Alcotest.test_case "lumping the replicated model" `Quick test_lump_e6;
+    Alcotest.test_case "asymmetric lumpable chain stays exact" `Quick test_lump_asymmetric;
+    Alcotest.test_case "respect key constrains refinement" `Quick test_refine_respect;
     Alcotest.test_case "symmetry then lumping" `Quick test_symmetry_then_lump;
     Alcotest.test_case "warm-started solve" `Quick test_warm_start;
     Alcotest.test_case "aggregation modes" `Quick test_modes;
