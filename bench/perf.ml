@@ -23,6 +23,25 @@ let replicated_model n =
     |}
     n
 
+(* The fluid family keeps both sides active (passive rates have no
+   fluid interpretation) and couples a server pool a quarter the size
+   of the processor pool, so the min-semantics cooperation stays
+   genuinely bilateral.  Same shape as the replicated family, which is
+   what makes the fluid-vs-exact comparison meaningful. *)
+let fluid_model n m =
+  Printf.sprintf
+    {|
+      Proc = (task, 1.0).(swap, 2.0).Proc;
+      Srv = (task, 2.0).(log, 5.0).Srv;
+      system (Proc[%d]) <task> (Srv[%d]);
+    |}
+    n m
+
+(* Major-heap high-water mark after the instance ran: [top_heap_words]
+   is monotone over the process, so per-instance numbers record how the
+   sweep's footprint grows with the parameter. *)
+let heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
 type row = {
   parameter : int;
   states : int;
@@ -33,6 +52,7 @@ type row = {
   iterations : int;
   residual : float;
   method_used : string;
+  peak_heap_words : int;
 }
 
 (* The same pipeline run under [--aggregate both]: symmetry reduction
@@ -109,6 +129,7 @@ let pepa_row n =
       iterations = stats.Markov.Steady.iterations;
       residual = stats.Markov.Steady.residual;
       method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+      peak_heap_words = heap_words ();
     },
     {
       agg_states = Pepa.Statespace.n_states space_a;
@@ -169,6 +190,7 @@ let net_row k =
       iterations = stats.Markov.Steady.iterations;
       residual = stats.Markov.Steady.residual;
       method_used = Markov.Steady.method_name stats.Markov.Steady.method_used;
+      peak_heap_words = heap_words ();
     },
     {
       agg_states = Pepanet.Net_statespace.n_markings space_a;
@@ -181,6 +203,126 @@ let net_row k =
       divergence;
     } )
 
+(* ------------------------------------------------------------------ *)
+(* Fluid approximation family                                          *)
+(* ------------------------------------------------------------------ *)
+
+type fluid_row = {
+  f_replicas : int;
+  f_servers : int;
+  f_dim : int;
+  f_derive_s : float;
+  f_integrate_s : float;
+  f_steps : int;
+  f_rejected : int;
+  f_evaluations : int;
+  f_throughput : float;
+  f_exact : float;
+  f_rel_err : float;
+  f_heap_words : int;
+}
+
+(* Accuracy gate: at 16 replicas and beyond, the fluid throughput must
+   be within 5% of the exact (aggregated) solve. *)
+let fluid_rel_err_tolerance = 0.05
+let max_fluid_rel_err = ref 0.0
+
+let integrate_form form =
+  Fluid.Rk45.integrate
+    ~f:(fun ~t:_ ~x ~dx -> Fluid.Vector_form.derivative form x dx)
+    ~x0:(Fluid.Vector_form.initial form) ()
+
+let fluid_row n =
+  let m = max 1 (n / 4) in
+  let attrs = [ ("replicas", Obs.Span.Int n) ] in
+  let form, derive_s =
+    time ~attrs "bench.fluid.derive" (fun _ ->
+        Fluid.Vector_form.of_string (fluid_model n m))
+  in
+  let (x, stats), integrate_s =
+    time ~attrs "bench.fluid.integrate" (fun _ -> integrate_form form)
+  in
+  let f_throughput = Fluid.Vector_form.throughput form x "task" in
+  (* The exact yardstick, on the aggregated chain. *)
+  let space = Pepa.Statespace.of_string ~symmetry:true (fluid_model n m) in
+  let pi = Pepa.Statespace.steady_state ~options:solve_options ~lump:true space in
+  let f_exact = Pepa.Statespace.throughput space pi "task" in
+  let f_rel_err = Float.abs (f_throughput -. f_exact) /. Float.max 1e-12 (Float.abs f_exact) in
+  if n >= 16 then max_fluid_rel_err := Float.max !max_fluid_rel_err f_rel_err;
+  {
+    f_replicas = n;
+    f_servers = m;
+    f_dim = Fluid.Vector_form.dim form;
+    f_derive_s = derive_s;
+    f_integrate_s = integrate_s;
+    f_steps = stats.Fluid.Rk45.steps;
+    f_rejected = stats.Fluid.Rk45.rejected;
+    f_evaluations = stats.Fluid.Rk45.evaluations;
+    f_throughput;
+    f_exact;
+    f_rel_err;
+    f_heap_words = heap_words ();
+  }
+
+(* The scaling family re-parameterises one derived form through
+   [with_count]: the regime the exact path cannot touch (a 10^6-replica
+   interleaving has ~10^6 states even aggregated), while the ODE stays
+   4-dimensional. *)
+type scaling_row = {
+  s_replicas : int;
+  s_integrate_s : float;
+  s_steps : int;
+  s_throughput : float;
+  s_heap_words : int;
+}
+
+(* Speed gate: the million-replica instance must integrate to steady
+   state in under a second, or the population-size-independence claim
+   is broken. *)
+let scaling_time_budget_s = 1.0
+let scaling_gate_breached = ref false
+
+let scaling_row base ~count =
+  let pops = Fluid.Vector_form.pops base in
+  let index label =
+    let found = ref (-1) in
+    Array.iteri (fun i p -> if p.Fluid.Vector_form.label = label then found := i) pops;
+    !found
+  in
+  let form =
+    Fluid.Vector_form.with_count
+      (Fluid.Vector_form.with_count base ~pop:(index "Proc") ~count:(float_of_int count))
+      ~pop:(index "Srv")
+      ~count:(float_of_int (max 1 (count / 4)))
+  in
+  let attrs = [ ("replicas", Obs.Span.Int count) ] in
+  let (x, stats), integrate_s =
+    time ~attrs "bench.fluid.scale" (fun _ -> integrate_form form)
+  in
+  if count >= 1_000_000 && integrate_s >= scaling_time_budget_s then
+    scaling_gate_breached := true;
+  {
+    s_replicas = count;
+    s_integrate_s = integrate_s;
+    s_steps = stats.Fluid.Rk45.steps;
+    s_throughput = Fluid.Vector_form.throughput form x "task";
+    s_heap_words = heap_words ();
+  }
+
+let fluid_row_json r =
+  Printf.sprintf
+    {|    { "replicas": %d, "servers": %d, "ode_dim": %d,
+      "derive_s": %.6f, "integrate_s": %.6f, "steps": %d, "rejected_steps": %d,
+      "evaluations": %d, "task_throughput_fluid": %.6f, "task_throughput_exact": %.6f,
+      "rel_err": %.3e, "peak_heap_words": %d }|}
+    r.f_replicas r.f_servers r.f_dim r.f_derive_s r.f_integrate_s r.f_steps r.f_rejected
+    r.f_evaluations r.f_throughput r.f_exact r.f_rel_err r.f_heap_words
+
+let scaling_row_json r =
+  Printf.sprintf
+    {|    { "replicas": %d, "integrate_s": %.6f, "steps": %d, "task_throughput": %.6f, "peak_heap_words": %d }|}
+    r.s_replicas r.s_integrate_s r.s_steps r.s_throughput r.s_heap_words
+
 let row_json ~parameter_name (r, a) =
   let states_per_sec =
     if r.build_s > 0.0 then float_of_int r.states /. r.build_s else 0.0
@@ -189,13 +331,14 @@ let row_json ~parameter_name (r, a) =
     {|    { "%s": %d, "states": %d, "transitions": %d,
       "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
       "states_per_sec_build": %.0f, "iterations": %d, "residual": %.3e, "method": "%s",
+      "peak_heap_words": %d,
       "aggregated": { "states": %d, "transitions": %d, "lumped_classes": %d,
         "build_s": %.6f, "lump_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
         "speedup": %.2f, "throughput_divergence": %.3e } }|}
     parameter_name r.parameter r.states r.transitions r.build_s r.assemble_s r.solve_s
     (r.build_s +. r.assemble_s +. r.solve_s)
-    states_per_sec r.iterations r.residual r.method_used a.agg_states a.agg_transitions
-    a.agg_classes a.agg_build_s a.agg_lump_s a.agg_solve_s
+    states_per_sec r.iterations r.residual r.method_used r.peak_heap_words a.agg_states
+    a.agg_transitions a.agg_classes a.agg_build_s a.agg_lump_s a.agg_solve_s
     (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
     a.speedup a.divergence
 
@@ -245,6 +388,32 @@ let () =
         (r, a))
       transmitters
   in
+  let fluid_replicas = if smoke then [ 4; 16 ] else [ 2; 4; 8; 16; 32; 64 ] in
+  let fluid_rows =
+    List.map
+      (fun n ->
+        let r = fluid_row n in
+        Printf.eprintf
+          "fluid replicas=%2d dim=%d derive=%.4fs integrate=%.4fs steps=%d task=%.4f exact=%.4f rel_err=%.2e\n%!"
+          n r.f_dim r.f_derive_s r.f_integrate_s r.f_steps r.f_throughput r.f_exact
+          r.f_rel_err;
+        r)
+      fluid_replicas
+  in
+  let scaling_base = Fluid.Vector_form.of_string (fluid_model 16 4) in
+  let scaling_replicas =
+    if smoke then [ 10; 1_000_000 ]
+    else [ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let scaling_rows =
+    List.map
+      (fun count ->
+        let r = scaling_row scaling_base ~count in
+        Printf.eprintf "fluid scaling replicas=%7d integrate=%.4fs steps=%d task=%.4f\n%!"
+          count r.s_integrate_s r.s_steps r.s_throughput;
+        r)
+      scaling_replicas
+  in
   let largest, largest_agg = List.nth pepa_rows (List.length pepa_rows - 1) in
   let json =
     String.concat "\n"
@@ -262,6 +431,14 @@ let () =
         {|  "pda_transmitter_family": [|};
         String.concat ",\n" (List.map (row_json ~parameter_name:"transmitters") net_rows);
         "  ],";
+        {|  "fluid_family": [|};
+        String.concat ",\n" (List.map fluid_row_json fluid_rows);
+        "  ],";
+        Printf.sprintf {|  "fluid_rel_err_tolerance_at_16": %.2f,|} fluid_rel_err_tolerance;
+        {|  "fluid_scaling_family": [|};
+        String.concat ",\n" (List.map scaling_row_json scaling_rows);
+        "  ],";
+        Printf.sprintf {|  "fluid_scaling_time_budget_s": %.2f,|} scaling_time_budget_s;
         Printf.sprintf
           {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f },|}
           largest.parameter largest.states largest.transitions
@@ -296,5 +473,21 @@ let () =
   if !max_divergence > 1e-9 then begin
     Printf.eprintf "error: aggregated throughputs diverge by %.3e (tolerance 1e-9)\n%!"
       !max_divergence;
+    exit 1
+  end;
+  (* Fluid accuracy gate: the approximation earns its keep only if it
+     is close where the exact path can still check it. *)
+  if !max_fluid_rel_err > fluid_rel_err_tolerance then begin
+    Printf.eprintf
+      "error: fluid throughput off by %.2f%% at >=16 replicas (tolerance %.0f%%)\n%!"
+      (100.0 *. !max_fluid_rel_err)
+      (100.0 *. fluid_rel_err_tolerance);
+    exit 1
+  end;
+  (* Fluid speed gate: cost independent of population size, or the
+     scaling story is broken. *)
+  if !scaling_gate_breached then begin
+    Printf.eprintf "error: 10^6-replica fluid instance exceeded %.1fs\n%!"
+      scaling_time_budget_s;
     exit 1
   end

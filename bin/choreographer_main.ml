@@ -59,13 +59,14 @@ let absorb_arg =
         ~doc:
           "Keep terminating behaviour instead of cycling tokens back to their initial activity.")
 
-let options_of rates_path method_ absorb aggregate =
+let options_of rates_path method_ absorb aggregate fluid =
   {
     Choreographer.Pipeline.default_options with
     rates = load_rates rates_path;
     method_;
     restart = (if absorb then `Absorb else `Cycle);
     aggregate;
+    fluid;
   }
 
 let handle_errors f =
@@ -76,6 +77,8 @@ let handle_errors f =
       exit 1
   | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
       Cli_support.report_did_not_converge ~method_used ~iterations ~residual
+  | Fluid.Rk45.Did_not_reach_steady { steps; t; dx_norm } ->
+      Cli_support.report_did_not_reach_steady ~steps ~t ~dx_norm
 
 (* ------------------------------------------------------------------ *)
 
@@ -99,9 +102,9 @@ let pipeline_cmd =
       & info [ "html" ] ~docv:"FILE"
           ~doc:"Also write a self-contained HTML report (the Figure 7 view).")
   in
-  let run () input output rates_path method_ absorb aggregate xmltable html =
+  let run () input output rates_path method_ absorb aggregate fluid xmltable html =
     handle_errors (fun () ->
-        let options = options_of rates_path method_ absorb aggregate in
+        let options = options_of rates_path method_ absorb aggregate fluid in
         let doc = read_document input in
         let outcome = Choreographer.Pipeline.process_document ~options doc in
         Cli_support.print_solver_stats ();
@@ -127,7 +130,8 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Extract, analyse and reflect a UML model (the full tool chain).")
     Term.(
       const run $ Cli_support.telemetry_term $ input_arg $ output_arg $ rates_arg $ method_arg
-      $ absorb_arg $ Cli_support.aggregate_arg $ xmltable_arg $ html_arg)
+      $ absorb_arg $ Cli_support.aggregate_arg $ Cli_support.fluid_arg $ xmltable_arg
+      $ html_arg)
 
 let extract_cmd =
   let output_arg =
@@ -241,4 +245,4 @@ let strip_cmd =
 let () =
   let doc = "performance analysis of mobile UML designs via PEPA nets" in
   let info = Cmd.info "choreographer" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd ]))
+  exit (Cli_support.eval_cli (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd ]))

@@ -21,7 +21,13 @@ let method_conv =
             | Some w when w > 0.0 && w < 2.0 -> Ok (Some (Markov.Steady.Sor w))
             | Some _ | None ->
                 Error (`Msg (Printf.sprintf "SOR relaxation %s outside (0, 2)" omega)))
-        | _ -> Error (`Msg (Printf.sprintf "unknown method %s" other)))
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown method %s (valid: auto, direct, jacobi, gauss-seidel, \
+                    sor[:omega], power)"
+                   other)))
   in
   let print fmt m =
     Format.pp_print_string fmt
@@ -41,7 +47,10 @@ let aggregate_conv =
     match Markov.Lump.mode_of_string s with
     | Some m -> Ok m
     | None ->
-        Error (`Msg (Printf.sprintf "unknown aggregation mode %s (none|symmetry|lump|both)" s))
+        Error
+          (`Msg
+            (Printf.sprintf "unknown aggregation mode %s (valid: none, symmetry, lump, both)"
+               s))
   in
   let print fmt m = Format.pp_print_string fmt (Markov.Lump.mode_to_string m) in
   Arg.conv (parse, print)
@@ -58,6 +67,57 @@ let aggregate_arg =
            $(b,both).  Every mode reports exactly the same measures: lumping only \
            merges states within one symmetry orbit or with identical local-state \
            labels, so aggregation only shrinks the chain the solver sees.")
+
+(* ------------------------------------------------------------------ *)
+(* Fluid approximation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fluid_conv =
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid fluid tolerances %s (valid: RTOL or RTOL,ATOL with both positive, \
+              e.g. 1e-8 or 1e-8,1e-12)"
+             s))
+    in
+    let positive v = match float_of_string_opt v with Some f when f > 0.0 -> Some f | _ -> None in
+    match String.split_on_char ',' s with
+    | [ rtol ] -> (
+        match positive rtol with
+        | Some r -> Ok { Fluid.Rk45.default_tolerances with Fluid.Rk45.rtol = r }
+        | None -> bad ())
+    | [ rtol; atol ] -> (
+        match (positive rtol, positive atol) with
+        | Some r, Some a -> Ok { Fluid.Rk45.rtol = r; atol = a }
+        | _ -> bad ())
+    | _ -> bad ()
+  in
+  let print fmt t =
+    Format.fprintf fmt "%g,%g" t.Fluid.Rk45.rtol t.Fluid.Rk45.atol
+  in
+  Arg.conv (parse, print)
+
+let fluid_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Fluid.Rk45.default_tolerances) (some fluid_conv) None
+    & info [ "fluid" ] ~docv:"RTOL[,ATOL]"
+        ~doc:
+          "Solve PEPA models by the fluid-flow ODE approximation (numerical vector form + \
+           adaptive RK45) instead of a discrete solve, at a cost independent of replica \
+           counts.  The optional value sets the integrator's relative (and absolute) \
+           local-error tolerances, default $(b,1e-8,1e-12).  Results are the \
+           deterministic population limit — asymptotically exact as populations grow, \
+           not an exact solve — and are labelled as approximations everywhere they are \
+           reported.  Models with passive cooperation have no fluid interpretation.")
+
+let print_fluid_stats (stats : Fluid.Rk45.stats) =
+  Printf.eprintf
+    "fluid: steps=%d rejected=%d evaluations=%d t_end=%g dx_norm=%.3e\n%!"
+    stats.Fluid.Rk45.steps stats.Fluid.Rk45.rejected stats.Fluid.Rk45.evaluations
+    stats.Fluid.Rk45.t_end stats.Fluid.Rk45.dx_norm
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                     *)
@@ -133,4 +193,22 @@ let report_did_not_converge ~method_used ~iterations ~residual =
   Printf.eprintf "error: %s solver did not converge after %d iterations (residual %g)\n%!"
     (Markov.Steady.method_name method_used)
     iterations residual;
+  exit exit_did_not_converge
+
+(* Invalid option values (unknown --method, --aggregate, --fluid forms,
+   ...) exit 2 rather than cmdliner's default 124, so scripts can treat
+   "the request was wrong" uniformly.  The converters above enumerate
+   the valid choices in their error messages. *)
+let eval_cli cmd =
+  match Cmdliner.Cmd.eval_value cmd with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> 0
+  | Error (`Parse | `Term) -> 2
+  | Error `Exn -> 125
+
+let report_did_not_reach_steady ~steps ~t ~dx_norm =
+  Printf.eprintf
+    "error: fluid integration did not reach steady state after %d steps (t=%g, \
+     derivative norm %g)\n\
+     %!"
+    steps t dx_norm;
   exit exit_did_not_converge

@@ -21,26 +21,42 @@ let handle_errors f =
       exit 1
   | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
       Cli_support.report_did_not_converge ~method_used ~iterations ~residual
+  | Fluid.Rk45.Did_not_reach_steady { steps; t; dx_norm } ->
+      Cli_support.report_did_not_reach_steady ~steps ~t ~dx_norm
 
 let solve_cmd =
-  let run () path net method_ aggregate =
+  let run () path net method_ aggregate fluid =
     handle_errors (fun () ->
         if is_net_file path net then begin
+          if fluid <> None then begin
+            Printf.eprintf
+              "error: the fluid approximation supports plain PEPA models only, not PEPA \
+               nets\n";
+            exit 1
+          end;
           let analysis = Choreographer.Workbench.analyse_net_file ?method_ ~aggregate path in
           Format.printf "%a@." Choreographer.Results.pp
-            analysis.Choreographer.Workbench.net_results
+            analysis.Choreographer.Workbench.net_results;
+          Cli_support.print_solver_stats ()
         end
-        else begin
-          let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate path in
-          Format.printf "%a@." Choreographer.Results.pp analysis.Choreographer.Workbench.results
-        end;
-        Cli_support.print_solver_stats ())
+        else
+          match fluid with
+          | Some tolerances ->
+              let analysis = Choreographer.Workbench.analyse_pepa_fluid_file ~tolerances path in
+              Format.printf "%a@." Choreographer.Results.pp
+                analysis.Choreographer.Workbench.fluid_results;
+              Cli_support.print_fluid_stats analysis.Choreographer.Workbench.fluid_stats
+          | None ->
+              let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate path in
+              Format.printf "%a@." Choreographer.Results.pp
+                analysis.Choreographer.Workbench.results;
+              Cli_support.print_solver_stats ())
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Steady-state solution and throughput of every action type.")
     Term.(
       const run $ Cli_support.telemetry_term $ file_arg $ net_arg $ method_arg
-      $ Cli_support.aggregate_arg)
+      $ Cli_support.aggregate_arg $ Cli_support.fluid_arg)
 
 let statespace_cmd =
   let limit_arg =
@@ -310,6 +326,6 @@ let () =
   let doc = "the PEPA Workbench for PEPA nets" in
   let info = Cmd.info "pepa-workbench" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cli_support.eval_cli
        (Cmd.group info
           [ solve_cmd; statespace_cmd; check_cmd; transient_cmd; export_cmd; passage_cmd; graph_cmd; query_cmd ]))

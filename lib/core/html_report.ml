@@ -24,6 +24,7 @@ let style =
   pre { background: #f6f6f6; border: 1px solid #ddd; padding: 0.8em; overflow-x: auto; }
   .move { color: #a00; font-weight: bold; }
   .warn { color: #a60; }
+  .approx { color: #069; font-style: italic; }
 |}
 
 let table buf ~header rows =
@@ -44,13 +45,30 @@ let table buf ~header rows =
   Buffer.add_string buf "</table>\n"
 
 let results_section buf (results : Results.t) =
+  let kind =
+    match results.Results.kind with
+    | Results.Pepa_model -> "PEPA"
+    | Results.Pepa_net -> "PEPA net"
+  in
   Buffer.add_string buf
-    (Printf.sprintf "<h2>%s</h2>\n<p>%s model: %d states, %d transitions.</p>\n"
-       (escape results.Results.source)
-       (match results.Results.kind with
-       | Results.Pepa_model -> "PEPA"
-       | Results.Pepa_net -> "PEPA net")
-       results.Results.n_states results.Results.n_transitions);
+    (match results.Results.approximation with
+    | None ->
+        Printf.sprintf "<h2>%s</h2>\n<p>%s model: %d states, %d transitions.</p>\n"
+          (escape results.Results.source) kind results.Results.n_states
+          results.Results.n_transitions
+    | Some _ ->
+        Printf.sprintf
+          "<h2>%s</h2>\n<p>%s model: %d ODE coordinates, %d activity-matrix entries.</p>\n"
+          (escape results.Results.source) kind results.Results.n_states
+          results.Results.n_transitions);
+  Option.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<p class=\"approx\">All measures below are a %s approximation (deterministic \
+            population limit), not an exact solve.</p>\n"
+           (escape a)))
+    results.Results.approximation;
   if results.Results.throughputs <> [] then begin
     Buffer.add_string buf "<h3>Throughput</h3>\n";
     table buf ~header:[ "action type"; "throughput" ]

@@ -6,6 +6,7 @@ type options = {
   method_ : Markov.Steady.method_ option;
   max_states : int option;
   aggregate : Markov.Lump.mode;
+  fluid : Fluid.Rk45.tolerances option;
 }
 
 let default_options =
@@ -15,6 +16,7 @@ let default_options =
     method_ = None;
     max_states = None;
     aggregate = Markov.Lump.No_agg;
+    fluid = None;
   }
 
 type outcome = {
@@ -54,11 +56,29 @@ let analyse_activity options interactions diagram =
         extraction.Extract.Ad_to_pepanet.net
     with Workbench.Analysis_error msg -> fail "%s" msg
   in
-  let throughputs = analysis.Workbench.net_results.Results.throughputs in
+  let results =
+    (* Activity diagrams extract to PEPA nets, which have no fluid
+       interpretation yet (see ROADMAP): solve exactly and say so
+       rather than failing the whole document. *)
+    if options.fluid = None then analysis.Workbench.net_results
+    else
+      let r = analysis.Workbench.net_results in
+      {
+        r with
+        Results.warnings =
+          r.Results.warnings
+          @ [
+              Printf.sprintf
+                "%s: fluid approximation is not available for PEPA nets; solved exactly"
+                diagram.Uml.Activity.diagram_name;
+            ];
+      }
+  in
+  let throughputs = results.Results.throughputs in
   let reflected_diagram =
     Extract.Reflector.reflect_activity extraction ~throughputs diagram
   in
-  (reflected_diagram, extraction, analysis.Workbench.net_results)
+  (reflected_diagram, extraction, results)
 
 let analyse_statecharts options charts =
   let extraction =
@@ -69,27 +89,59 @@ let analyse_statecharts options charts =
   let name =
     String.concat "+" (List.map (fun c -> c.Uml.Statechart.chart_name) charts)
   in
-  let analysis =
-    try
-      Workbench.analyse_pepa ~name ?method_:options.method_ ?max_states:options.max_states
-        ~aggregate:options.aggregate extraction.Extract.Sc_to_pepa.model
-    with Workbench.Analysis_error msg -> fail "%s" msg
-  in
   (* Steady-state probability of each state constant, computed per chart
-     from its leaf's local distribution. *)
-  let probabilities =
-    List.concat_map
-      (fun (_chart, leaf) -> Workbench.local_probabilities analysis ~leaf)
-      extraction.Extract.Sc_to_pepa.chart_leaf
+     from its leaf's local distribution.  In fluid mode the extracted
+     model may have no fluid interpretation (shared actions extract as
+     passive cooperation); fall back to the exact solve with a warning
+     rather than failing the document. *)
+  let exact ?(extra_warnings = []) () =
+    let analysis =
+      try
+        Workbench.analyse_pepa ~name ?method_:options.method_ ?max_states:options.max_states
+          ~aggregate:options.aggregate extraction.Extract.Sc_to_pepa.model
+      with Workbench.Analysis_error msg -> fail "%s" msg
+    in
+    let probabilities =
+      List.concat_map
+        (fun (_chart, leaf) -> Workbench.local_probabilities analysis ~leaf)
+        extraction.Extract.Sc_to_pepa.chart_leaf
+    in
+    let results =
+      {
+        analysis.Workbench.results with
+        Results.state_probabilities = probabilities;
+        Results.warnings = analysis.Workbench.results.Results.warnings @ extra_warnings;
+      }
+    in
+    (probabilities, results)
+  in
+  let probabilities, results =
+    match options.fluid with
+    | None -> exact ()
+    | Some tolerances -> (
+        match
+          Workbench.analyse_pepa_fluid ~name ~tolerances extraction.Extract.Sc_to_pepa.model
+        with
+        | analysis ->
+            let probabilities =
+              List.concat_map
+                (fun (_chart, leaf) -> Workbench.fluid_local_probabilities analysis ~leaf)
+                extraction.Extract.Sc_to_pepa.chart_leaf
+            in
+            ( probabilities,
+              {
+                analysis.Workbench.fluid_results with
+                Results.state_probabilities = probabilities;
+              } )
+        | exception Workbench.Analysis_error msg ->
+            exact
+              ~extra_warnings:
+                [ Printf.sprintf "%s; solved exactly instead" msg ]
+              ())
   in
   let reflected_charts =
-    Extract.Reflector.reflect_statecharts extraction ~probabilities charts
-  in
-  let results =
-    {
-      analysis.Workbench.results with
-      Results.state_probabilities = probabilities;
-    }
+    Extract.Reflector.reflect_statecharts extraction
+      ?approximation:results.Results.approximation ~probabilities charts
   in
   (reflected_charts, extraction, results)
 

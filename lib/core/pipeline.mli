@@ -19,6 +19,14 @@ type options = {
           and the solve of every extracted model (default
           {!Markov.Lump.No_agg}); all reflected measures are exact under
           every mode *)
+  fluid : Fluid.Rk45.tolerances option;
+      (** when set, solve extracted PEPA models by the fluid-flow ODE
+          approximation instead of a discrete solve; the reflected
+          measures are labelled as approximations ({!Results.t}
+          [approximation], {!Extract.Reflector.solution_method_tag}).
+          Models with no fluid interpretation (passive cooperation) and
+          PEPA nets fall back to the exact solve with a warning.
+          Default [None]. *)
 }
 
 val default_options : options

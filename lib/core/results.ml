@@ -10,13 +10,23 @@ type t = {
   throughputs : (string * float) list;
   state_probabilities : (string * float) list;
   warnings : string list;
+  approximation : string option;
 }
 
 exception Malformed_results of string
 
 let make ~source ~kind ~n_states ~n_transitions ?(throughputs = [])
-    ?(state_probabilities = []) ?(warnings = []) () =
-  { source; kind; n_states; n_transitions; throughputs; state_probabilities; warnings }
+    ?(state_probabilities = []) ?(warnings = []) ?approximation () =
+  {
+    source;
+    kind;
+    n_states;
+    n_transitions;
+    throughputs;
+    state_probabilities;
+    warnings;
+    approximation;
+  }
 
 let kind_string = function Pepa_model -> "pepa" | Pepa_net -> "pepanet"
 
@@ -36,7 +46,10 @@ let to_xmltable t =
         ("kind", kind_string t.kind);
         ("states", string_of_int t.n_states);
         ("transitions", string_of_int t.n_transitions);
-      ],
+      ]
+      @ (match t.approximation with
+        | Some a -> [ ("approximation", a) ]
+        | None -> []),
       List.map (measure_row "throughput") t.throughputs
       @ List.map (measure_row "probability") t.state_probabilities
       @ List.map (fun w -> X.Element ("warning", [ ("text", w) ], [])) t.warnings )
@@ -83,6 +96,7 @@ let of_xmltable doc =
     throughputs = measures "throughput";
     state_probabilities = measures "probability";
     warnings;
+    approximation = X.attribute "approximation" doc;
   }
 
 let throughput t name = List.assoc_opt name t.throughputs
@@ -91,6 +105,9 @@ let probability t name = List.assoc_opt name t.state_probabilities
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s (%s): %d states, %d transitions@," t.source (kind_string t.kind)
     t.n_states t.n_transitions;
+  Option.iter
+    (fun a -> Format.fprintf fmt "solution is a %s approximation, not an exact solve@," a)
+    t.approximation;
   if t.throughputs <> [] then begin
     Format.fprintf fmt "throughput:@,";
     List.iter

@@ -12,6 +12,11 @@ type t = {
   throughputs : (string * float) list;         (** per action type *)
   state_probabilities : (string * float) list; (** per derivative/state constant *)
   warnings : string list;
+  approximation : string option;
+      (** [None] for an exact solve; [Some "fluid"] when the measures
+          come from an approximate backend.  Propagated through the
+          xmltable interchange format and rendered by every report so
+          approximate numbers are never mistaken for exact ones. *)
 }
 
 val make :
@@ -22,6 +27,7 @@ val make :
   ?throughputs:(string * float) list ->
   ?state_probabilities:(string * float) list ->
   ?warnings:string list ->
+  ?approximation:string ->
   unit ->
   t
 

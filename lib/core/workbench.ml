@@ -10,6 +10,13 @@ type net_analysis = {
   net_results : Results.t;
 }
 
+type fluid_analysis = {
+  form : Fluid.Vector_form.t;
+  populations : float array;
+  fluid_stats : Fluid.Rk45.stats;
+  fluid_results : Results.t;
+}
+
 exception Analysis_error of string
 
 let wrap name thunk =
@@ -29,6 +36,7 @@ let wrap name thunk =
   | Pepanet.Net_statespace.Passive_firing { marking; label } ->
       fail "%s: passive activity %s has no active partner in marking %s" name label marking
   | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
+  | Fluid.Vector_form.Unsupported msg -> fail "%s: no fluid interpretation: %s" name msg
 
 let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg) model =
   Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
@@ -81,6 +89,36 @@ let analyse_pepa_file ?method_ ?max_states ?aggregate path =
   let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
   analyse_pepa ~name ?method_ ?max_states ?aggregate model
 
+let analyse_pepa_fluid ?(name = "model") ?tolerances model =
+  Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa_fluid"
+    (fun _ ->
+  wrap name (fun () ->
+      let env = Pepa.Env.of_model model in
+      let compiled = Pepa.Compile.compile env in
+      let form = Fluid.Vector_form.derive compiled in
+      let f ~t:_ ~x ~dx = Fluid.Vector_form.derivative form x dx in
+      let populations, fluid_stats =
+        Fluid.Rk45.integrate ?tolerances ~f ~x0:(Fluid.Vector_form.initial form) ()
+      in
+      let fluid_results =
+        Results.make ~source:name ~kind:Results.Pepa_model
+          ~n_states:(Fluid.Vector_form.dim form)
+          ~n_transitions:(Fluid.Vector_form.n_flux_entries form)
+          ~throughputs:(Fluid.Vector_form.throughputs form populations)
+          ~state_probabilities:(Fluid.Vector_form.proportions form populations)
+          ~warnings:(Pepa.Env.warnings env) ~approximation:"fluid" ()
+      in
+      { form; populations; fluid_stats; fluid_results }))
+
+let analyse_pepa_fluid_string ?(name = "model") ?tolerances src =
+  let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
+  analyse_pepa_fluid ~name ?tolerances model
+
+let analyse_pepa_fluid_file ?tolerances path =
+  let name = Filename.basename path in
+  let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
+  analyse_pepa_fluid ~name ?tolerances model
+
 let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump.No_agg) net =
   Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net"
     (fun _ ->
@@ -113,6 +151,9 @@ let analyse_net_file ?method_ ?max_markings ?aggregate path =
   let name = Filename.basename path in
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_file path) in
   analyse_net ~name ?method_ ?max_markings ?aggregate net
+
+let fluid_local_probabilities analysis ~leaf =
+  Fluid.Vector_form.leaf_proportions analysis.form analysis.populations ~leaf
 
 let local_probabilities analysis ~leaf =
   let compiled = Pepa.Statespace.compiled analysis.space in

@@ -14,10 +14,21 @@ type net_analysis = {
   net_results : Results.t;
 }
 
+type fluid_analysis = {
+  form : Fluid.Vector_form.t;
+  populations : float array;  (** the ODE fixed point reached *)
+  fluid_stats : Fluid.Rk45.stats;
+  fluid_results : Results.t;
+      (** [n_states] is the ODE dimension, [n_transitions] the activity
+          matrix rows, and [approximation] is [Some "fluid"]. *)
+}
+
 exception Analysis_error of string
 (** Wraps parser, semantic, state-space and solver failures with
-    context.  {!Markov.Steady.Did_not_converge} is deliberately {e not}
-    wrapped: it carries structured solver statistics (method, iteration
+    context — including {!Fluid.Vector_form.Unsupported} for models
+    with no fluid interpretation.  {!Markov.Steady.Did_not_converge}
+    and {!Fluid.Rk45.Did_not_reach_steady} are deliberately {e not}
+    wrapped: they carry structured solver statistics (method, iteration
     count, residual) that the command-line front ends report separately
     with a distinct exit code. *)
 
@@ -54,6 +65,28 @@ val analyse_pepa_file :
   string ->
   pepa_analysis
 
+val analyse_pepa_fluid :
+  ?name:string ->
+  ?tolerances:Fluid.Rk45.tolerances ->
+  Pepa.Syntax.model ->
+  fluid_analysis
+(** Fluid-flow approximation instead of a discrete solve: derive the
+    numerical vector form, integrate the coupled ODE system to steady
+    state, and report throughputs and local-state proportions in the
+    same {!Results.t} shape as {!analyse_pepa} — with
+    [results.approximation = Some "fluid"], because the measures are
+    the deterministic population limit, {e not} exact class sums.
+    They converge to the exact values as replica counts grow, at a
+    cost independent of the population size.  Raises {!Analysis_error}
+    on models with no fluid interpretation (passive rates) and lets
+    {!Fluid.Rk45.Did_not_reach_steady} escape. *)
+
+val analyse_pepa_fluid_string :
+  ?name:string -> ?tolerances:Fluid.Rk45.tolerances -> string -> fluid_analysis
+
+val analyse_pepa_fluid_file :
+  ?tolerances:Fluid.Rk45.tolerances -> string -> fluid_analysis
+
 val analyse_net :
   ?name:string ->
   ?method_:Markov.Steady.method_ ->
@@ -83,3 +116,8 @@ val analyse_net_file :
 val local_probabilities : pepa_analysis -> leaf:int -> (string * float) list
 (** Distribution over the local derivative states of one sequential
     component (used to reflect state-diagram probabilities). *)
+
+val fluid_local_probabilities : fluid_analysis -> leaf:int -> (string * float) list
+(** Fluid counterpart of {!local_probabilities}: the marginal
+    local-state distribution of the population the leaf was pooled
+    into. *)

@@ -1,21 +1,33 @@
 let throughput_tag = "throughput"
 let probability_tag = "steadyStateProbability"
+let solution_method_tag = "solutionMethod"
 
 let format_measure v = Printf.sprintf "%.6g" v
 
-let reflect_activity (extraction : Ad_to_pepanet.extraction) ~throughputs diagram =
+let method_value approximation = approximation ^ " approximation"
+
+let reflect_activity (extraction : Ad_to_pepanet.extraction) ?approximation ~throughputs
+    diagram =
   Obs.Span.with_ "reflect.activity" (fun span ->
       Obs.Span.add_int span "measures" (List.length throughputs);
       List.fold_left
         (fun diagram (node_id, action) ->
           match List.assoc_opt action throughputs with
           | Some value ->
-              Uml.Activity.annotate diagram ~node_id ~tag:throughput_tag
-                ~value:(format_measure value)
+              let diagram =
+                Uml.Activity.annotate diagram ~node_id ~tag:throughput_tag
+                  ~value:(format_measure value)
+              in
+              (match approximation with
+              | Some a ->
+                  Uml.Activity.annotate diagram ~node_id ~tag:solution_method_tag
+                    ~value:(method_value a)
+              | None -> diagram)
           | None -> diagram)
         diagram extraction.Ad_to_pepanet.action_of_node)
 
-let reflect_statecharts (extraction : Sc_to_pepa.extraction) ~probabilities charts =
+let reflect_statecharts (extraction : Sc_to_pepa.extraction) ?approximation ~probabilities
+    charts =
   Obs.Span.with_ "reflect.statecharts" (fun span ->
       Obs.Span.add_int span "charts" (List.length charts);
       Obs.Span.add_int span "measures" (List.length probabilities);
@@ -29,8 +41,15 @@ let reflect_statecharts (extraction : Sc_to_pepa.extraction) ~probabilities char
                 (fun chart (state_id, constant) ->
                   match List.assoc_opt constant probabilities with
                   | Some value ->
-                      Uml.Statechart.annotate chart ~state_id ~tag:probability_tag
-                        ~value:(format_measure value)
+                      let chart =
+                        Uml.Statechart.annotate chart ~state_id ~tag:probability_tag
+                          ~value:(format_measure value)
+                      in
+                      (match approximation with
+                      | Some a ->
+                          Uml.Statechart.annotate chart ~state_id ~tag:solution_method_tag
+                            ~value:(method_value a)
+                      | None -> chart)
                   | None -> chart)
                 chart mapping)
         charts)

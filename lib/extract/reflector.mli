@@ -13,21 +13,32 @@ val throughput_tag : string
 val probability_tag : string
 (** ["steadyStateProbability"]. *)
 
+val solution_method_tag : string
+(** ["solutionMethod"]: written next to every reflected measure when
+    the results came from an approximate backend (e.g.
+    ["fluid approximation"]), so a designer reading the returned
+    diagram can tell approximate numbers from exact ones. *)
+
 val reflect_activity :
   Ad_to_pepanet.extraction ->
+  ?approximation:string ->
   throughputs:(string * float) list ->
   Uml.Activity.t ->
   Uml.Activity.t
 (** Annotate every action state whose extracted action type has a
     computed throughput.  Values are printed with six significant
-    digits, as the Workbench displayed them. *)
+    digits, as the Workbench displayed them.  With [?approximation],
+    each annotated node also carries a {!solution_method_tag} tagged
+    value. *)
 
 val reflect_statecharts :
   Sc_to_pepa.extraction ->
+  ?approximation:string ->
   probabilities:(string * float) list ->
   Uml.Statechart.t list ->
   Uml.Statechart.t list
 (** [probabilities] maps PEPA constants (local derivative names) to
-    steady-state probabilities. *)
+    steady-state probabilities.  [?approximation] as in
+    {!reflect_activity}. *)
 
 val format_measure : float -> string

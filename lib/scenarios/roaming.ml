@@ -18,6 +18,19 @@ let pepanet_source =
     trans hop_ca = (hop, hop_r) from HostC to HostA;
   |}
 
+let pepa_source ~replicas =
+  Printf.sprintf
+    {|
+      User = (connect, 1.0).Busy;
+      Busy = (transmit, 4.0).Closing;
+      Closing = (disconnect, 2.0).User;
+      Free = (connect, 3.0).Held;
+      Held = (disconnect, 3.0).Free;
+      system (User[%d]) <connect, disconnect> (Free[%d]);
+    |}
+    replicas
+    (max 1 (replicas / 2))
+
 let space () = Pepanet.Net_statespace.of_string pepanet_source
 
 let patrol_report () =

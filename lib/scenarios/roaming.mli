@@ -8,6 +8,14 @@
 
 val pepanet_source : string
 
+val pepa_source : replicas:int -> string
+(** A plain-PEPA roaming population for the fluid/exact/simulation
+    three-way comparison: [replicas] users cycling idle → connected →
+    closing against a pool of [replicas/2] base stations, cooperating
+    on [connect] and [disconnect].  All rates active, so the model has
+    a fluid interpretation; [transmit] is the users' autonomous
+    payload action whose throughput the analyses compare. *)
+
 val space : unit -> Pepanet.Net_statespace.t
 
 val patrol_report :
