@@ -39,8 +39,13 @@ let fluid_model n m =
 
 (* Major-heap high-water mark after the instance ran: [top_heap_words]
    is monotone over the process, so per-instance numbers record how the
-   sweep's footprint grows with the parameter. *)
-let heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+   sweep's footprint grows with the parameter.  Before the first major
+   collection the runtime reports [top_heap_words] as 0, which made
+   sub-millisecond instances log a zero footprint; the current
+   [heap_words] is a live lower bound, so take the max of the two. *)
+let heap_words () =
+  let s = Gc.quick_stat () in
+  max s.Gc.top_heap_words s.Gc.heap_words
 
 type row = {
   parameter : int;
@@ -71,11 +76,51 @@ type agg = {
   divergence : float;
 }
 
+(* The same exact (un-aggregated) pipeline rerun on a domain pool:
+   exploration, CSR assembly and a Jacobi solve all parallelise, so the
+   block measures the end-to-end multicore story.  The solve method is
+   pinned to Jacobi on both sides of the comparison — Gauss-Seidel (the
+   auto choice) stays sequential by design — so [par_speedup] is a
+   like-for-like jobs=N versus jobs=1 ratio and [par_divergence] only
+   sees the reassociated final normalisation. *)
+type par = {
+  par_jobs : int;
+  par_build_s : float;
+  par_assemble_s : float;
+  par_solve_s : float;
+  par_iterations : int;
+  par_method : string;
+  par_seq_total_s : float;  (** build + assemble + solve at jobs = 1, same method *)
+  par_speedup : float;
+  par_divergence : float;  (** max |pi_par - pi_seq| over states *)
+  par_states_match : bool;
+}
+
 let time = Obs.Span.timed
 
 let solve_options = Markov.Steady.default_options
 
 let max_divergence = ref 0.0
+
+(* Parallel determinism gates, enforced on every row of every family:
+   the parallel pipeline must reproduce the sequential state space
+   exactly and the steady vector to 1e-10. *)
+let par_jobs = 4
+let max_par_divergence = ref 0.0
+let par_states_mismatch = ref false
+let par_speedup_at_16 = ref None
+
+let record_par ~states_match ~divergence =
+  par_states_mismatch := !par_states_mismatch || not states_match;
+  max_par_divergence := Float.max !max_par_divergence divergence
+
+let steady_divergence pi_seq pi_par =
+  if Array.length pi_seq <> Array.length pi_par then infinity
+  else begin
+    let d = ref 0.0 in
+    Array.iteri (fun i p -> d := Float.max !d (Float.abs (p -. pi_par.(i)))) pi_seq;
+    !d
+  end
 
 let compare_throughputs unagg agg =
   List.fold_left2
@@ -117,6 +162,36 @@ let pepa_row n =
       (Pepa.Statespace.throughputs space_a pi_a)
   in
   max_divergence := Float.max !max_divergence divergence;
+  (* Parallel rerun of the exact pipeline. *)
+  let space_p, par_build_s =
+    time ~attrs "bench.pepa.build_par" (fun _ ->
+        Pepa.Statespace.of_string ~jobs:par_jobs (replicated_model n))
+  in
+  let chain_p, par_assemble_s =
+    time ~attrs "bench.pepa.assemble_par" (fun _ ->
+        let chain = Pepa.Statespace.ctmc space_p in
+        ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
+        chain)
+  in
+  let (pi_p, stats_p), par_solve_s =
+    time ~attrs "bench.pepa.solve_par" (fun _ ->
+        Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
+          ~jobs:par_jobs chain_p)
+  in
+  let pi_j1, j1_solve_s =
+    time ~attrs "bench.pepa.solve_jacobi_seq" (fun _ ->
+        Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
+  in
+  let par_states_match =
+    Pepa.Statespace.n_states space_p = Pepa.Statespace.n_states space
+    && Pepa.Statespace.n_transitions space_p = Pepa.Statespace.n_transitions space
+  in
+  let par_divergence = steady_divergence pi_j1 pi_p in
+  record_par ~states_match:par_states_match ~divergence:par_divergence;
+  let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
+  let par_total = par_build_s +. par_assemble_s +. par_solve_s in
+  let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
+  if n = 16 then par_speedup_at_16 := Some par_speedup;
   let total = build_s +. assemble_s +. solve_s in
   let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
   ( {
@@ -140,6 +215,18 @@ let pepa_row n =
       agg_solve_s;
       speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
       divergence;
+    },
+    {
+      par_jobs;
+      par_build_s;
+      par_assemble_s;
+      par_solve_s;
+      par_iterations = stats_p.Markov.Steady.iterations;
+      par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
+      par_seq_total_s;
+      par_speedup;
+      par_divergence;
+      par_states_match;
     } )
 
 let net_row k =
@@ -178,6 +265,36 @@ let net_row k =
       (Pepanet.Net_measures.throughputs space_a pi_a)
   in
   max_divergence := Float.max !max_divergence divergence;
+  (* Parallel rerun of the exact pipeline. *)
+  let space_p, par_build_s =
+    time ~attrs "bench.net.build_par" (fun _ ->
+        Pepanet.Net_statespace.build ~jobs:par_jobs compiled)
+  in
+  let chain_p, par_assemble_s =
+    time ~attrs "bench.net.assemble_par" (fun _ ->
+        let chain = Pepanet.Net_statespace.ctmc space_p in
+        ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
+        chain)
+  in
+  let (pi_p, stats_p), par_solve_s =
+    time ~attrs "bench.net.solve_par" (fun _ ->
+        Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
+          ~jobs:par_jobs chain_p)
+  in
+  let pi_j1, j1_solve_s =
+    time ~attrs "bench.net.solve_jacobi_seq" (fun _ ->
+        Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
+  in
+  let par_states_match =
+    Pepanet.Net_statespace.n_markings space_p = Pepanet.Net_statespace.n_markings space
+    && Pepanet.Net_statespace.n_transitions space_p
+       = Pepanet.Net_statespace.n_transitions space
+  in
+  let par_divergence = steady_divergence pi_j1 pi_p in
+  record_par ~states_match:par_states_match ~divergence:par_divergence;
+  let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
+  let par_total = par_build_s +. par_assemble_s +. par_solve_s in
+  let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
   let total = build_s +. assemble_s +. solve_s in
   let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
   ( {
@@ -201,6 +318,18 @@ let net_row k =
       agg_solve_s;
       speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
       divergence;
+    },
+    {
+      par_jobs;
+      par_build_s;
+      par_assemble_s;
+      par_solve_s;
+      par_iterations = stats_p.Markov.Steady.iterations;
+      par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
+      par_seq_total_s;
+      par_speedup;
+      par_divergence;
+      par_states_match;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -323,7 +452,7 @@ let scaling_row_json r =
     {|    { "replicas": %d, "integrate_s": %.6f, "steps": %d, "task_throughput": %.6f, "peak_heap_words": %d }|}
     r.s_replicas r.s_integrate_s r.s_steps r.s_throughput r.s_heap_words
 
-let row_json ~parameter_name (r, a) =
+let row_json ~parameter_name (r, a, p) =
   let states_per_sec =
     if r.build_s > 0.0 then float_of_int r.states /. r.build_s else 0.0
   in
@@ -334,13 +463,20 @@ let row_json ~parameter_name (r, a) =
       "peak_heap_words": %d,
       "aggregated": { "states": %d, "transitions": %d, "lumped_classes": %d,
         "build_s": %.6f, "lump_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
-        "speedup": %.2f, "throughput_divergence": %.3e } }|}
+        "speedup": %.2f, "throughput_divergence": %.3e },
+      "parallel": { "jobs": %d, "method": "%s",
+        "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
+        "sequential_total_s": %.6f, "speedup": %.2f, "iterations": %d,
+        "steady_divergence": %.3e, "states_match": %b } }|}
     parameter_name r.parameter r.states r.transitions r.build_s r.assemble_s r.solve_s
     (r.build_s +. r.assemble_s +. r.solve_s)
     states_per_sec r.iterations r.residual r.method_used r.peak_heap_words a.agg_states
     a.agg_transitions a.agg_classes a.agg_build_s a.agg_lump_s a.agg_solve_s
     (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
-    a.speedup a.divergence
+    a.speedup a.divergence p.par_jobs p.par_method p.par_build_s p.par_assemble_s
+    p.par_solve_s
+    (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
+    p.par_seq_total_s p.par_speedup p.par_iterations p.par_divergence p.par_states_match
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -358,10 +494,17 @@ let () =
     Sys.argv;
   let replicas = if smoke then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
   let transmitters = if smoke then [ 2 ] else [ 2; 3; 5; 8; 12 ] in
+  let print_par p =
+    Printf.eprintf
+      "            parallel(jobs=%d, %s): total=%.4fs sequential=%.4fs speedup=%.2fx divergence=%.1e states_match=%b\n%!"
+      p.par_jobs p.par_method
+      (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
+      p.par_seq_total_s p.par_speedup p.par_divergence p.par_states_match
+  in
   let pepa_rows =
     List.map
       (fun n ->
-        let r, a = pepa_row n in
+        let r, a, p = pepa_row n in
         Printf.eprintf
           "replicas=%2d states=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
           n r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
@@ -370,13 +513,14 @@ let () =
           a.agg_states a.agg_classes
           (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
           a.speedup a.divergence;
-        (r, a))
+        print_par p;
+        (r, a, p))
       replicas
   in
   let net_rows =
     List.map
       (fun k ->
-        let r, a = net_row k in
+        let r, a, p = net_row k in
         Printf.eprintf
           "transmitters=%2d markings=%7d transitions=%8d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s)\n%!"
           k r.states r.transitions r.build_s r.assemble_s r.solve_s r.iterations r.method_used;
@@ -385,7 +529,8 @@ let () =
           a.agg_states a.agg_classes
           (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
           a.speedup a.divergence;
-        (r, a))
+        print_par p;
+        (r, a, p))
       transmitters
   in
   let fluid_replicas = if smoke then [ 4; 16 ] else [ 2; 4; 8; 16; 32; 64 ] in
@@ -414,7 +559,13 @@ let () =
         r)
       scaling_replicas
   in
-  let largest, largest_agg = List.nth pepa_rows (List.length pepa_rows - 1) in
+  let largest, largest_agg, largest_par = List.nth pepa_rows (List.length pepa_rows - 1) in
+  (* The multicore speedup gate needs real cores: with fewer than 4 the
+     4-domain run measures oversubscription, not the engine, so the
+     numbers are recorded but the threshold is not enforced (nor on
+     --smoke sweeps, whose instances are too small to amortise fork
+     cost). *)
+  let speedup_gate_enforced = (not smoke) && Par.recommended () >= 4 in
   let json =
     String.concat "\n"
       [
@@ -440,11 +591,16 @@ let () =
         "  ],";
         Printf.sprintf {|  "fluid_scaling_time_budget_s": %.2f,|} scaling_time_budget_s;
         Printf.sprintf
-          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f },|}
+          {|  "parallel_speedup_gate": { "jobs": %d, "required_at_16_replicas": 2.0, "recommended_domains": %d, "enforced": %b },|}
+          par_jobs (Par.recommended ()) speedup_gate_enforced;
+        Printf.sprintf
+          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f, "parallel_total_s": %.6f, "parallel_speedup": %.2f },|}
           largest.parameter largest.states largest.transitions
           (largest.build_s +. largest.assemble_s +. largest.solve_s)
           (largest_agg.agg_build_s +. largest_agg.agg_lump_s +. largest_agg.agg_solve_s)
-          largest_agg.speedup;
+          largest_agg.speedup
+          (largest_par.par_build_s +. largest_par.par_assemble_s +. largest_par.par_solve_s)
+          largest_par.par_speedup;
         (* Trajectory anchor: the list-based seed pipeline measured on
            this same container immediately before the flat-array rewrite
            (PR 1), same solver tolerance and direct limit.  Kept static
@@ -490,4 +646,33 @@ let () =
     Printf.eprintf "error: 10^6-replica fluid instance exceeded %.1fs\n%!"
       scaling_time_budget_s;
     exit 1
-  end
+  end;
+  (* Parallel determinism gates, always on: the domain-parallel
+     pipeline must reproduce the sequential state space exactly and the
+     steady vector to 1e-10 on every instance. *)
+  if !par_states_mismatch then begin
+    Printf.eprintf "error: parallel exploration produced a different state space\n%!";
+    exit 1
+  end;
+  if !max_par_divergence > 1e-10 then begin
+    Printf.eprintf
+      "error: parallel steady vectors diverge by %.3e from sequential (tolerance 1e-10)\n%!"
+      !max_par_divergence;
+    exit 1
+  end;
+  (* Parallel speed gate: 4 domains must halve the un-aggregated
+     16-replica end-to-end time, enforced only where 4 real cores
+     exist. *)
+  match !par_speedup_at_16 with
+  | Some s when speedup_gate_enforced && s < 2.0 ->
+      Printf.eprintf
+        "error: parallel speedup %.2fx at 16 replicas with %d jobs (required >= 2.00x)\n%!"
+        s par_jobs;
+      exit 1
+  | Some s when not speedup_gate_enforced ->
+      Printf.eprintf
+        "parallel speedup gate skipped (%d recommended domains%s); measured %.2fx\n%!"
+        (Par.recommended ())
+        (if smoke then ", smoke sweep" else "")
+        s
+  | _ -> ()

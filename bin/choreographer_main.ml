@@ -59,7 +59,7 @@ let absorb_arg =
         ~doc:
           "Keep terminating behaviour instead of cycling tokens back to their initial activity.")
 
-let options_of rates_path method_ absorb aggregate fluid =
+let options_of ~jobs rates_path method_ absorb aggregate fluid =
   {
     Choreographer.Pipeline.default_options with
     rates = load_rates rates_path;
@@ -67,6 +67,7 @@ let options_of rates_path method_ absorb aggregate fluid =
     restart = (if absorb then `Absorb else `Cycle);
     aggregate;
     fluid;
+    jobs = Some jobs;
   }
 
 let handle_errors f =
@@ -102,9 +103,9 @@ let pipeline_cmd =
       & info [ "html" ] ~docv:"FILE"
           ~doc:"Also write a self-contained HTML report (the Figure 7 view).")
   in
-  let run () input output rates_path method_ absorb aggregate fluid xmltable html =
+  let run jobs input output rates_path method_ absorb aggregate fluid xmltable html =
     handle_errors (fun () ->
-        let options = options_of rates_path method_ absorb aggregate fluid in
+        let options = options_of ~jobs rates_path method_ absorb aggregate fluid in
         let doc = read_document input in
         let outcome = Choreographer.Pipeline.process_document ~options doc in
         Cli_support.print_solver_stats ();
@@ -149,7 +150,7 @@ let extract_cmd =
           ~doc:"Also write the resolved activity rates as a .rates file (the second \
                 artefact of the paper's Figure 4).")
   in
-  let run () input rates_path absorb output rates_out =
+  let run _jobs input rates_path absorb output rates_out =
     handle_errors (fun () ->
         let doc = Uml.Poseidon.strip (read_document input) in
         let rates = load_rates rates_path in
@@ -202,7 +203,7 @@ let extract_cmd =
       $ rates_out_arg)
 
 let info_cmd =
-  let run () input =
+  let run _jobs input =
     let doc = Uml.Poseidon.strip (read_document input) in
     let activities = Uml.Xmi_read.activities_of_xml doc in
     let charts = Uml.Xmi_read.statecharts_of_xml doc in
@@ -233,7 +234,7 @@ let strip_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Stripped XMI output file.")
   in
-  let run () input output =
+  let run _jobs input output =
     let doc = read_document input in
     Xml_kit.Minixml.write_file output (Uml.Poseidon.strip doc);
     Printf.printf "metamodel-conformant XMI written to %s\n" output

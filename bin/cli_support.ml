@@ -113,6 +113,38 @@ let fluid_arg =
            not an exact solve — and are labelled as approximations everywhere they are \
            reported.  Models with passive cooperation have no fluid interpretation.")
 
+(* ------------------------------------------------------------------ *)
+(* Parallel execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid job count %s (valid: 1 for the sequential solver, N >= 2 for N \
+                domains, 0 to auto-detect)"
+               s))
+  in
+  let print fmt n = Format.pp_print_int fmt n in
+  Arg.conv (parse, print)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of domains (OS threads) for state-space exploration, CSR assembly and \
+           the parallel iterative solvers.  $(b,1) (the default) keeps every phase on \
+           the exact sequential path; $(b,0) auto-detects the machine's core count.  \
+           Results are deterministic at any job count: state numbering and transition \
+           order are identical to the sequential run, and steady-state probabilities \
+           agree to within the solver tolerance.")
+
 let print_fluid_stats (stats : Fluid.Rk45.stats) =
   Printf.eprintf
     "fluid: steps=%d rejected=%d evaluations=%d t_end=%g dx_norm=%.3e\n%!"
@@ -169,8 +201,18 @@ let setup_telemetry level trace metrics =
   | Some path -> at_exit (fun () -> Obs.Sink.write_metrics ~path)
   | None -> ()
 
+(* Shared per-process setup: telemetry sinks plus the domain-pool
+   default.  Evaluates to the resolved job count ([--jobs 0] becomes
+   the detected core count) so subcommands can also thread it
+   explicitly where an API takes [?jobs]. *)
+let setup level trace metrics jobs =
+  setup_telemetry level trace metrics;
+  let jobs = Par.resolve jobs in
+  Par.set_jobs jobs;
+  jobs
+
 let telemetry_term =
-  Term.(const setup_telemetry $ log_level_arg $ trace_arg $ metrics_arg)
+  Term.(const setup $ log_level_arg $ trace_arg $ metrics_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Solver diagnostics                                                  *)
@@ -199,8 +241,8 @@ let report_did_not_converge ~method_used ~iterations ~residual =
    ...) exit 2 rather than cmdliner's default 124, so scripts can treat
    "the request was wrong" uniformly.  The converters above enumerate
    the valid choices in their error messages. *)
-let eval_cli cmd =
-  match Cmdliner.Cmd.eval_value cmd with
+let eval_cli ?argv cmd =
+  match Cmdliner.Cmd.eval_value ?argv cmd with
   | Ok (`Ok ()) | Ok `Version | Ok `Help -> 0
   | Error (`Parse | `Term) -> 2
   | Error `Exn -> 125

@@ -25,7 +25,7 @@ let handle_errors f =
       Cli_support.report_did_not_reach_steady ~steps ~t ~dx_norm
 
 let solve_cmd =
-  let run () path net method_ aggregate fluid =
+  let run jobs path net method_ aggregate fluid =
     handle_errors (fun () ->
         if is_net_file path net then begin
           if fluid <> None then begin
@@ -34,7 +34,9 @@ let solve_cmd =
                nets\n";
             exit 1
           end;
-          let analysis = Choreographer.Workbench.analyse_net_file ?method_ ~aggregate path in
+          let analysis =
+            Choreographer.Workbench.analyse_net_file ?method_ ~aggregate ~jobs path
+          in
           Format.printf "%a@." Choreographer.Results.pp
             analysis.Choreographer.Workbench.net_results;
           Cli_support.print_solver_stats ()
@@ -47,7 +49,9 @@ let solve_cmd =
                 analysis.Choreographer.Workbench.fluid_results;
               Cli_support.print_fluid_stats analysis.Choreographer.Workbench.fluid_stats
           | None ->
-              let analysis = Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate path in
+              let analysis =
+                Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate ~jobs path
+              in
               Format.printf "%a@." Choreographer.Results.pp
                 analysis.Choreographer.Workbench.results;
               Cli_support.print_solver_stats ())
@@ -62,11 +66,11 @@ let statespace_cmd =
   let limit_arg =
     Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N states.")
   in
-  let run () path net limit aggregate =
+  let run jobs path net limit aggregate =
     let symmetry = Markov.Lump.symmetry_enabled aggregate in
     handle_errors (fun () ->
         if is_net_file path net then begin
-          let space = Pepanet.Net_statespace.of_file ~symmetry path in
+          let space = Pepanet.Net_statespace.of_file ~symmetry ~jobs path in
           Format.printf "%a@." Pepanet.Net_statespace.pp_summary space;
           for i = 0 to min (limit - 1) (Pepanet.Net_statespace.n_markings space - 1) do
             Printf.printf "M%-4d %s\n" i (Pepanet.Net_statespace.marking_label space i)
@@ -74,7 +78,7 @@ let statespace_cmd =
         end
         else begin
           let space =
-            Pepa.Statespace.of_string ~symmetry
+            Pepa.Statespace.of_string ~symmetry ~jobs
               (In_channel.with_open_bin path In_channel.input_all)
           in
           Format.printf "%a@." Pepa.Statespace.pp_summary space;
@@ -90,7 +94,9 @@ let statespace_cmd =
       $ Cli_support.aggregate_arg)
 
 let check_cmd =
-  let run () path net =
+  (* Exploration picks the job count up from the process-wide default
+     set by the shared setup term. *)
+  let run _jobs path net =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let compiled = Pepanet.Net_compile.of_file path in
@@ -122,7 +128,7 @@ let transient_cmd =
   let time_arg =
     Arg.(required & opt (some float) None & info [ "t"; "time" ] ~docv:"T" ~doc:"Time horizon.")
   in
-  let run () path net time =
+  let run _jobs path net time =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let space = Pepanet.Net_statespace.of_file path in
@@ -157,7 +163,7 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"BASENAME"
           ~doc:"Basename for the .tra/.sta/.lab files.")
   in
-  let run () path net basename =
+  let run _jobs path net basename =
     handle_errors (fun () ->
         let chain, label_groups =
           if is_net_file path net then begin
@@ -212,7 +218,7 @@ let passage_cmd =
       (fun (t, p) -> Printf.printf "F(%g) = %.6f\n" t p)
       (Markov.Passage.cdf_curve chain ~sources ~targets ~times)
   in
-  let run () path net times action =
+  let run _jobs path net times action =
     handle_errors (fun () ->
         if is_net_file path net then begin
           let space = Pepanet.Net_statespace.of_file path in
@@ -271,7 +277,7 @@ let graph_cmd =
       & info [ "k"; "kind" ] ~docv:"KIND"
           ~doc:"What to draw: the reachable statespace, or (for nets) the net structure.")
   in
-  let run () path net output kind =
+  let run _jobs path net output kind =
     handle_errors (fun () ->
         let dot =
           if is_net_file path net then begin
@@ -303,7 +309,7 @@ let query_cmd =
             "Measure expression, e.g. 'throughput(request)' or \
              'passage(request -> response).mean'.")
   in
-  let run () path net query_text =
+  let run _jobs path net query_text =
     handle_errors (fun () ->
         try
           let context =

@@ -27,6 +27,12 @@ type options = {
           Models with no fluid interpretation (passive cooperation) and
           PEPA nets fall back to the exact solve with a warning.
           Default [None]. *)
+  jobs : int option;
+      (** domain count for state-space exploration, CSR assembly and
+          the iterative solvers of every extracted model; [Some 0]
+          auto-detects, [None] (the default) leaves the process-wide
+          [Par.jobs] setting in charge.  Results are deterministic and
+          agree with a sequential run. *)
 }
 
 val default_options : options

@@ -38,19 +38,20 @@ let wrap name thunk =
   | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
   | Fluid.Vector_form.Unsupported msg -> fail "%s: no fluid interpretation: %s" name msg
 
-let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg) model =
+let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg)
+    ?jobs model =
   Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
     (fun _ ->
   wrap name (fun () ->
       let env = Pepa.Env.of_model model in
       let compiled = Pepa.Compile.compile env in
       let space =
-        Pepa.Statespace.build ?max_states
+        Pepa.Statespace.build ?max_states ?jobs
           ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
           compiled
       in
       let distribution =
-        Pepa.Statespace.steady_state ?method_
+        Pepa.Statespace.steady_state ?method_ ?jobs
           ~lump:(Markov.Lump.lumping_enabled aggregate)
           space
       in
@@ -80,14 +81,14 @@ let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lum
       in
       { space; distribution; results }))
 
-let analyse_pepa_string ?(name = "model") ?method_ ?max_states ?aggregate src =
+let analyse_pepa_string ?(name = "model") ?method_ ?max_states ?aggregate ?jobs src =
   let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
-  analyse_pepa ~name ?method_ ?max_states ?aggregate model
+  analyse_pepa ~name ?method_ ?max_states ?aggregate ?jobs model
 
-let analyse_pepa_file ?method_ ?max_states ?aggregate path =
+let analyse_pepa_file ?method_ ?max_states ?aggregate ?jobs path =
   let name = Filename.basename path in
   let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
-  analyse_pepa ~name ?method_ ?max_states ?aggregate model
+  analyse_pepa ~name ?method_ ?max_states ?aggregate ?jobs model
 
 let analyse_pepa_fluid ?(name = "model") ?tolerances model =
   Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa_fluid"
@@ -119,18 +120,19 @@ let analyse_pepa_fluid_file ?tolerances path =
   let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
   analyse_pepa_fluid ~name ?tolerances model
 
-let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump.No_agg) net =
+let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump.No_agg)
+    ?jobs net =
   Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net"
     (fun _ ->
   wrap name (fun () ->
       let compiled = Pepanet.Net_compile.compile net in
       let net_space =
-        Pepanet.Net_statespace.build ?max_markings
+        Pepanet.Net_statespace.build ?max_markings ?jobs
           ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
           compiled
       in
       let net_distribution =
-        Pepanet.Net_statespace.steady_state ?method_
+        Pepanet.Net_statespace.steady_state ?method_ ?jobs
           ~lump:(Markov.Lump.lumping_enabled aggregate)
           net_space
       in
@@ -143,14 +145,14 @@ let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump
       in
       { net_space; net_distribution; net_results }))
 
-let analyse_net_string ?(name = "net") ?method_ ?max_markings ?aggregate src =
+let analyse_net_string ?(name = "net") ?method_ ?max_markings ?aggregate ?jobs src =
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
-  analyse_net ~name ?method_ ?max_markings ?aggregate net
+  analyse_net ~name ?method_ ?max_markings ?aggregate ?jobs net
 
-let analyse_net_file ?method_ ?max_markings ?aggregate path =
+let analyse_net_file ?method_ ?max_markings ?aggregate ?jobs path =
   let name = Filename.basename path in
   let net = wrap name (fun () -> Pepanet.Net_parser.net_of_file path) in
-  analyse_net ~name ?method_ ?max_markings ?aggregate net
+  analyse_net ~name ?method_ ?max_markings ?aggregate ?jobs net
 
 let fluid_local_probabilities analysis ~leaf =
   Fluid.Vector_form.leaf_proportions analysis.form analysis.populations ~leaf

@@ -37,6 +37,7 @@ val analyse_pepa :
   ?method_:Markov.Steady.method_ ->
   ?max_states:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   Pepa.Syntax.model ->
   pepa_analysis
 (** [aggregate] (default {!Markov.Lump.No_agg}) selects the aggregation
@@ -48,13 +49,19 @@ val analyse_pepa :
     mode: the lump partition only ever merges states that are either
     in one symmetry orbit (equal probability) or indistinguishable by
     every local-state label, so nothing the disaggregated solution is
-    read for depends on how mass is spread within a class. *)
+    read for depends on how mass is spread within a class.
+
+    [jobs] overrides the process-wide [Par.jobs] default for the build
+    and the solve; results are deterministic and agree with a
+    sequential run (state numbering exactly, probabilities to well
+    under 1e-10). *)
 
 val analyse_pepa_string :
   ?name:string ->
   ?method_:Markov.Steady.method_ ->
   ?max_states:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   string ->
   pepa_analysis
 
@@ -62,6 +69,7 @@ val analyse_pepa_file :
   ?method_:Markov.Steady.method_ ->
   ?max_states:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   string ->
   pepa_analysis
 
@@ -92,6 +100,7 @@ val analyse_net :
   ?method_:Markov.Steady.method_ ->
   ?max_markings:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   Pepanet.Net.t ->
   net_analysis
 (** [aggregate] as in {!analyse_pepa}; the symmetry pass permutes
@@ -103,6 +112,7 @@ val analyse_net_string :
   ?method_:Markov.Steady.method_ ->
   ?max_markings:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   string ->
   net_analysis
 
@@ -110,6 +120,7 @@ val analyse_net_file :
   ?method_:Markov.Steady.method_ ->
   ?max_markings:int ->
   ?aggregate:Markov.Lump.mode ->
+  ?jobs:int ->
   string ->
   net_analysis
 

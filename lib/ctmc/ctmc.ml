@@ -93,14 +93,14 @@ let generator c =
   done;
   Sparse.of_arrays ~n_rows:c.n ~n_cols:c.n ~rows ~cols ~values
 
-let generator_transposed c =
+let generator_transposed ?jobs c =
   match c.transposed with
   | Some m -> m
   | None ->
       let m =
         Obs.Span.with_ "ctmc.transpose" (fun span ->
             Obs.Span.add_int span "states" c.n;
-            Sparse.transpose (generator c))
+            Sparse.transpose ?jobs (generator c))
       in
       c.transposed <- Some m;
       m

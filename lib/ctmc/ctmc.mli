@@ -25,7 +25,7 @@ val n_states : t -> int
 val generator : t -> Sparse.t
 (** The generator matrix [Q], including the negative diagonal. *)
 
-val generator_transposed : t -> Sparse.t
+val generator_transposed : ?jobs:int -> t -> Sparse.t
 (** [Q] transposed; the orientation iterative solvers consume.  Computed
     once and cached. *)
 

@@ -25,7 +25,12 @@ val of_arrays :
     every entry in O(nnz), duplicate coordinates are merged by summation
     in place, and no intermediate lists are built.  The input arrays are
     not modified.  Raises [Invalid_argument] if the arrays differ in
-    length or an index is out of range. *)
+    length or an index is out of range.
+
+    When the process-wide [Par.jobs] default is above 1 and the input
+    is large enough to amortise the dispatch, assembly runs as a
+    stable per-block counting sort on the domain pool; the result is
+    bitwise identical to the sequential build. *)
 
 val of_triplets : n_rows:int -> n_cols:int -> (int * int * float) list -> t
 (** Build a matrix from [(row, col, value)] triplets.  Duplicate
@@ -52,18 +57,22 @@ val fold_row : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
 val mul_vec : t -> float array -> float array
 (** [mul_vec m x] is the matrix-vector product [m x]. *)
 
-val mul_vec_into : t -> float array -> float array -> unit
+val mul_vec_into : ?pool:Par.Pool.t -> t -> float array -> float array -> unit
 (** [mul_vec_into m x y] stores [m x] in [y], allocating nothing.  The
     workhorse of the iterative solvers' residual checks.  Raises
-    [Invalid_argument] on a dimension mismatch. *)
+    [Invalid_argument] on a dimension mismatch.  With [?pool], rows are
+    computed in parallel; each row is still one left-to-right dot
+    product, so the result is bitwise identical to sequential. *)
 
 val vec_mul : float array -> t -> float array
 (** [vec_mul x m] is the vector-matrix product [x m] (row vector times
     matrix), the natural operation for probability vectors. *)
 
-val transpose : t -> t
+val transpose : ?jobs:int -> t -> t
 (** CSR transpose by counting sort on columns: O(nnz + n), no
-    intermediate triplets. *)
+    intermediate triplets.  [?jobs] overrides the process-wide default
+    for this call; the parallel transpose is bitwise identical to the
+    sequential one. *)
 
 val diagonal : t -> float array
 (** The main diagonal as a dense vector (zero where not stored). *)

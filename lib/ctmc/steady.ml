@@ -30,6 +30,11 @@ let solver_iterations = Obs.Metrics.counter "solver_iterations"
 let solver_residual = Obs.Metrics.gauge "solver_residual"
 let residual_trajectory = Obs.Metrics.series "solver.residual_trajectory"
 let sweep_seconds = Obs.Metrics.histogram "solver.sweep_s"
+let parallel_sweeps = Obs.Metrics.counter "steady.parallel_sweeps"
+
+(* Below this many states a sweep is microseconds and the pool barrier
+   would dominate; the solvers then ignore the pool entirely. *)
+let par_threshold_states = 4096
 
 let residual c pi =
   let qt = Ctmc.generator_transposed c in
@@ -43,6 +48,27 @@ let normalise_into pi =
   for i = 0 to Array.length pi - 1 do
     pi.(i) <- pi.(i) *. inv
   done
+
+(* Parallel normalisation.  The chunked sum is deterministic for a
+   fixed (length, pool size), so repeated parallel runs agree bitwise;
+   it differs from the sequential left fold only by float
+   re-association, well inside the solver tolerance. *)
+let normalise_into_par p pi =
+  let n = Array.length pi in
+  let total =
+    Par.sum_floats p ~lo:0 ~hi:n (fun lo hi ->
+        let s = ref 0.0 in
+        for i = lo to hi - 1 do
+          s := !s +. pi.(i)
+        done;
+        !s)
+  in
+  if total <= 0.0 then raise (Not_solvable "iteration collapsed to the zero vector");
+  let inv = 1.0 /. total in
+  Par.parallel_for p ~lo:0 ~hi:n (fun lo hi ->
+      for i = lo to hi - 1 do
+        pi.(i) <- pi.(i) *. inv
+      done)
 
 
 (* --------------------------------------------------------------- *)
@@ -95,7 +121,7 @@ let check_no_absorbing c =
    roughly halves the cost per iteration for stationary methods whose
    sweep is itself one pass over the matrix.  The iteration count
    reported on failure is the exact number of sweeps performed. *)
-let iterate ?initial ~method_ ~options ~c ~sweep () =
+let iterate ?initial ?pool ~method_ ~options ~c ~sweep () =
   let n = Ctmc.n_states c in
   let qt = Ctmc.generator_transposed c in
   let pi =
@@ -117,13 +143,16 @@ let iterate ?initial ~method_ ~options ~c ~sweep () =
   let work = Array.make n 0.0 in
   let defect = Array.make n 0.0 in
   let measure () =
-    Sparse.mul_vec_into qt pi defect;
+    Sparse.mul_vec_into ?pool qt pi defect;
     let m = ref 0.0 in
     for i = 0 to n - 1 do
       let a = abs_float defect.(i) in
       if a > !m then m := a
     done;
     !m
+  in
+  let renormalise =
+    match pool with None -> normalise_into | Some p -> normalise_into_par p
   in
   let obs_on = Obs.Config.enabled () in
   let record iterations res =
@@ -143,10 +172,11 @@ let iterate ?initial ~method_ ~options ~c ~sweep () =
     let batch_start = if obs_on then Obs.Clock.now () else 0.0 in
     for _ = 1 to batch do
       sweep ~pi ~work;
-      normalise_into pi
+      renormalise pi
     done;
     if obs_on then
       Obs.Metrics.observe sweep_seconds ((Obs.Clock.now () -. batch_start) /. float_of_int batch);
+    if pool <> None then Obs.Metrics.add parallel_sweeps batch;
     iterations := !iterations + batch;
     res := measure ();
     record !iterations !res
@@ -157,20 +187,27 @@ let iterate ?initial ~method_ ~options ~c ~sweep () =
    iteration matrix has eigenvalues on the unit circle (e.g. any 2-state
    chain), while the 1/2-damped variant converges whenever the plain
    iteration does not diverge. *)
-let solve_jacobi ?initial options c =
+let solve_jacobi ?initial ?pool options c =
   check_no_absorbing c;
   let qt = Ctmc.generator_transposed c in
   let n = Ctmc.n_states c in
   let omega = 0.5 in
-  let sweep ~pi ~work =
-    for i = 0 to n - 1 do
+  (* Jacobi rows read only the previous candidate, so splitting rows
+     across domains changes nothing in the arithmetic. *)
+  let row_range lo hi ~pi ~work =
+    for i = lo to hi - 1 do
       let off = ref 0.0 in
       Sparse.iter_row qt i (fun j v -> if j <> i then off := !off +. (v *. pi.(j)));
       work.(i) <- ((1.0 -. omega) *. pi.(i)) +. (omega *. (!off /. Ctmc.exit_rate c i))
-    done;
+    done
+  in
+  let sweep ~pi ~work =
+    (match pool with
+    | None -> row_range 0 n ~pi ~work
+    | Some p -> Par.parallel_for p ~lo:0 ~hi:n (fun lo hi -> row_range lo hi ~pi ~work));
     Array.blit work 0 pi 0 n
   in
-  iterate ?initial ~method_:Jacobi ~options ~c ~sweep ()
+  iterate ?initial ?pool ~method_:Jacobi ~options ~c ~sweep ()
 
 (* Gauss-Seidel is SOR with unit relaxation; both update the candidate
    in place, already using each component's new value within the same
@@ -196,29 +233,44 @@ let solve_relaxed ?initial ~method_ options c omega =
 let solve_sor ?initial options c omega = solve_relaxed ?initial ~method_:(Sor omega) options c omega
 let solve_gauss_seidel ?initial options c = solve_relaxed ?initial ~method_:Gauss_seidel options c 1.0
 
-let solve_power ?initial options c =
+let solve_power ?initial ?pool options c =
   let n = Ctmc.n_states c in
   let lambda = (Ctmc.max_exit_rate c *. 1.02) +. 1e-9 in
   let qt = Ctmc.generator_transposed c in
   (* pi <- pi (I + Q / lambda), computed through the transpose. *)
-  let sweep ~pi ~work =
-    Sparse.mul_vec_into qt pi work;
-    for i = 0 to n - 1 do
+  let axpy lo hi ~pi ~work =
+    for i = lo to hi - 1 do
       pi.(i) <- pi.(i) +. (work.(i) /. lambda)
     done
   in
-  iterate ?initial ~method_:Power ~options ~c ~sweep ()
+  let sweep ~pi ~work =
+    Sparse.mul_vec_into ?pool qt pi work;
+    match pool with
+    | None -> axpy 0 n ~pi ~work
+    | Some p -> Par.parallel_for p ~lo:0 ~hi:n (fun lo hi -> axpy lo hi ~pi ~work)
+  in
+  iterate ?initial ?pool ~method_:Power ~options ~c ~sweep ()
 
 let record_stats stats =
   last := Some stats;
   stats
 
-let solve_stats ?method_ ?(options = default_options) ?initial c =
+let solve_stats ?method_ ?(options = default_options) ?initial ?jobs c =
   if Ctmc.n_states c = 0 then
     ([||], record_stats { method_used = Direct; iterations = 0; residual = 0.0 })
   else
     Obs.Span.with_ "steady.solve" (fun span ->
         Obs.Span.add_int span "states" (Ctmc.n_states c);
+        (* Gauss-Seidel and SOR propagate new values within a sweep and
+           stay sequential (bitwise reproducible at any --jobs); the
+           pool accelerates Jacobi and the power method, whose sweeps
+           are row-independent. *)
+        let pool =
+          if Ctmc.n_states c >= par_threshold_states then Par.pool ?jobs ()
+          else None
+        in
+        Obs.Span.add_int span "jobs"
+          (match pool with Some p -> Par.Pool.size p | None -> 1);
         let direct () =
           let pi = solve_direct options c in
           (pi, { method_used = Direct; iterations = 0; residual = residual c pi })
@@ -230,12 +282,12 @@ let solve_stats ?method_ ?(options = default_options) ?initial c =
         let pi, stats =
           match method_ with
           | Some Direct -> direct ()
-          | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi ?initial options c)
+          | Some Jacobi -> iterative Jacobi (fun () -> solve_jacobi ?initial ?pool options c)
           | Some Gauss_seidel ->
               iterative Gauss_seidel (fun () -> solve_gauss_seidel ?initial options c)
           | Some (Sor omega) ->
               iterative (Sor omega) (fun () -> solve_sor ?initial options c omega)
-          | Some Power -> iterative Power (fun () -> solve_power ?initial options c)
+          | Some Power -> iterative Power (fun () -> solve_power ?initial ?pool options c)
           | None -> (
               (* Default policy: Gauss-Seidel, falling back to the direct solver
                  for chains it cannot handle (absorbing states, slow mixing). *)
@@ -256,4 +308,5 @@ let solve_stats ?method_ ?(options = default_options) ?initial c =
           (method_name stats.method_used) stats.iterations stats.residual;
         (pi, record_stats stats))
 
-let solve ?method_ ?options ?initial c = fst (solve_stats ?method_ ?options ?initial c)
+let solve ?method_ ?options ?initial ?jobs c =
+  fst (solve_stats ?method_ ?options ?initial ?jobs c)

@@ -61,7 +61,12 @@ type stats = {
 }
 
 val solve :
-  ?method_:method_ -> ?options:options -> ?initial:float array -> Ctmc.t -> float array
+  ?method_:method_ ->
+  ?options:options ->
+  ?initial:float array ->
+  ?jobs:int ->
+  Ctmc.t ->
+  float array
 (** Compute the steady-state distribution.  The default method is
     {!Gauss_seidel} with a fallback to {!Direct} for chains within
     [direct_limit] when iteration fails to converge.
@@ -72,12 +77,24 @@ val solve :
     disaggregated lumped solution is the intended use: cross-checking
     an aggregated solve against the full chain then converges in a
     handful of sweeps.  The direct method ignores it.  Raises
-    {!Not_solvable} on a dimension mismatch. *)
+    {!Not_solvable} on a dimension mismatch.
+
+    [jobs] overrides the process-wide [Par.jobs] default for this
+    solve.  With an effective count above 1 (and a chain large enough
+    to amortise the dispatch), Jacobi and power sweeps, residual
+    measurement and renormalisation run on the domain pool.
+    Gauss-Seidel and SOR propagate new values within a sweep, so their
+    sweeps stay sequential regardless of [jobs] and their results are
+    bitwise independent of it; parallel Jacobi/power runs agree with
+    sequential ones to well inside the solver tolerance (only the
+    normalisation sum is re-associated) and are themselves
+    deterministic for a fixed jobs count. *)
 
 val solve_stats :
   ?method_:method_ ->
   ?options:options ->
   ?initial:float array ->
+  ?jobs:int ->
   Ctmc.t ->
   float array * stats
 (** Like {!solve}, also reporting how the answer was obtained — the

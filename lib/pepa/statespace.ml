@@ -32,6 +32,10 @@ let transitions_emitted = Obs.Metrics.counter "transitions_emitted"
 let intern_collisions = Obs.Metrics.counter "intern_collisions"
 let canonical_hits = Obs.Metrics.counter "statespace.canonical_hits"
 
+(* Largest per-shard dedup-table occupancy of the most recent parallel
+   build (the PEPA-net builder sets the same gauge). *)
+let shard_states = Obs.Metrics.gauge "statespace.shard_states"
+
 (* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
    once per interned vector: the table stores each slot's hash, so
    probing and resizing compare integers, never rehash arrays. *)
@@ -49,7 +53,7 @@ let vec_equal (a : int array) (b : int array) =
   let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
   go 0
 
-let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
+let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
   Obs.Span.with_ "statespace.build" (fun span ->
   let obs_on = Obs.Config.enabled () in
   let progress_every = Obs.Config.progress_interval () in
@@ -162,34 +166,86 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
         incr n_actions;
         id
   in
-  ignore (intern (canonical (Compile.initial_state compiled)));
-  let next = ref 0 in
-  while !next < !n_states do
-    let src = !next in
-    if obs_on && src > 0 && src mod progress_every = 0 then
-      Obs.Log.progress ~stage:"statespace.build" ~count:src
-        ~detail:
-          (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions);
-    let vec = !states.(src) in
-    List.iter
-      (fun move ->
-        let rate =
-          match move.Semantics.rate with
-          | Rate.Active r -> r
-          | Rate.Passive _ ->
-              raise
-                (Passive_transition
-                   {
-                     state = Compile.state_label compiled vec;
-                     action = Action.to_string move.Semantics.action;
-                   })
+  let pool = Par.pool ?jobs () in
+  let explored_states, shard_occupancy =
+    match pool with
+    | None ->
+        ignore (intern (canonical (Compile.initial_state compiled)));
+        let next = ref 0 in
+        while !next < !n_states do
+          let src = !next in
+          if obs_on && src > 0 && src mod progress_every = 0 then
+            Obs.Log.progress ~stage:"statespace.build" ~count:src
+              ~detail:
+                (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions);
+          let vec = !states.(src) in
+          List.iter
+            (fun move ->
+              let rate =
+                match move.Semantics.rate with
+                | Rate.Active r -> r
+                | Rate.Passive _ ->
+                    raise
+                      (Passive_transition
+                         {
+                           state = Compile.state_label compiled vec;
+                           action = Action.to_string move.Semantics.action;
+                         })
+              in
+              let dst = intern (canonical (Semantics.apply vec move.Semantics.deltas)) in
+              push src dst rate (intern_action move.Semantics.action))
+            (Semantics.moves compiled vec);
+          incr next
+        done;
+        (Array.sub !states 0 !n_states, None)
+    | Some p ->
+        (* Frontier-parallel exploration: successor expansion and
+           canonicalisation run on worker domains; the engine's merge
+           step reproduces sequential first-occurrence numbering, so
+           [emit] (transition push + action interning, on the
+           coordinator) sees exactly the sequential stream. *)
+        let hits_par = Atomic.make 0 in
+        let expand vec =
+          List.map
+            (fun move ->
+              let rate =
+                match move.Semantics.rate with
+                | Rate.Active r -> r
+                | Rate.Passive _ ->
+                    raise
+                      (Passive_transition
+                         {
+                           state = Compile.state_label compiled vec;
+                           action = Action.to_string move.Semantics.action;
+                         })
+              in
+              let dst = Semantics.apply vec move.Semantics.deltas in
+              if use_sym && Symmetry.canonicalise sym dst then Atomic.incr hits_par;
+              (dst, (rate, move.Semantics.action)))
+            (Semantics.moves compiled vec)
         in
-        let dst = intern (canonical (Semantics.apply vec move.Semantics.deltas)) in
-        push src dst rate (intern_action move.Semantics.action))
-      (Semantics.moves compiled vec);
-    incr next
-  done;
-  let n = !n_states in
+        let emit ~src ~dst (rate, action) = push src dst rate (intern_action action) in
+        let progress =
+          if obs_on then
+            Some
+              (fun ~states ~level ->
+                if states >= progress_every then
+                  Obs.Log.progress ~stage:"statespace.build" ~count:states
+                    ~detail:
+                      (Printf.sprintf "level %d, %d transitions" level !n_transitions))
+          else None
+        in
+        let result =
+          try
+            Par.Explore.explore ~pool:p ~hash:hash_vec ~equal:vec_equal ~expand ~emit
+              ~max_states ?progress
+              (canonical (Compile.initial_state compiled))
+          with Par.Explore.Limit -> raise (Too_many_states max_states)
+        in
+        hits := !hits + Atomic.get hits_par;
+        (result.Par.Explore.states, Some result.Par.Explore.shard_states)
+  in
+  let n = Array.length explored_states in
   let count = !n_transitions in
   let tr_src = Array.sub !tr_src 0 count in
   let tr_dst = Array.sub !tr_dst 0 count in
@@ -209,6 +265,14 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
     Obs.Span.add_int span "states" n;
     Obs.Span.add_int span "transitions" count;
     Obs.Span.add_int span "intern_collisions" !collisions;
+    Obs.Span.add_int span "jobs"
+      (match pool with Some p -> Par.Pool.size p | None -> 1);
+    (match shard_occupancy with
+    | Some occ ->
+        let biggest = Array.fold_left max 0 occ in
+        Obs.Metrics.set shard_states (float_of_int biggest);
+        Obs.Span.add_int span "shard_states_max" biggest
+    | None -> ());
     if use_sym then begin
       Obs.Metrics.add canonical_hits !hits;
       Obs.Span.add_int span "symmetry_groups" (Symmetry.n_groups sym);
@@ -218,7 +282,7 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
   {
     compiled;
     symmetry = sym;
-    states = Array.sub !states 0 n;
+    states = explored_states;
     tr_src;
     tr_dst;
     tr_rate;
@@ -231,8 +295,11 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) compiled =
     lump = None;
   })
 
-let of_model ?max_states ?symmetry model = build ?max_states ?symmetry (Compile.of_model model)
-let of_string ?max_states ?symmetry src = build ?max_states ?symmetry (Compile.of_string src)
+let of_model ?max_states ?symmetry ?jobs model =
+  build ?max_states ?symmetry ?jobs (Compile.of_model model)
+
+let of_string ?max_states ?symmetry ?jobs src =
+  build ?max_states ?symmetry ?jobs (Compile.of_string src)
 
 let compiled t = t.compiled
 let symmetry t = t.symmetry
@@ -298,6 +365,8 @@ let action_names t =
     (List.filter_map Action.name (Array.to_list t.actions))
 
 let ctmc t =
+  (* CSR assembly inside [Ctmc.of_arrays] picks up the process-wide
+     [Par.jobs] default on its own. *)
   match t.chain with
   | Some c -> c
   | None ->
@@ -384,17 +453,17 @@ let lump_partition t =
       t.lump <- Some part;
       part
 
-let steady_state ?method_ ?options ?(lump = false) t =
-  if not lump then Markov.Steady.solve ?method_ ?options (ctmc t)
+let steady_state ?method_ ?options ?(lump = false) ?jobs t =
+  if not lump then Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
   else begin
     let part = lump_partition t in
     if part.Markov.Lump.n_classes >= n_states t then
-      Markov.Steady.solve ?method_ ?options (ctmc t)
+      Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
     else begin
       let quotient =
         Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
       in
-      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options quotient)
+      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options ?jobs quotient)
     end
   end
 

@@ -39,7 +39,12 @@ val canonical_hits : Obs.Metrics.counter
 (** States rewritten to a previously seen orbit representative during a
     symmetry-reduced build (["statespace.canonical_hits"]). *)
 
-val build : ?max_states:int -> ?symmetry:bool -> Compile.t -> t
+val shard_states : Obs.Metrics.gauge
+(** Largest per-shard dedup-table occupancy of the most recent parallel
+    build (["statespace.shard_states"]); untouched by sequential
+    builds.  Shared with {!Pepanet.Net_statespace.build}. *)
+
+val build : ?max_states:int -> ?symmetry:bool -> ?jobs:int -> Compile.t -> t
 (** Explore the full state space (default bound: 1_000_000 states).
     Emits a ["statespace.build"] tracing span, adds to the exploration
     counters, and reports progress every [Obs.Config.progress_interval]
@@ -51,10 +56,18 @@ val build : ?max_states:int -> ?symmetry:bool -> Compile.t -> t
     The reduced chain is the exact ordinary lumping of the full one:
     throughputs are unchanged and {!local_state_probability} averages
     over the leaf's orbit.  Models without replica groups explore
-    identically (detection is a one-off structural pass). *)
+    identically (detection is a one-off structural pass).
 
-val of_model : ?max_states:int -> ?symmetry:bool -> Syntax.model -> t
-val of_string : ?max_states:int -> ?symmetry:bool -> string -> t
+    [jobs] overrides the process-wide [Par.jobs] default.  Above 1,
+    exploration runs frontier-parallel on the domain pool: successor
+    expansion and canonicalisation are sharded by state hash with
+    per-shard dedup tables, and the merge step preserves sequential
+    first-occurrence numbering — state indices, transition order,
+    symmetry orbits and lump respect keys are identical to a [jobs = 1]
+    build. *)
+
+val of_model : ?max_states:int -> ?symmetry:bool -> ?jobs:int -> Syntax.model -> t
+val of_string : ?max_states:int -> ?symmetry:bool -> ?jobs:int -> string -> t
 
 val compiled : t -> Compile.t
 
@@ -109,6 +122,7 @@ val steady_state :
   ?method_:Markov.Steady.method_ ->
   ?options:Markov.Steady.options ->
   ?lump:bool ->
+  ?jobs:int ->
   t ->
   float array
 (** Steady-state distribution over the explored states.  With

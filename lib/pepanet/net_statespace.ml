@@ -98,7 +98,7 @@ let canonicalise groups marking =
   | None -> (marking, false)
   | Some c -> ({ marking with Marking.cells = c }, true)
 
-let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
+let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
   Obs.Span.with_ "net_statespace.build" (fun span ->
   let obs_on = Obs.Config.enabled () in
   let progress_every = Obs.Config.progress_interval () in
@@ -167,34 +167,93 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
         incr n_labels;
         id
   in
-  ignore (intern (canonical (Marking.initial compiled)));
-  let next = ref 0 in
-  while !next < !n_markings do
-    let src = !next in
-    if obs_on && src > 0 && src mod progress_every = 0 then
-      Obs.Log.progress ~stage:"net_statespace.build" ~count:src
-        ~detail:
-          (Printf.sprintf "%d discovered, %d transitions" !n_markings !n_transitions);
-    let marking = !markings.(src) in
-    List.iter
-      (fun move ->
-        let rate =
-          match move.Net_semantics.rate with
-          | Pepa.Rate.Active r -> r
-          | Pepa.Rate.Passive _ ->
-              raise
-                (Passive_firing
-                   {
-                     marking = Marking.label compiled marking;
-                     label = label_string move.Net_semantics.label;
-                   })
+  let pool = Par.pool ?jobs () in
+  let explored_markings, shard_occupancy =
+    match pool with
+    | None ->
+        ignore (intern (canonical (Marking.initial compiled)));
+        let next = ref 0 in
+        while !next < !n_markings do
+          let src = !next in
+          if obs_on && src > 0 && src mod progress_every = 0 then
+            Obs.Log.progress ~stage:"net_statespace.build" ~count:src
+              ~detail:
+                (Printf.sprintf "%d discovered, %d transitions" !n_markings !n_transitions);
+          let marking = !markings.(src) in
+          List.iter
+            (fun move ->
+              let rate =
+                match move.Net_semantics.rate with
+                | Pepa.Rate.Active r -> r
+                | Pepa.Rate.Passive _ ->
+                    raise
+                      (Passive_firing
+                         {
+                           marking = Marking.label compiled marking;
+                           label = label_string move.Net_semantics.label;
+                         })
+              in
+              let dst = intern (canonical (Net_semantics.apply marking move.Net_semantics.updates)) in
+              push src dst rate (intern_label move.Net_semantics.label))
+            (Net_semantics.moves compiled marking);
+          incr next
+        done;
+        (Array.sub !markings 0 !n_markings, None)
+    | Some p ->
+        (* Frontier-parallel exploration, same engine as the PEPA
+           builder.  Firing and canonicalisation run on workers; the
+           merge preserves sequential first-occurrence numbering, so
+           the coordinator-side [emit] sees the sequential stream. *)
+        let hits_par = Atomic.make 0 in
+        let expand marking =
+          List.map
+            (fun move ->
+              let rate =
+                match move.Net_semantics.rate with
+                | Pepa.Rate.Active r -> r
+                | Pepa.Rate.Passive _ ->
+                    raise
+                      (Passive_firing
+                         {
+                           marking = Marking.label compiled marking;
+                           label = label_string move.Net_semantics.label;
+                         })
+              in
+              let dst = Net_semantics.apply marking move.Net_semantics.updates in
+              let dst =
+                if Array.length groups = 0 then dst
+                else begin
+                  let dst, changed = canonicalise groups dst in
+                  if changed then Atomic.incr hits_par;
+                  dst
+                end
+              in
+              (dst, (rate, move.Net_semantics.label)))
+            (Net_semantics.moves compiled marking)
         in
-        let dst = intern (canonical (Net_semantics.apply marking move.Net_semantics.updates)) in
-        push src dst rate (intern_label move.Net_semantics.label))
-      (Net_semantics.moves compiled marking);
-    incr next
-  done;
-  let n = !n_markings in
+        let emit ~src ~dst (rate, label) = push src dst rate (intern_label label) in
+        let progress =
+          if obs_on then
+            Some
+              (fun ~states ~level ->
+                if states >= progress_every then
+                  Obs.Log.progress ~stage:"net_statespace.build" ~count:states
+                    ~detail:
+                      (Printf.sprintf "level %d, %d transitions" level !n_transitions))
+          else None
+        in
+        let result =
+          try
+            Par.Explore.explore ~pool:p ~hash:(Hashtbl.hash_param 64 128)
+              ~equal:(fun (a : Marking.t) b -> a = b)
+              ~expand ~emit ~max_states:max_markings ?progress
+              (canonical (Marking.initial compiled))
+          with Par.Explore.Limit -> raise (Too_many_markings max_markings)
+        in
+        hits := !hits + Atomic.get hits_par;
+        (result.Par.Explore.states, Some result.Par.Explore.shard_states)
+  in
+  let n = Array.length explored_markings in
   let count = !n_transitions in
   let tr_src = Array.sub !tr_src 0 count in
   let tr_dst = Array.sub !tr_dst 0 count in
@@ -210,6 +269,14 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
     Obs.Metrics.add Pepa.Statespace.transitions_emitted count;
     Obs.Span.add_int span "markings" n;
     Obs.Span.add_int span "transitions" count;
+    Obs.Span.add_int span "jobs"
+      (match pool with Some p -> Par.Pool.size p | None -> 1);
+    (match shard_occupancy with
+    | Some occ ->
+        let biggest = Array.fold_left max 0 occ in
+        Obs.Metrics.set Pepa.Statespace.shard_states (float_of_int biggest);
+        Obs.Span.add_int span "shard_states_max" biggest
+    | None -> ());
     if Array.length groups > 0 then begin
       Obs.Metrics.add Pepa.Statespace.canonical_hits !hits;
       Obs.Span.add_int span "symmetry_groups" (Array.length groups);
@@ -218,7 +285,7 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
   end;
   {
     compiled;
-    markings = Array.sub !markings 0 n;
+    markings = explored_markings;
     tr_src;
     tr_dst;
     tr_rate;
@@ -231,8 +298,11 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) compiled =
     lump = None;
   })
 
-let of_string ?max_markings ?symmetry src = build ?max_markings ?symmetry (Net_compile.of_string src)
-let of_file ?max_markings ?symmetry path = build ?max_markings ?symmetry (Net_compile.of_file path)
+let of_string ?max_markings ?symmetry ?jobs src =
+  build ?max_markings ?symmetry ?jobs (Net_compile.of_string src)
+
+let of_file ?max_markings ?symmetry ?jobs path =
+  build ?max_markings ?symmetry ?jobs (Net_compile.of_file path)
 
 let compiled t = t.compiled
 let n_markings t = Array.length t.markings
@@ -340,17 +410,17 @@ let lump_partition t =
       t.lump <- Some part;
       part
 
-let steady_state ?method_ ?options ?(lump = false) t =
-  if not lump then Markov.Steady.solve ?method_ ?options (ctmc t)
+let steady_state ?method_ ?options ?(lump = false) ?jobs t =
+  if not lump then Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
   else begin
     let part = lump_partition t in
     if part.Markov.Lump.n_classes >= n_markings t then
-      Markov.Steady.solve ?method_ ?options (ctmc t)
+      Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
     else begin
       let quotient =
         Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
       in
-      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options quotient)
+      Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options ?jobs quotient)
     end
   end
 

@@ -21,7 +21,7 @@ exception Passive_firing of { marking : string; label : string }
 (** A passive activity (local or firing) survived with no active
     participant to set its rate: the model is incomplete. *)
 
-val build : ?max_markings:int -> ?symmetry:bool -> Net_compile.t -> t
+val build : ?max_markings:int -> ?symmetry:bool -> ?jobs:int -> Net_compile.t -> t
 (** With [~symmetry:true], interchangeable cells — cell leaves of the
     same token family composed in one same-set cooperation chain of a
     place's context — have their contents sorted before each marking is
@@ -30,10 +30,15 @@ val build : ?max_markings:int -> ?symmetry:bool -> Net_compile.t -> t
     their identity and place, so token- and place-level measures are
     exact; the reduction is the marking-graph analogue of
     {!Pepa.Statespace.build}'s replica symmetry and adds to the same
-    ["statespace.canonical_hits"] counter. *)
+    ["statespace.canonical_hits"] counter.
 
-val of_string : ?max_markings:int -> ?symmetry:bool -> string -> t
-val of_file : ?max_markings:int -> ?symmetry:bool -> string -> t
+    [jobs] behaves as in {!Pepa.Statespace.build}: above 1 the
+    exploration runs frontier-parallel with hash-sharded dedup tables,
+    and the resulting marking numbering and transition order are
+    identical to the sequential build. *)
+
+val of_string : ?max_markings:int -> ?symmetry:bool -> ?jobs:int -> string -> t
+val of_file : ?max_markings:int -> ?symmetry:bool -> ?jobs:int -> string -> t
 
 val compiled : t -> Net_compile.t
 val n_markings : t -> int
@@ -75,6 +80,7 @@ val steady_state :
   ?method_:Markov.Steady.method_ ->
   ?options:Markov.Steady.options ->
   ?lump:bool ->
+  ?jobs:int ->
   t ->
   float array
 (** Steady-state distribution over the markings; with [~lump:true] the

@@ -73,10 +73,29 @@ let test_extraction_golden () =
   in
   Alcotest.(check string) "golden extraction output" expected produced
 
+(* The roaming asset used by the CI multicore smoke must stay in sync
+   with the embedded scenario: same space, same measures. *)
+let test_roaming_asset () =
+  let from_file = Pepanet.Net_statespace.of_file (asset "roaming.pepanet") in
+  let embedded = Scenarios.Roaming.space () in
+  Alcotest.(check int) "same markings"
+    (Pepanet.Net_statespace.n_markings embedded)
+    (Pepanet.Net_statespace.n_markings from_file);
+  Alcotest.(check int) "same transitions"
+    (Pepanet.Net_statespace.n_transitions embedded)
+    (Pepanet.Net_statespace.n_transitions from_file);
+  let throughputs sp = Pepanet.Net_measures.throughputs sp (Pepanet.Net_statespace.steady_state sp) in
+  List.iter2
+    (fun (name_e, v_e) (name_f, v_f) ->
+      Alcotest.(check string) "action name" name_e name_f;
+      Alcotest.check close ("throughput of " ^ name_e) v_e v_f)
+    (throughputs embedded) (throughputs from_file)
+
 let suite =
   [
     Alcotest.test_case "mm1k.pepa" `Quick test_mm1k;
     Alcotest.test_case "instant_message.pepanet" `Quick test_instant_message_file;
+    Alcotest.test_case "roaming.pepanet" `Quick test_roaming_asset;
     Alcotest.test_case "pda.uml + pda.rates" `Quick test_pda_uml_asset;
     Alcotest.test_case "web.uml" `Quick test_web_uml_asset;
     Alcotest.test_case "golden extraction output" `Quick test_extraction_golden;

@@ -28,6 +28,7 @@ let () =
       ("code-mobility", Test_code_mobility.suite);
       ("properties", Test_props.suite);
       ("aggregation", Test_aggregate.suite);
+      ("parallel", Test_parallel.suite);
       ("fluid", Test_fluid.suite);
       ("assets", Test_assets.suite);
       ("edge-cases", Test_edge_cases.suite);
