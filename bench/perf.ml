@@ -492,6 +492,24 @@ let () =
         at_exit (fun () -> Obs.Sink.write_chrome_trace ~path)
       end)
     Sys.argv;
+  (* --ledger FILE: append this bench invocation's flight record, so
+     [choreographer obs diff/regress] works over bench runs too. *)
+  Array.iteri
+    (fun i a ->
+      if a = "--ledger" && i + 1 < Array.length Sys.argv then begin
+        let path = Sys.argv.(i + 1) in
+        Obs.Config.enable ();
+        at_exit (fun () ->
+            let record =
+              Obs.Ledger.capture ~tool:"bench perf" ~model:"-" ~model_hash:""
+                ~options:[ ("smoke", string_of_bool smoke) ]
+                ~exit_status:"ok" ()
+            in
+            try Obs.Ledger.append ~path record
+            with Sys_error msg ->
+              Printf.eprintf "warning: could not append to ledger %s: %s\n%!" path msg)
+      end)
+    Sys.argv;
   let replicas = if smoke then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
   let transmitters = if smoke then [ 2 ] else [ 2; 3; 5; 8; 12 ] in
   let print_par p =

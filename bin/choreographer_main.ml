@@ -74,6 +74,7 @@ let handle_errors f =
   try f () with
   | Choreographer.Pipeline.Pipeline_error msg
   | Choreographer.Workbench.Analysis_error msg ->
+      Cli_support.set_run_status ("error: " ^ msg);
       Printf.eprintf "error: %s\n" msg;
       exit 1
   | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
@@ -106,6 +107,15 @@ let pipeline_cmd =
   let run jobs input output rates_path method_ absorb aggregate fluid xmltable html =
     handle_errors (fun () ->
         let options = options_of ~jobs rates_path method_ absorb aggregate fluid in
+        Cli_support.arm_ledger ~tool:"choreographer pipeline" ~model:input
+          ~options:
+            [
+              ("jobs", string_of_int jobs);
+              ("method", Cli_support.method_string method_);
+              ("aggregate", Markov.Lump.mode_to_string aggregate);
+              ("fluid", Cli_support.fluid_string fluid);
+              ("absorb", string_of_bool absorb);
+            ];
         let doc = read_document input in
         let outcome = Choreographer.Pipeline.process_document ~options doc in
         Cli_support.print_solver_stats ();
@@ -243,7 +253,180 @@ let strip_cmd =
     (Cmd.info "strip" ~doc:"Run the Poseidon preprocessor only (remove tool-specific layout).")
     Term.(const run $ Cli_support.telemetry_term $ input_arg $ output_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The flight recorder front end: inspect the run ledger.              *)
+(* ------------------------------------------------------------------ *)
+
+let obs_cmd =
+  let ledger_file_arg =
+    Arg.(
+      value
+      & opt string (Obs.Ledger.default_path ())
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Ledger to inspect (default: \\$CHOREOGRAPHER_LEDGER or \
+                ~/.choreographer/runs.jsonl).")
+  in
+  let load path =
+    match Obs.Ledger.load ~path with
+    | [] ->
+        Printf.eprintf "ledger %s has no records\n" path;
+        exit 1
+    | records -> Array.of_list records
+    | exception Obs.Ledger.Format_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  (* Runs are addressed by position in the file; negative indices count
+     from the end, so [-1] is always the latest run. *)
+  let resolve records i =
+    let n = Array.length records in
+    let k = if i < 0 then n + i else i in
+    if k < 0 || k >= n then begin
+      Printf.eprintf "error: run %d out of range (the ledger has %d records)\n" i n;
+      exit 1
+    end;
+    k
+  in
+  let timestamp_string t =
+    let tm = Unix.localtime t in
+    Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let ms v = Printf.sprintf "%.3f" (1e3 *. v) in
+  let opt_ms = function Some v -> ms v | None -> "-" in
+  let list_cmd =
+    let run path =
+      let records = load path in
+      print_string
+        (Choreographer.Report.table
+           ~header:[ "run"; "timestamp"; "tool"; "model"; "wall ms"; "exit" ]
+           (List.mapi
+              (fun i (r : Obs.Ledger.record) ->
+                [
+                  string_of_int i;
+                  timestamp_string r.Obs.Ledger.timestamp;
+                  r.Obs.Ledger.tool;
+                  r.Obs.Ledger.model;
+                  ms r.Obs.Ledger.wall_s;
+                  r.Obs.Ledger.exit_status;
+                ])
+              (Array.to_list records)))
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the recorded runs, oldest first.")
+      Term.(const run $ ledger_file_arg)
+  in
+  let index_arg n doc = Arg.(required & pos n (some int) None & info [] ~docv:"RUN" ~doc) in
+  let show_cmd =
+    let run path i =
+      let records = load path in
+      let r = records.(resolve records i) in
+      print_endline (Obs.Json.to_string ~pretty:true (Obs.Ledger.to_json r))
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Print one recorded run as JSON.")
+      Term.(const run $ ledger_file_arg $ index_arg 0 "Run index (negative = from the end).")
+  in
+  let diff_cmd =
+    let run path a b =
+      let records = load path in
+      let ra = records.(resolve records a) and rb = records.(resolve records b) in
+      print_string
+        (Choreographer.Report.table
+           ~header:[ "stage"; "A ms"; "B ms"; "delta ms"; "%" ]
+           (List.map
+              (fun (d : Obs.Ledger.stage_delta) ->
+                [
+                  d.Obs.Ledger.stage;
+                  opt_ms d.Obs.Ledger.a_s;
+                  opt_ms d.Obs.Ledger.b_s;
+                  opt_ms d.Obs.Ledger.delta_s;
+                  (match d.Obs.Ledger.pct with
+                  | Some p -> Printf.sprintf "%+.1f" p
+                  | None -> "-");
+                ])
+              (Obs.Ledger.diff_stages ra rb)));
+      match Obs.Ledger.diff_metrics ra rb with
+      | [] -> print_endline "metrics: identical"
+      | deltas ->
+          let num = function
+            | Some v -> Printf.sprintf "%g" v
+            | None -> "-"
+          in
+          print_string
+            (Choreographer.Report.table
+               ~header:[ "metric"; "A"; "B" ]
+               (List.map
+                  (fun (d : Obs.Ledger.metric_delta) ->
+                    [ d.Obs.Ledger.metric; num d.Obs.Ledger.a_v; num d.Obs.Ledger.b_v ])
+                  deltas))
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Per-stage timing and metric deltas between two recorded runs.")
+      Term.(
+        const run $ ledger_file_arg $ index_arg 0 "Baseline run index."
+        $ index_arg 1 "Candidate run index.")
+  in
+  let regress_cmd =
+    let threshold_arg =
+      Arg.(
+        value
+        & opt float 1.25
+        & info [ "threshold" ] ~docv:"RATIO"
+            ~doc:"Flag stages slower than RATIO times their ledger median (default 1.25).")
+    in
+    let fail_arg =
+      Arg.(
+        value & flag
+        & info [ "fail" ] ~doc:"Exit 3 when any stage regresses (for use as a CI gate).")
+    in
+    let run path threshold fail =
+      if threshold <= 0.0 then begin
+        Printf.eprintf "error: --threshold must be positive\n";
+        exit 2
+      end;
+      let records = load path in
+      let n = Array.length records in
+      if n < 2 then begin
+        Printf.eprintf "ledger %s has %d record(s); regression needs at least 2\n" path n;
+        exit 1
+      end;
+      let latest = records.(n - 1) in
+      let history = Array.to_list (Array.sub records 0 (n - 1)) in
+      match Obs.Ledger.regress ~threshold ~history latest with
+      | [] ->
+          Printf.printf "no stage of run %d exceeds %.2fx its median over %d prior run(s)\n"
+            (n - 1) threshold (n - 1)
+      | regressions ->
+          print_string
+            (Choreographer.Report.table
+               ~header:[ "stage"; "latest ms"; "median ms"; "ratio" ]
+               (List.map
+                  (fun (r : Obs.Ledger.regression) ->
+                    [
+                      r.Obs.Ledger.r_stage;
+                      ms r.Obs.Ledger.latest_s;
+                      ms r.Obs.Ledger.median_s;
+                      Printf.sprintf "%.2fx" r.Obs.Ledger.ratio;
+                    ])
+                  regressions));
+          if fail then exit 3
+    in
+    Cmd.v
+      (Cmd.info "regress"
+         ~doc:"Compare the latest run against the ledger median of every stage.")
+      Term.(const run $ ledger_file_arg $ threshold_arg $ fail_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Inspect the run ledger (the flight recorder written by pipeline and solve \
+             runs).")
+    [ list_cmd; show_cmd; diff_cmd; regress_cmd ]
+
 let () =
   let doc = "performance analysis of mobile UML designs via PEPA nets" in
   let info = Cmd.info "choreographer" ~version:"1.0.0" ~doc in
-  exit (Cli_support.eval_cli (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd ]))
+  exit
+    (Cli_support.eval_cli
+       (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd; obs_cmd ]))

@@ -186,33 +186,158 @@ let metrics_arg =
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write collected metrics (counters, histograms, residual trajectory) as \
-              JSON.")
+              JSON or Prometheus text (see $(b,--metrics-format)).")
+
+let metrics_format_conv =
+  let parse s =
+    match Obs.Sink.metrics_format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown metrics format %s (json|prom)" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with Obs.Sink.Json_format -> "json" | Obs.Sink.Prometheus_format -> "prom")
+  in
+  Arg.conv (parse, print)
+
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt metrics_format_conv Obs.Sink.Json_format
+    & info [ "metrics-format" ] ~docv:"FORMAT"
+        ~doc:"Format of the $(b,--metrics) dump: $(b,json) (pretty-printed, the default) \
+              or $(b,prom) (Prometheus exposition text format).")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"Append this run's flight record to FILE instead of the default ledger \
+              (\\$CHOREOGRAPHER_LEDGER or ~/.choreographer/runs.jsonl).  Inspect it \
+              with $(b,choreographer obs).")
+
+let no_ledger_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ledger" ]
+        ~doc:"Do not record this run in the ledger.  Setting the \
+              \\$CHOREOGRAPHER_NO_LEDGER environment variable has the same effect \
+              (used by the test suite).")
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok v
+    | Some _ | None -> Error (`Msg (Printf.sprintf "%s %s is not a positive number" what s))
+  in
+  (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let sample_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Obs.Sampler.default_interval_s)
+        (some (conv (positive_float_conv "sampling interval")))
+        None
+    & info [ "sample" ] ~docv:"SECONDS"
+        ~doc:"Run a background sampler domain during the command: every SECONDS \
+              (default $(b,0.01)) it records heap size, GC counts, the live solver \
+              residual and the exploration frontier as time series, which the metrics \
+              dump, the HTML report and the Chrome trace then chart.")
+
+(* ------------------------------------------------------------------ *)
+(* Run ledger plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The ledger records one JSON line per run.  [setup] decides the
+   destination; subcommands that analyse a model call [arm_ledger] with
+   their identity, and the [at_exit] hook appends the record — so error
+   exits are recorded too, with the status the error reporters left in
+   [run_status]. *)
+let ledger_path : string option ref = ref None
+let ledger_armed : (string * string * string * (string * string) list) option ref = ref None
+let run_status = ref "ok"
+let set_run_status s = run_status := s
+
+let model_hash path =
+  match Digest.to_hex (Digest.file path) with
+  | hash -> hash
+  | exception Sys_error _ -> ""
+
+(* Option stringifiers for ledger records. *)
+let method_string = function
+  | None -> "auto"
+  | Some m -> Markov.Steady.method_name m
+
+let fluid_string = function
+  | None -> "off"
+  | Some t -> Printf.sprintf "%g,%g" t.Fluid.Rk45.rtol t.Fluid.Rk45.atol
+
+let arm_ledger ~tool ~model ~options =
+  if !ledger_path <> None then begin
+    let hash = if model = "-" then "" else model_hash model in
+    ledger_armed := Some (tool, model, hash, options)
+  end
+
+let append_ledger () =
+  match (!ledger_path, !ledger_armed) with
+  | Some path, Some (tool, model, hash, options) -> (
+      let record =
+        Obs.Ledger.capture ~tool ~model ~model_hash:hash ~options ~exit_status:!run_status ()
+      in
+      let warn msg =
+        Printf.eprintf "warning: could not append to ledger %s: %s\n%!" path msg
+      in
+      try Obs.Ledger.append ~path record with
+      | Sys_error msg -> warn msg
+      | Unix.Unix_error (e, _, _) -> warn (Unix.error_message e))
+  | _ -> ()
+
+let ledger_disabled_by_env () =
+  match Sys.getenv_opt "CHOREOGRAPHER_NO_LEDGER" with
+  | Some "" | None -> false
+  | Some _ -> true
 
 (* Configure the process-global telemetry state.  File writers run
-   [at_exit] so traces survive error exits too. *)
-let setup_telemetry level trace metrics =
+   [at_exit] so traces survive error exits too; [at_exit] runs hooks in
+   reverse registration order, so the sampler (registered last) stops
+   first and the sinks and the ledger see its final samples. *)
+let setup_telemetry level trace metrics metrics_format ledger no_ledger sample =
   (match level with Some l -> Obs.Config.set_level l | None -> ());
-  if level <> None || trace <> None || metrics <> None then Obs.Config.enable ();
+  let ledger_on = (not no_ledger) && not (ledger_disabled_by_env ()) in
+  if ledger_on then
+    ledger_path :=
+      Some (match ledger with Some p -> p | None -> Obs.Ledger.default_path ());
+  if level <> None || trace <> None || metrics <> None || sample <> None || ledger_on then
+    Obs.Config.enable ();
   if Obs.Config.at_least Obs.Config.Info then Obs.Sink.install_stderr ();
+  at_exit append_ledger;
   (match trace with
   | Some path -> at_exit (fun () -> Obs.Sink.write_chrome_trace ~path)
   | None -> ());
-  match metrics with
-  | Some path -> at_exit (fun () -> Obs.Sink.write_metrics ~path)
+  (match metrics with
+  | Some path -> at_exit (fun () -> Obs.Sink.write_metrics ~format:metrics_format ~path ())
+  | None -> ());
+  match sample with
+  | Some interval_s ->
+      let sampler = Obs.Sampler.start ~interval_s () in
+      at_exit (fun () -> Obs.Sampler.stop sampler)
   | None -> ()
 
 (* Shared per-process setup: telemetry sinks plus the domain-pool
    default.  Evaluates to the resolved job count ([--jobs 0] becomes
    the detected core count) so subcommands can also thread it
    explicitly where an API takes [?jobs]. *)
-let setup level trace metrics jobs =
-  setup_telemetry level trace metrics;
+let setup level trace metrics metrics_format ledger no_ledger sample jobs =
+  setup_telemetry level trace metrics metrics_format ledger no_ledger sample;
   let jobs = Par.resolve jobs in
   Par.set_jobs jobs;
   jobs
 
 let telemetry_term =
-  Term.(const setup $ log_level_arg $ trace_arg $ metrics_arg $ jobs_arg)
+  Term.(
+    const setup $ log_level_arg $ trace_arg $ metrics_arg $ metrics_format_arg $ ledger_arg
+    $ no_ledger_arg $ sample_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Solver diagnostics                                                  *)
@@ -232,9 +357,23 @@ let print_solver_stats () =
 let exit_did_not_converge = 2
 
 let report_did_not_converge ~method_used ~iterations ~residual =
-  Printf.eprintf "error: %s solver did not converge after %d iterations (residual %g)\n%!"
-    (Markov.Steady.method_name method_used)
-    iterations residual;
+  let name = Markov.Steady.method_name method_used in
+  (* Suggesting SOR when SOR is what just diverged would send the user
+     in a circle; under-relaxing is the documented way out there. *)
+  let method_hint =
+    match method_used with
+    | Markov.Steady.Sor _ -> "--method sor:0.8 (damp the oscillation)"
+    | _ -> "--method sor (faster mixing)"
+  in
+  Printf.eprintf
+    "error: %s solver did not converge after %d sweeps (last residual %g)\n\
+     hint: try %s, --aggregate (shrink the chain before the \
+     solve), or --fluid (ODE approximation, plain PEPA only)\n\
+     %!"
+    name iterations residual method_hint;
+  set_run_status
+    (Printf.sprintf "did-not-converge: %s after %d sweeps, residual %g" name iterations
+       residual);
   exit exit_did_not_converge
 
 (* Invalid option values (unknown --method, --aggregate, --fluid forms,
@@ -253,4 +392,6 @@ let report_did_not_reach_steady ~steps ~t ~dx_norm =
      derivative norm %g)\n\
      %!"
     steps t dx_norm;
+  set_run_status
+    (Printf.sprintf "did-not-reach-steady: %d steps, t=%g, dx_norm=%g" steps t dx_norm);
   exit exit_did_not_converge

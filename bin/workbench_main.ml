@@ -17,6 +17,7 @@ let method_arg = Cli_support.method_arg
 let handle_errors f =
   try f () with
   | Choreographer.Workbench.Analysis_error msg ->
+      Cli_support.set_run_status ("error: " ^ msg);
       Printf.eprintf "error: %s\n" msg;
       exit 1
   | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
@@ -27,6 +28,15 @@ let handle_errors f =
 let solve_cmd =
   let run jobs path net method_ aggregate fluid =
     handle_errors (fun () ->
+        Cli_support.arm_ledger ~tool:"workbench solve" ~model:path
+          ~options:
+            [
+              ("jobs", string_of_int jobs);
+              ("method", Cli_support.method_string method_);
+              ("aggregate", Markov.Lump.mode_to_string aggregate);
+              ("fluid", Cli_support.fluid_string fluid);
+              ("net", string_of_bool (is_net_file path net));
+            ];
         if is_net_file path net then begin
           if fluid <> None then begin
             Printf.eprintf

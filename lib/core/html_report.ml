@@ -120,6 +120,49 @@ let net_section buf name net =
   Buffer.add_string buf "<h3>Net structure (Graphviz)</h3>\n";
   Buffer.add_string buf (Printf.sprintf "<pre>%s</pre>\n" (escape (Graphviz.net_structure net)))
 
+(* Inline SVG line chart of one metric series (residual vs time, heap
+   vs time, ...).  Series spanning several decades of positive values
+   switch to a log10 vertical scale, which is what makes a residual
+   trajectory legible. *)
+let series_chart buf name pts =
+  let w = 640.0 and h = 140.0 and pad_l = 60.0 and pad_r = 12.0 and pad_v = 16.0 in
+  let xs = List.map fst pts and ys = List.map snd pts in
+  let fold f = function [] -> 0.0 | v :: tl -> List.fold_left f v tl in
+  let xmin = fold min xs and xmax = fold max xs in
+  let ymin = fold min ys and ymax = fold max ys in
+  let log_scale = ymin > 0.0 && ymax /. ymin > 1000.0 in
+  let ty v = if log_scale then log10 v else v in
+  let ymin' = ty ymin and ymax' = ty ymax in
+  let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+  let yspan = if ymax' > ymin' then ymax' -. ymin' else 1.0 in
+  let px x = pad_l +. ((x -. xmin) /. xspan *. (w -. pad_l -. pad_r)) in
+  let py y = h -. pad_v -. ((ty y -. ymin') /. yspan *. (h -. 2.0 *. pad_v)) in
+  let points =
+    String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y)) pts)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<figure><figcaption>%s (%d points%s)</figcaption>\n\
+        <svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" role=\"img\">\n\
+        <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"#fafafa\" \
+        stroke=\"#ccc\"/>\n\
+        <polyline points=\"%s\" fill=\"none\" stroke=\"#069\" stroke-width=\"1.5\"/>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\">%.3g</text>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\">%.3g</text>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\">%.3g</text>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\">%.3g</text>\n\
+        </svg></figure>\n"
+       (escape name) (List.length pts)
+       (if log_scale then ", log scale" else "")
+       w h w h pad_l pad_v
+       (w -. pad_l -. pad_r)
+       (h -. 2.0 *. pad_v)
+       points
+       (pad_l -. 4.0) (pad_v +. 10.0) ymax
+       (pad_l -. 4.0) (h -. pad_v) ymin
+       pad_l (h -. 2.0) xmin
+       (w -. pad_r) (h -. 2.0) xmax)
+
 (* Only rendered when telemetry collection is on: the span tree and the
    metric registry as captured at report-generation time. *)
 let telemetry_section buf =
@@ -131,6 +174,15 @@ let telemetry_section buf =
     | rows ->
         table buf ~header:[ "metric"; "value" ]
           (List.map (fun (name, value) -> [ escape name; escape value ]) rows));
+    (match
+       List.filter
+         (fun (_, pts) -> List.length pts >= 2)
+         report.Obs.Report.metrics.Obs.Metrics.series_data
+     with
+    | [] -> ()
+    | charts ->
+        Buffer.add_string buf "<h3>Series</h3>\n";
+        List.iter (fun (name, pts) -> series_chart buf name pts) charts);
     match Obs.Report.spans_text report with
     | "" -> ()
     | spans ->

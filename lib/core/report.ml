@@ -58,9 +58,14 @@ let telemetry_section () =
       | rows ->
           table ~header:[ "metric"; "value" ] (List.map (fun (n, v) -> [ n; v ]) rows)
     in
+    let series =
+      match Obs.Report.series_text report with "" -> "" | text -> "\n" ^ text
+    in
     let spans =
       match Obs.Report.spans_text report with "" -> "" | text -> text
     in
-    if metrics = "" && spans = "" then ""
-    else section "Telemetry" ^ metrics ^ (if spans = "" then "" else "\n" ^ spans)
+    if metrics = "" && series = "" && spans = "" then ""
+    else
+      section "Telemetry" ^ metrics ^ series
+      ^ (if spans = "" then "" else "\n" ^ spans)
   end

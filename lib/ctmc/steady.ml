@@ -155,9 +155,14 @@ let iterate ?initial ?pool ~method_ ~options ~c ~sweep () =
     match pool with None -> normalise_into | Some p -> normalise_into_par p
   in
   let obs_on = Obs.Config.enabled () in
+  (* Publishing the gauge at every measurement (not just at the end of
+     the solve, as before) is what lets the background sampler draw a
+     residual-vs-time curve while the iteration is still running. *)
   let record iterations res =
-    if obs_on then
+    if obs_on then begin
+      Obs.Metrics.set solver_residual res;
       Obs.Metrics.push residual_trajectory ~x:(float_of_int iterations) ~y:res
+    end
   in
   let stride = max 1 options.residual_stride in
   let iterations = ref 0 in

@@ -1,6 +1,21 @@
+(* Two clocks, deliberately kept apart:
+
+   - [now]/[since_origin]/[time] read CLOCK_MONOTONIC (via the C stub
+     in clock_stubs.c), so every *duration* the telemetry layer emits
+     is immune to wall-clock adjustment — an NTP step mid-solve cannot
+     produce a negative span;
+   - [wall_now]/[origin] read the adjustable wall clock, which is only
+     ever used to *timestamp* artefacts (ledger records, file names),
+     never subtracted from another reading. *)
+
+external monotonic_seconds : unit -> float = "obs_clock_monotonic_seconds"
+
 let origin = Unix.gettimeofday ()
-let now () = Unix.gettimeofday ()
-let since_origin () = now () -. origin
+let mono_origin = monotonic_seconds ()
+
+let now () = monotonic_seconds ()
+let wall_now () = Unix.gettimeofday ()
+let since_origin () = now () -. mono_origin
 
 let time f =
   let t0 = now () in

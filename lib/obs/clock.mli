@@ -1,18 +1,30 @@
-(** Wall-clock timing shared by the spans, the benchmark harnesses and
-    the run report, so every emitted duration comes from the same
-    clock. *)
+(** Timing shared by the spans, the benchmark harnesses and the run
+    report, so every emitted duration comes from the same clock.
+
+    Durations are measured on the {e monotonic} clock
+    ([clock_gettime(CLOCK_MONOTONIC)] via a local C stub): a wall-clock
+    adjustment mid-run (NTP step, manual change) can never make a span
+    or stage duration go negative.  Wall-clock readings are only used
+    to timestamp artefacts such as ledger records. *)
 
 val origin : float
-(** [Unix.gettimeofday] captured when the process loaded this module;
-    span start offsets are reported relative to it. *)
+(** Wall-clock time ([Unix.gettimeofday]) captured when the process
+    loaded this module; the ledger stamps runs relative to real time,
+    while span start offsets are measured monotonically. *)
 
 val now : unit -> float
-(** Current wall-clock time in seconds. *)
+(** Current monotonic time in seconds.  The epoch is arbitrary (boot
+    time on Linux): only differences between two readings mean
+    anything. *)
+
+val wall_now : unit -> float
+(** Current wall-clock time in seconds since the Unix epoch — for
+    timestamps, never for durations. *)
 
 val since_origin : unit -> float
-(** Seconds elapsed since {!origin}. *)
+(** Monotonic seconds elapsed since the process loaded this module. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result together with the elapsed
-    wall-clock seconds — the helper previously copied between the two
+    monotonic seconds — the helper previously copied between the two
     bench executables. *)

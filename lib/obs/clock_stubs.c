@@ -1,0 +1,19 @@
+/* Monotonic time source for Obs.Clock.
+
+   Span and stage durations must never go negative when the system
+   wall clock is adjusted (NTP step, manual change), so they are taken
+   from CLOCK_MONOTONIC rather than gettimeofday.  The stub returns
+   seconds as a double: at nanosecond resolution a double keeps ~104
+   days of monotonic uptime exactly, far beyond any run we time. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + 1e-9 * (double) ts.tv_nsec);
+}

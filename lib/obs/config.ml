@@ -1,7 +1,12 @@
 type level = Quiet | Info | Debug
 
 let current_level = ref Quiet
-let collecting = ref false
+
+(* The collection flag is read from every domain (pool workers bump
+   counters, the sampler polls gauges), so it is an atomic: a plain ref
+   written by the coordinator could stay invisible to another domain
+   indefinitely under the OCaml memory model. *)
+let collecting = Atomic.make false
 let interval = ref 8192
 
 let set_level l = current_level := l
@@ -18,9 +23,9 @@ let level_of_string = function
 
 let level_to_string = function Quiet -> "quiet" | Info -> "info" | Debug -> "debug"
 
-let enable () = collecting := true
-let disable () = collecting := false
-let enabled () = !collecting
+let enable () = Atomic.set collecting true
+let disable () = Atomic.set collecting false
+let enabled () = Atomic.get collecting
 
 let set_progress_interval n = interval := max 1 n
 let progress_interval () = !interval

@@ -1,0 +1,100 @@
+(** The run ledger: a flight recorder for whole invocations.
+
+    Every pipeline / solve / bench run can append one schema-versioned
+    JSON record — model content hash, effective options, per-stage span
+    timings, final metric values, GC peak, exit status — to an append-only
+    JSON-lines file (default [~/.choreographer/runs.jsonl], overridable
+    with [--ledger PATH] or the [CHOREOGRAPHER_LEDGER] environment
+    variable).  The [choreographer obs] subcommand reads it back:
+    [list], [show], [diff A B] and [regress] turn isolated runs into a
+    performance trajectory the user (and CI) can interrogate. *)
+
+val schema_version : int
+(** Version written into every record; {!of_json} refuses others. *)
+
+type record = {
+  schema : int;
+  timestamp : float;  (** wall clock, seconds since the epoch *)
+  tool : string;  (** e.g. ["choreographer pipeline"] *)
+  model : string;  (** input path, or ["-"] when not file-based *)
+  model_hash : string;  (** MD5 of the model content, [""] if unknown *)
+  options : (string * string) list;  (** jobs, aggregate, fluid, method, ... *)
+  stages : (string * float) list;  (** span name -> total seconds *)
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  gc_minor : int;
+  gc_major : int;
+  gc_peak_heap_words : int;
+  wall_s : float;  (** total process age at capture *)
+  exit_status : string;  (** ["ok"] or an error summary *)
+}
+
+exception Format_error of string
+(** Raised by {!of_json} and {!load} on malformed or unsupported
+    records (including a schema version this build does not read). *)
+
+val capture :
+  tool:string ->
+  model:string ->
+  model_hash:string ->
+  options:(string * string) list ->
+  exit_status:string ->
+  unit ->
+  record
+(** Snapshot the current telemetry state into a record: per-stage
+    timings are the span durations summed by span name, metrics come
+    from {!Metrics.snapshot}, the GC figures from [Gc.quick_stat].
+    Requires collection to have been on during the run for the stages
+    and metrics to be non-empty. *)
+
+val to_json : record -> Json.t
+val of_json : Json.t -> record
+(** Round-trip partners; {!of_json} tolerates missing optional fields
+    but raises {!Format_error} on a wrong schema or mistyped field. *)
+
+val default_path : unit -> string
+(** [$CHOREOGRAPHER_LEDGER] if set, else [~/.choreographer/runs.jsonl]. *)
+
+val append : path:string -> record -> unit
+(** Append one record as a single JSON line, creating the parent
+    directory if needed. *)
+
+val load : path:string -> record list
+(** All records in file order; a missing file is an empty ledger.
+    Raises {!Format_error} on malformed lines. *)
+
+(** {1 Diffing two runs} *)
+
+type stage_delta = {
+  stage : string;
+  a_s : float option;  (** [None] when the stage is missing from run A *)
+  b_s : float option;
+  delta_s : float option;  (** only when present on both sides *)
+  pct : float option;  (** percent change relative to A, when A > 0 *)
+}
+
+val diff_stages : record -> record -> stage_delta list
+(** Per-stage timing comparison over the union of stage names (A's
+    order first), with absolute and percent deltas where both sides
+    ran the stage. *)
+
+type metric_delta = { metric : string; a_v : float option; b_v : float option }
+
+val diff_metrics : record -> record -> metric_delta list
+(** Counters and gauges (as floats) that differ between the runs;
+    identical values are omitted. *)
+
+(** {1 Regression detection} *)
+
+type regression = {
+  r_stage : string;
+  latest_s : float;
+  median_s : float;
+  ratio : float;  (** latest / median *)
+}
+
+val regress : ?threshold:float -> history:record list -> record -> regression list
+(** Stages of [latest] that ran more than [threshold] (default 1.25,
+    i.e. 25% slower) times their median duration over [history].
+    Stages with no history are skipped.  Raises [Invalid_argument] on
+    a non-positive threshold. *)

@@ -7,7 +7,15 @@
     collection off an increment is a boolean test and nothing more,
     and all values read back as zero/empty.  {!reset} zeroes values
     but keeps registrations, so handles held by instrumented code
-    never go stale. *)
+    never go stale.
+
+    Every operation is domain safe: counters and gauges are atomics,
+    histograms and series take a per-metric mutex, and get-or-create
+    itself is serialised — a [--jobs N] solve incrementing a counter
+    from several domains (or the background {!Sampler} pushing series
+    points while a solve runs) loses no updates and never observes a
+    torn registry.  Counter totals under parallel execution therefore
+    equal the sequential totals exactly. *)
 
 type counter
 type gauge
@@ -22,6 +30,10 @@ val value : counter -> int
 val gauge : string -> gauge
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
+
+val set_max : gauge -> float -> unit
+(** [set_max g v] raises [g] to [v] if [v] is larger — an atomic
+    high-water mark, safe against concurrent writers. *)
 
 val histogram : string -> histogram
 val observe : histogram -> float -> unit

@@ -33,3 +33,51 @@ let metric_rows r =
       r.metrics.Metrics.series_data
   in
   counters @ gauges @ histograms @ series
+
+(* ASCII sparkline of one series: the y range mapped onto a character
+   ramp, the x range resampled into [width] buckets (last value wins
+   within a bucket).  Enough to see a residual fall or a heap climb in
+   a terminal. *)
+let spark_ramp = " .:-=+*#"
+
+let sparkline ?(width = 60) pts =
+  match pts with
+  | [] | [ _ ] -> ""
+  | _ ->
+      let fold f = function [] -> 0.0 | v :: tl -> List.fold_left f v tl in
+      let xs = List.map fst pts and ys = List.map snd pts in
+      let xmin = fold min xs and xmax = fold max xs in
+      let ymin = fold min ys and ymax = fold max ys in
+      let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+      let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+      let cells = Bytes.make width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let i =
+            min (width - 1)
+              (int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)))
+          in
+          let level =
+            min
+              (String.length spark_ramp - 1)
+              (int_of_float ((y -. ymin) /. yspan *. float_of_int (String.length spark_ramp - 1)))
+          in
+          Bytes.set cells i spark_ramp.[max 0 level])
+        pts;
+      Bytes.to_string cells
+
+let series_text r =
+  let lines =
+    List.filter_map
+      (fun (name, pts) ->
+        match sparkline pts with
+        | "" -> None
+        | spark ->
+            let ys = List.map snd pts in
+            let fold f = function [] -> 0.0 | v :: tl -> List.fold_left f v tl in
+            Some
+              (Printf.sprintf "%-32s [%s] min=%g max=%g (%d points)" name spark
+                 (fold min ys) (fold max ys) (List.length pts)))
+      r.metrics.Metrics.series_data
+  in
+  match lines with [] -> "" | _ -> String.concat "\n" lines ^ "\n"

@@ -19,3 +19,11 @@ val metric_rows : t -> (string * string) list
 (** Flat (name, value) rows covering counters, gauges, histogram
     summaries and series lengths — ready for the table renderers in
     the report generators. *)
+
+val sparkline : ?width:int -> (float * float) list -> string
+(** An ASCII sparkline of the points (default width 60 cells); [""]
+    for fewer than two points. *)
+
+val series_text : t -> string
+(** One sparkline line per series with at least two points, with the
+    value range and point count; [""] when there is none. *)

@@ -5,7 +5,8 @@
       (installed by the CLIs at [--log-level info] and above);
     - a JSON-lines event sink streaming one object per completed span;
     - a Chrome [trace_event] JSON exporter whose output loads in
-      [chrome://tracing] / Perfetto. *)
+      [chrome://tracing] / Perfetto;
+    - a Prometheus text-format exposition of the metrics registry. *)
 
 val install_stderr : unit -> unit
 (** Echo closing spans to stderr, indented by nesting depth.  At
@@ -18,19 +19,36 @@ val install_jsonl : out_channel -> unit
 
 val span_json : Span.completed -> Json.t
 
-val chrome_trace : Span.completed list -> Json.t
+val chrome_trace :
+  ?series:(string * (float * float) list) list -> Span.completed list -> Json.t
 (** The spans as a Chrome [trace_event] document: one ["ph": "X"]
     complete event per span, timestamps and durations in microseconds,
-    attributes under ["args"]. *)
+    attributes under ["args"].  Each [(name, points)] in [series]
+    additionally becomes ["ph": "C"] counter events — the sampler's
+    residual/heap curves render as chart lanes in the trace viewer. *)
 
 val write_chrome_trace : path:string -> unit
-(** Export every span recorded so far to [path]. *)
+(** Export every span recorded so far, plus all metric series as
+    counter events, to [path]. *)
 
 val metrics_json : Metrics.snapshot -> Json.t
 
-val write_metrics : path:string -> unit
-(** Dump the current metrics registry to [path] as pretty-printed
-    JSON. *)
+val prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** The registry in the Prometheus exposition text format: counters as
+    [<ns>_<name>_total], gauges verbatim, histograms as summaries
+    ([_count]/[_sum] plus min/max/mean gauges), series as a gauge
+    holding their latest point.  Metric names are sanitised to
+    [[a-zA-Z0-9_:]] and prefixed with [namespace] (default
+    ["choreographer"]). *)
+
+type metrics_format = Json_format | Prometheus_format
+
+val metrics_format_of_string : string -> metrics_format option
+(** ["json"], ["prom"] or ["prometheus"]; anything else is [None]. *)
+
+val write_metrics : ?format:metrics_format -> path:string -> unit -> unit
+(** Dump the current metrics registry to [path]: pretty-printed JSON
+    (the default) or Prometheus text format. *)
 
 val render_tree : Span.completed list -> string
 (** Pure pretty-printer: the span forest as an indented text tree with

@@ -63,8 +63,8 @@ let close sp =
       parent = sp.lparent;
       depth = sp.ldepth;
       name = sp.lname;
-      start_s = sp.lstart -. Clock.origin;
-      duration_s = Clock.now () -. sp.lstart;
+      start_s = sp.lstart;
+      duration_s = Clock.since_origin () -. sp.lstart;
       attrs = List.rev sp.lattrs;
     }
   in
@@ -82,7 +82,9 @@ let open_span ?(attrs = []) name =
       lparent = parent;
       ldepth = depth;
       lname = name;
-      lstart = Clock.now ();
+      (* Monotonic offset from process start: subtracting two of these
+         can never go negative under wall-clock adjustment. *)
+      lstart = Clock.since_origin ();
       lattrs = List.rev attrs;
     }
   in

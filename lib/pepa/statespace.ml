@@ -36,6 +36,11 @@ let canonical_hits = Obs.Metrics.counter "statespace.canonical_hits"
    build (the PEPA-net builder sets the same gauge). *)
 let shard_states = Obs.Metrics.gauge "statespace.shard_states"
 
+(* Discovered-but-unexpanded states, refreshed while the build runs so
+   the background sampler can chart frontier occupancy over time (the
+   PEPA-net builder shares the gauge). *)
+let frontier_states = Obs.Metrics.gauge "statespace.frontier_states"
+
 (* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
    once per interned vector: the table stores each slot's hash, so
    probing and resizing compare integers, never rehash arrays. *)
@@ -174,10 +179,13 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
         let next = ref 0 in
         while !next < !n_states do
           let src = !next in
-          if obs_on && src > 0 && src mod progress_every = 0 then
-            Obs.Log.progress ~stage:"statespace.build" ~count:src
-              ~detail:
-                (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions);
+          if obs_on then begin
+            Obs.Metrics.set frontier_states (float_of_int (!n_states - src));
+            if src > 0 && src mod progress_every = 0 then
+              Obs.Log.progress ~stage:"statespace.build" ~count:src
+                ~detail:
+                  (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions)
+          end;
           let vec = !states.(src) in
           List.iter
             (fun move ->
@@ -226,13 +234,19 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
         in
         let emit ~src ~dst (rate, action) = push src dst rate (intern_action action) in
         let progress =
-          if obs_on then
+          if obs_on then (
+            (* The callback fires once per BFS level on the coordinator;
+               the next frontier is exactly the states discovered during
+               the level just merged. *)
+            let seen = ref 0 in
             Some
               (fun ~states ~level ->
+                Obs.Metrics.set frontier_states (float_of_int (states - !seen));
+                seen := states;
                 if states >= progress_every then
                   Obs.Log.progress ~stage:"statespace.build" ~count:states
                     ~detail:
-                      (Printf.sprintf "level %d, %d transitions" level !n_transitions))
+                      (Printf.sprintf "level %d, %d transitions" level !n_transitions)))
           else None
         in
         let result =

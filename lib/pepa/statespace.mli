@@ -44,6 +44,13 @@ val shard_states : Obs.Metrics.gauge
     build (["statespace.shard_states"]); untouched by sequential
     builds.  Shared with {!Pepanet.Net_statespace.build}. *)
 
+val frontier_states : Obs.Metrics.gauge
+(** Discovered-but-unexpanded states of the build in progress
+    (["statespace.frontier_states"]), refreshed per expansion
+    (sequential) or per BFS level (parallel) so the background sampler
+    can chart frontier occupancy over time.  Shared with
+    {!Pepanet.Net_statespace.build}. *)
+
 val build : ?max_states:int -> ?symmetry:bool -> ?jobs:int -> Compile.t -> t
 (** Explore the full state space (default bound: 1_000_000 states).
     Emits a ["statespace.build"] tracing span, adds to the exploration

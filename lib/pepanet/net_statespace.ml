@@ -175,10 +175,13 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
         let next = ref 0 in
         while !next < !n_markings do
           let src = !next in
-          if obs_on && src > 0 && src mod progress_every = 0 then
-            Obs.Log.progress ~stage:"net_statespace.build" ~count:src
-              ~detail:
-                (Printf.sprintf "%d discovered, %d transitions" !n_markings !n_transitions);
+          if obs_on then begin
+            Obs.Metrics.set Pepa.Statespace.frontier_states (float_of_int (!n_markings - src));
+            if src > 0 && src mod progress_every = 0 then
+              Obs.Log.progress ~stage:"net_statespace.build" ~count:src
+                ~detail:
+                  (Printf.sprintf "%d discovered, %d transitions" !n_markings !n_transitions)
+          end;
           let marking = !markings.(src) in
           List.iter
             (fun move ->
@@ -233,13 +236,16 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
         in
         let emit ~src ~dst (rate, label) = push src dst rate (intern_label label) in
         let progress =
-          if obs_on then
+          if obs_on then (
+            let seen = ref 0 in
             Some
               (fun ~states ~level ->
+                Obs.Metrics.set Pepa.Statespace.frontier_states (float_of_int (states - !seen));
+                seen := states;
                 if states >= progress_every then
                   Obs.Log.progress ~stage:"net_statespace.build" ~count:states
                     ~detail:
-                      (Printf.sprintf "level %d, %d transitions" level !n_transitions))
+                      (Printf.sprintf "level %d, %d transitions" level !n_transitions)))
           else None
         in
         let result =

@@ -1,7 +1,11 @@
 let () =
+  (* Some suites drive the real cmdliner commands in-process; keep them
+     from appending flight records to the user's run ledger. *)
+  Unix.putenv "CHOREOGRAPHER_NO_LEDGER" "1";
   Alcotest.run "choreographer"
     [
       ("obs", Test_obs.suite);
+      ("ledger", Test_ledger.suite);
       ("xml", Test_xml.suite);
       ("rates", Test_rate.suite);
       ("pepa-parser", Test_pepa_parser.suite);
