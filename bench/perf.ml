@@ -438,6 +438,159 @@ let scaling_row base ~count =
     s_heap_words = heap_words ();
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fluid net family                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The net analogue of the fluid family: the scaled roaming ring
+   ([Scenarios.Roaming.pepanet_family]), where every capacity grows
+   with the token count so the fluid limit applies, measured against
+   the hand-lumped exact population chain (tokens of one family are
+   interchangeable, so the marking graph lumps to count vectors — the
+   only exact yardstick still standing at 16 tokens per place). *)
+
+type fluid_net_row = {
+  fn_tokens : int;
+  fn_dim : int;
+  fn_lumped_states : int;
+  fn_derive_s : float;
+  fn_integrate_s : float;
+  fn_exact_s : float;
+  fn_steps : int;
+  fn_hop_fluid : float;
+  fn_hop_exact : float;
+  fn_rel_err : float;
+  fn_heap_words : int;
+}
+
+(* Accuracy gate: at 16 tokens and beyond, the fluid hop throughput
+   must be within 5% of the lumped exact solve. *)
+let fluid_net_rel_err_tolerance = 0.05
+let max_fluid_net_rel_err = ref 0.0
+
+let integrate_net nf =
+  Fluid.Rk45.integrate
+    ~f:(fun ~t:_ ~x ~dx -> Fluid.Net_form.derivative nf x dx)
+    ~x0:(Fluid.Net_form.initial nf) ()
+
+let fluid_net_row n =
+  let attrs = [ ("tokens", Obs.Span.Int n) ] in
+  let nf, derive_s =
+    time ~attrs "bench.fluid_net.derive" (fun _ ->
+        Fluid.Net_form.of_string (Scenarios.Roaming.pepanet_family ~tokens:n))
+  in
+  let (x, stats), integrate_s =
+    time ~attrs "bench.fluid_net.integrate" (fun _ -> integrate_net nf)
+  in
+  let fn_hop_fluid = Fluid.Net_form.throughput nf x "hop" in
+  let (lumped_states, fn_hop_exact), exact_s =
+    time ~attrs "bench.fluid_net.exact" (fun _ ->
+        let lf = Scenarios.Roaming.lumped_family ~tokens:n in
+        let pi = Markov.Steady.solve lf.Scenarios.Roaming.lumped_ctmc in
+        ( Markov.Ctmc.n_states lf.Scenarios.Roaming.lumped_ctmc,
+          lf.Scenarios.Roaming.lumped_hop_throughput pi ))
+  in
+  let fn_rel_err =
+    Float.abs (fn_hop_fluid -. fn_hop_exact) /. Float.max 1e-12 (Float.abs fn_hop_exact)
+  in
+  if n >= 16 then max_fluid_net_rel_err := Float.max !max_fluid_net_rel_err fn_rel_err;
+  {
+    fn_tokens = n;
+    fn_dim = Fluid.Net_form.dim nf;
+    fn_lumped_states = lumped_states;
+    fn_derive_s = derive_s;
+    fn_integrate_s = integrate_s;
+    fn_exact_s = exact_s;
+    fn_steps = stats.Fluid.Rk45.steps;
+    fn_hop_fluid;
+    fn_hop_exact;
+    fn_rel_err;
+    fn_heap_words = heap_words ();
+  }
+
+(* The net scaling family re-parameterises one derived form through
+   [with_count]: the place trees keep one cell and one monitor each, so
+   the ODE stays 12-dimensional while agent and monitor masses grow to
+   10^5 — a regime where even the lumped chain has ~10^19 states.  All
+   per-individual rates are O(1) and every population scales (the
+   monitors too — scaling a singleton's rate instead would make the
+   ODE stiff in proportion to the count); only the transition capacity
+   is written into the source, since [with_count] cannot change a
+   rate. *)
+let fluid_net_scaling_model count =
+  Printf.sprintf
+    {|
+      probe_r = 4.0;
+      hop_cap = %f;
+      Agent = (probe, probe_r).Ready;
+      Ready = (hop, 1.0).Agent;
+      Monitor = (probe, 10.0).(log, 5.0).Monitor;
+
+      token Agent;
+
+      place HostA = Agent[Agent] <probe> Monitor;
+      place HostB = Agent[_] <probe> Monitor;
+      place HostC = Agent[_] <probe> Monitor;
+
+      trans hop_ab = (hop, hop_cap) from HostA to HostB;
+      trans hop_bc = (hop, hop_cap) from HostB to HostC;
+      trans hop_ca = (hop, hop_cap) from HostC to HostA;
+    |}
+    (0.5 *. float_of_int count)
+
+type net_scaling_row = {
+  ns_tokens : int;
+  ns_integrate_s : float;
+  ns_steps : int;
+  ns_hop : float;
+  ns_heap_words : int;
+}
+
+(* Speed gate: the 10^5-token instance must integrate to steady state
+   in under a second, or the population-size-independence claim is
+   broken for nets. *)
+let net_scaling_time_budget_s = 1.0
+let net_scaling_gate_breached = ref false
+
+let fluid_net_scaling_row ~count =
+  let base = Fluid.Net_form.of_string (fluid_net_scaling_model count) in
+  let nf =
+    List.fold_left
+      (fun nf label ->
+        Fluid.Net_form.with_count nf
+          ~block:(Fluid.Net_form.block_index nf ~label)
+          ~count:(float_of_int count))
+      base
+      [ "Agent@HostA"; "Monitor@HostA"; "Monitor@HostB"; "Monitor@HostC" ]
+  in
+  let attrs = [ ("tokens", Obs.Span.Int count) ] in
+  let (x, stats), integrate_s =
+    time ~attrs "bench.fluid_net.scale" (fun _ -> integrate_net nf)
+  in
+  if count >= 100_000 && integrate_s >= net_scaling_time_budget_s then
+    net_scaling_gate_breached := true;
+  {
+    ns_tokens = count;
+    ns_integrate_s = integrate_s;
+    ns_steps = stats.Fluid.Rk45.steps;
+    ns_hop = Fluid.Net_form.throughput nf x "hop";
+    ns_heap_words = heap_words ();
+  }
+
+let fluid_net_row_json r =
+  Printf.sprintf
+    {|    { "tokens": %d, "ode_dim": %d, "lumped_states": %d,
+      "derive_s": %.6f, "integrate_s": %.6f, "exact_s": %.6f, "steps": %d,
+      "hop_throughput_fluid": %.6f, "hop_throughput_exact": %.6f,
+      "rel_err": %.3e, "peak_heap_words": %d }|}
+    r.fn_tokens r.fn_dim r.fn_lumped_states r.fn_derive_s r.fn_integrate_s r.fn_exact_s
+    r.fn_steps r.fn_hop_fluid r.fn_hop_exact r.fn_rel_err r.fn_heap_words
+
+let net_scaling_row_json r =
+  Printf.sprintf
+    {|    { "tokens": %d, "integrate_s": %.6f, "steps": %d, "hop_throughput": %.6f, "peak_heap_words": %d }|}
+    r.ns_tokens r.ns_integrate_s r.ns_steps r.ns_hop r.ns_heap_words
+
 let fluid_row_json r =
   Printf.sprintf
     {|    { "replicas": %d, "servers": %d, "ode_dim": %d,
@@ -577,6 +730,30 @@ let () =
         r)
       scaling_replicas
   in
+  let fluid_net_tokens = if smoke then [ 2; 16 ] else [ 2; 4; 8; 16 ] in
+  let fluid_net_rows =
+    List.map
+      (fun n ->
+        let r = fluid_net_row n in
+        Printf.eprintf
+          "fluid net tokens=%2d dim=%d lumped_states=%7d integrate=%.4fs exact=%.4fs hop=%.4f exact_hop=%.4f rel_err=%.2e\n%!"
+          n r.fn_dim r.fn_lumped_states r.fn_integrate_s r.fn_exact_s r.fn_hop_fluid
+          r.fn_hop_exact r.fn_rel_err;
+        r)
+      fluid_net_tokens
+  in
+  let net_scaling_tokens =
+    if smoke then [ 10; 100_000 ] else [ 10; 100; 1_000; 10_000; 100_000 ]
+  in
+  let net_scaling_rows =
+    List.map
+      (fun count ->
+        let r = fluid_net_scaling_row ~count in
+        Printf.eprintf "fluid net scaling tokens=%7d integrate=%.4fs steps=%d hop=%.4f\n%!"
+          count r.ns_integrate_s r.ns_steps r.ns_hop;
+        r)
+      net_scaling_tokens
+  in
   let largest, largest_agg, largest_par = List.nth pepa_rows (List.length pepa_rows - 1) in
   (* The multicore speedup gate needs real cores: with fewer than 4 the
      4-domain run measures oversubscription, not the engine, so the
@@ -608,6 +785,16 @@ let () =
         String.concat ",\n" (List.map scaling_row_json scaling_rows);
         "  ],";
         Printf.sprintf {|  "fluid_scaling_time_budget_s": %.2f,|} scaling_time_budget_s;
+        {|  "fluid_net_family": [|};
+        String.concat ",\n" (List.map fluid_net_row_json fluid_net_rows);
+        "  ],";
+        Printf.sprintf {|  "fluid_net_rel_err_tolerance_at_16": %.2f,|}
+          fluid_net_rel_err_tolerance;
+        {|  "fluid_net_scaling_family": [|};
+        String.concat ",\n" (List.map net_scaling_row_json net_scaling_rows);
+        "  ],";
+        Printf.sprintf {|  "fluid_net_scaling_time_budget_s": %.2f,|}
+          net_scaling_time_budget_s;
         Printf.sprintf
           {|  "parallel_speedup_gate": { "jobs": %d, "required_at_16_replicas": 2.0, "recommended_domains": %d, "enforced": %b },|}
           par_jobs (Par.recommended ()) speedup_gate_enforced;
@@ -663,6 +850,21 @@ let () =
   if !scaling_gate_breached then begin
     Printf.eprintf "error: 10^6-replica fluid instance exceeded %.1fs\n%!"
       scaling_time_budget_s;
+    exit 1
+  end;
+  (* Fluid net accuracy gate: the net lowering must match the lumped
+     exact chain where the chain is still solvable. *)
+  if !max_fluid_net_rel_err > fluid_net_rel_err_tolerance then begin
+    Printf.eprintf
+      "error: fluid net throughput off by %.2f%% at >=16 tokens (tolerance %.0f%%)\n%!"
+      (100.0 *. !max_fluid_net_rel_err)
+      (100.0 *. fluid_net_rel_err_tolerance);
+    exit 1
+  end;
+  (* Fluid net speed gate: cost independent of token count. *)
+  if !net_scaling_gate_breached then begin
+    Printf.eprintf "error: 10^5-token fluid net instance exceeded %.1fs\n%!"
+      net_scaling_time_budget_s;
     exit 1
   end;
   (* Parallel determinism gates, always on: the domain-parallel

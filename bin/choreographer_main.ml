@@ -81,6 +81,8 @@ let handle_errors f =
       Cli_support.report_did_not_converge ~method_used ~iterations ~residual
   | Fluid.Rk45.Did_not_reach_steady { steps; t; dx_norm } ->
       Cli_support.report_did_not_reach_steady ~steps ~t ~dx_norm
+  | Fluid.Rk45.Step_budget_exhausted { steps; t; error_estimate } ->
+      Cli_support.report_step_budget_exhausted ~steps ~t ~error_estimate
 
 (* ------------------------------------------------------------------ *)
 

@@ -105,13 +105,15 @@ let fluid_arg =
     & opt ~vopt:(Some Fluid.Rk45.default_tolerances) (some fluid_conv) None
     & info [ "fluid" ] ~docv:"RTOL[,ATOL]"
         ~doc:
-          "Solve PEPA models by the fluid-flow ODE approximation (numerical vector form + \
-           adaptive RK45) instead of a discrete solve, at a cost independent of replica \
-           counts.  The optional value sets the integrator's relative (and absolute) \
-           local-error tolerances, default $(b,1e-8,1e-12).  Results are the \
-           deterministic population limit — asymptotically exact as populations grow, \
-           not an exact solve — and are labelled as approximations everywhere they are \
-           reported.  Models with passive cooperation have no fluid interpretation.")
+          "Solve PEPA models and PEPA nets by the fluid-flow ODE approximation \
+           (population model + adaptive RK45) instead of a discrete solve, at a cost \
+           independent of replica and token counts.  The optional value sets the \
+           integrator's relative (and absolute) local-error tolerances, default \
+           $(b,1e-8,1e-12).  Results are the deterministic population limit — \
+           asymptotically exact as populations grow, not an exact solve — and are \
+           labelled as approximations everywhere they are reported.  Models with \
+           passive cooperation, and nets with mixed transition priorities, have no \
+           fluid interpretation.")
 
 (* ------------------------------------------------------------------ *)
 (* Parallel execution                                                  *)
@@ -368,7 +370,7 @@ let report_did_not_converge ~method_used ~iterations ~residual =
   Printf.eprintf
     "error: %s solver did not converge after %d sweeps (last residual %g)\n\
      hint: try %s, --aggregate (shrink the chain before the \
-     solve), or --fluid (ODE approximation, plain PEPA only)\n\
+     solve), or --fluid (ODE approximation)\n\
      %!"
     name iterations residual method_hint;
   set_run_status
@@ -394,4 +396,26 @@ let report_did_not_reach_steady ~steps ~t ~dx_norm =
     steps t dx_norm;
   set_run_status
     (Printf.sprintf "did-not-reach-steady: %d steps, t=%g, dx_norm=%g" steps t dx_norm);
+  exit exit_did_not_converge
+
+let report_step_budget_exhausted ~steps ~t ~error_estimate =
+  (* An error estimate near 1 means the controller was accuracy-limited
+     (every step ran at the tolerance ceiling); far below 1 means it was
+     stability-limited (a stiff model pinning the step size). *)
+  let hint =
+    if error_estimate >= 0.5 then
+      "relax the tolerances (e.g. --fluid 1e-6,1e-10): the integrator was \
+       accuracy-limited"
+    else
+      "the model looks stiff (steps limited by stability, not accuracy); relaxing \
+       --fluid tolerances may still help by lowering the steady-state threshold"
+  in
+  Printf.eprintf
+    "error: fluid integration exhausted its step budget (%d steps, t=%g, last error \
+     estimate %.3g) before steady state\n\
+     hint: %s\n\
+     %!"
+    steps t error_estimate hint;
+  set_run_status
+    (Printf.sprintf "step-budget-exhausted: %d steps, t=%g, err=%g" steps t error_estimate);
   exit exit_did_not_converge

@@ -24,6 +24,8 @@ let handle_errors f =
       Cli_support.report_did_not_converge ~method_used ~iterations ~residual
   | Fluid.Rk45.Did_not_reach_steady { steps; t; dx_norm } ->
       Cli_support.report_did_not_reach_steady ~steps ~t ~dx_norm
+  | Fluid.Rk45.Step_budget_exhausted { steps; t; error_estimate } ->
+      Cli_support.report_step_budget_exhausted ~steps ~t ~error_estimate
 
 let solve_cmd =
   let run jobs path net method_ aggregate fluid =
@@ -38,18 +40,41 @@ let solve_cmd =
               ("net", string_of_bool (is_net_file path net));
             ];
         if is_net_file path net then begin
-          if fluid <> None then begin
-            Printf.eprintf
-              "error: the fluid approximation supports plain PEPA models only, not PEPA \
-               nets\n";
-            exit 1
-          end;
-          let analysis =
-            Choreographer.Workbench.analyse_net_file ?method_ ~aggregate ~jobs path
-          in
-          Format.printf "%a@." Choreographer.Results.pp
-            analysis.Choreographer.Workbench.net_results;
-          Cli_support.print_solver_stats ()
+          match fluid with
+          | Some tolerances ->
+              let analysis =
+                Choreographer.Workbench.analyse_net_fluid_file ~tolerances path
+              in
+              Format.printf "%a@." Choreographer.Results.pp
+                analysis.Choreographer.Workbench.net_fluid_results;
+              (* Fluid analogues of the net marking measures: token mass
+                 per place, and each family's distribution over them. *)
+              let form = analysis.Choreographer.Workbench.net_form in
+              let x = analysis.Choreographer.Workbench.net_populations in
+              let compiled = Fluid.Net_form.compiled form in
+              Array.iteri
+                (fun p _ ->
+                  let place = Pepanet.Net_compile.place_name compiled p in
+                  Printf.printf "tokens at %-20s %.6f\n" place
+                    (Fluid.Net_form.expected_tokens_at form x ~place))
+                compiled.Pepanet.Net_compile.places;
+              Array.iter
+                (fun family ->
+                  let root = family.Pepanet.Net_compile.family_root in
+                  List.iter
+                    (fun (place, share) ->
+                      Printf.printf "%s tokens at %-20s %.6f\n" root place share)
+                    (Fluid.Net_form.token_location_proportions form x ~family:root))
+                compiled.Pepanet.Net_compile.families;
+              Cli_support.print_fluid_stats
+                analysis.Choreographer.Workbench.net_fluid_stats
+          | None ->
+              let analysis =
+                Choreographer.Workbench.analyse_net_file ?method_ ~aggregate ~jobs path
+              in
+              Format.printf "%a@." Choreographer.Results.pp
+                analysis.Choreographer.Workbench.net_results;
+              Cli_support.print_solver_stats ()
         end
         else
           match fluid with

@@ -43,6 +43,13 @@ let model_name_of doc =
   | Some model -> Option.value ~default:"model" (X.attribute "name" model)
   | None -> "model"
 
+(* In fluid mode an extracted system may have no fluid interpretation
+   (passive cooperation, mixed firing priorities); fall back to the
+   exact solve with a warning naming the option that asked for the
+   approximation rather than failing the document. *)
+let exact_fallback_warning reason =
+  Printf.sprintf "--fluid: %s; solved exactly instead" reason
+
 let analyse_activity options interactions diagram =
   let extraction =
     try
@@ -51,34 +58,33 @@ let analyse_activity options interactions diagram =
     with Extract.Ad_to_pepanet.Extraction_error msg ->
       fail "extraction of %s failed: %s" diagram.Uml.Activity.diagram_name msg
   in
-  let analysis =
-    try
-      Workbench.analyse_net ~name:diagram.Uml.Activity.diagram_name ?method_:options.method_
-        ?max_markings:options.max_states ~aggregate:options.aggregate ?jobs:options.jobs
-        extraction.Extract.Ad_to_pepanet.net
-    with Workbench.Analysis_error msg -> fail "%s" msg
+  let name = diagram.Uml.Activity.diagram_name in
+  let exact ?(extra_warnings = []) () =
+    let analysis =
+      try
+        Workbench.analyse_net ~name ?method_:options.method_
+          ?max_markings:options.max_states ~aggregate:options.aggregate ?jobs:options.jobs
+          extraction.Extract.Ad_to_pepanet.net
+      with Workbench.Analysis_error msg -> fail "%s" msg
+    in
+    let r = analysis.Workbench.net_results in
+    { r with Results.warnings = r.Results.warnings @ extra_warnings }
   in
   let results =
-    (* Activity diagrams extract to PEPA nets, which have no fluid
-       interpretation yet (see ROADMAP): solve exactly and say so
-       rather than failing the whole document. *)
-    if options.fluid = None then analysis.Workbench.net_results
-    else
-      let r = analysis.Workbench.net_results in
-      {
-        r with
-        Results.warnings =
-          r.Results.warnings
-          @ [
-              Printf.sprintf
-                "%s: fluid approximation is not available for PEPA nets; solved exactly"
-                diagram.Uml.Activity.diagram_name;
-            ];
-      }
+    match options.fluid with
+    | None -> exact ()
+    | Some tolerances -> (
+        match
+          Workbench.analyse_net_fluid ~name ~tolerances extraction.Extract.Ad_to_pepanet.net
+        with
+        | analysis -> analysis.Workbench.net_fluid_results
+        | exception Workbench.Analysis_error msg ->
+            exact ~extra_warnings:[ exact_fallback_warning msg ] ())
   in
   let throughputs = results.Results.throughputs in
   let reflected_diagram =
-    Extract.Reflector.reflect_activity extraction ~throughputs diagram
+    Extract.Reflector.reflect_activity extraction
+      ?approximation:results.Results.approximation ~throughputs diagram
   in
   (reflected_diagram, extraction, results)
 
@@ -92,10 +98,9 @@ let analyse_statecharts options charts =
     String.concat "+" (List.map (fun c -> c.Uml.Statechart.chart_name) charts)
   in
   (* Steady-state probability of each state constant, computed per chart
-     from its leaf's local distribution.  In fluid mode the extracted
-     model may have no fluid interpretation (shared actions extract as
-     passive cooperation); fall back to the exact solve with a warning
-     rather than failing the document. *)
+     from its leaf's local distribution.  Shared actions extract as
+     passive cooperation, so in fluid mode the extracted model may have
+     no fluid interpretation; see [exact_fallback_warning]. *)
   let exact ?(extra_warnings = []) () =
     let analysis =
       try
@@ -136,10 +141,7 @@ let analyse_statecharts options charts =
                 Results.state_probabilities = probabilities;
               } )
         | exception Workbench.Analysis_error msg ->
-            exact
-              ~extra_warnings:
-                [ Printf.sprintf "%s; solved exactly instead" msg ]
-              ())
+            exact ~extra_warnings:[ exact_fallback_warning msg ] ())
   in
   let reflected_charts =
     Extract.Reflector.reflect_statecharts extraction

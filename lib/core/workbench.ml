@@ -17,6 +17,13 @@ type fluid_analysis = {
   fluid_results : Results.t;
 }
 
+type net_fluid_analysis = {
+  net_form : Fluid.Net_form.t;
+  net_populations : float array;
+  net_fluid_stats : Fluid.Rk45.stats;
+  net_fluid_results : Results.t;
+}
+
 exception Analysis_error of string
 
 let wrap name thunk =
@@ -119,6 +126,36 @@ let analyse_pepa_fluid_file ?tolerances path =
   let name = Filename.basename path in
   let model = wrap name (fun () -> Pepa.Parser.model_of_file path) in
   analyse_pepa_fluid ~name ?tolerances model
+
+let analyse_net_fluid ?(name = "net") ?tolerances net =
+  Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net_fluid"
+    (fun _ ->
+  wrap name (fun () ->
+      let compiled = Pepanet.Net_compile.compile net in
+      let net_form = Fluid.Net_form.derive compiled in
+      let f ~t:_ ~x ~dx = Fluid.Net_form.derivative net_form x dx in
+      let net_populations, net_fluid_stats =
+        Fluid.Rk45.integrate ?tolerances ~f ~x0:(Fluid.Net_form.initial net_form) ()
+      in
+      let net_fluid_results =
+        Results.make ~source:name ~kind:Results.Pepa_net
+          ~n_states:(Fluid.Net_form.dim net_form)
+          ~n_transitions:(Fluid.Net_form.n_flux_entries net_form)
+          ~throughputs:(Fluid.Net_form.throughputs net_form net_populations)
+          ~state_probabilities:(Fluid.Net_form.proportions net_form net_populations)
+          ~warnings:(Pepanet.Net_compile.warnings compiled)
+          ~approximation:"fluid" ()
+      in
+      { net_form; net_populations; net_fluid_stats; net_fluid_results }))
+
+let analyse_net_fluid_string ?(name = "net") ?tolerances src =
+  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
+  analyse_net_fluid ~name ?tolerances net
+
+let analyse_net_fluid_file ?tolerances path =
+  let name = Filename.basename path in
+  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_file path) in
+  analyse_net_fluid ~name ?tolerances net
 
 let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump.No_agg)
     ?jobs net =

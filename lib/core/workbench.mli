@@ -23,10 +23,21 @@ type fluid_analysis = {
           matrix rows, and [approximation] is [Some "fluid"]. *)
 }
 
+type net_fluid_analysis = {
+  net_form : Fluid.Net_form.t;
+  net_populations : float array;  (** the ODE fixed point reached *)
+  net_fluid_stats : Fluid.Rk45.stats;
+  net_fluid_results : Results.t;
+      (** [n_states] is the ODE dimension, [n_transitions] the flux
+          rows (local and transfer), and [approximation] is
+          [Some "fluid"]. *)
+}
+
 exception Analysis_error of string
 (** Wraps parser, semantic, state-space and solver failures with
-    context — including {!Fluid.Vector_form.Unsupported} for models
-    with no fluid interpretation.  {!Markov.Steady.Did_not_converge}
+    context — including {!Fluid.Vector_form.Unsupported} (equally
+    {!Fluid.Net_form.Unsupported}) for models with no fluid
+    interpretation.  {!Markov.Steady.Did_not_converge}
     and {!Fluid.Rk45.Did_not_reach_steady} are deliberately {e not}
     wrapped: they carry structured solver statistics (method, iteration
     count, residual) that the command-line front ends report separately
@@ -94,6 +105,28 @@ val analyse_pepa_fluid_string :
 
 val analyse_pepa_fluid_file :
   ?tolerances:Fluid.Rk45.tolerances -> string -> fluid_analysis
+
+val analyse_net_fluid :
+  ?name:string ->
+  ?tolerances:Fluid.Rk45.tolerances ->
+  Pepanet.Net.t ->
+  net_fluid_analysis
+(** Fluid-flow approximation of a PEPA net: lower the net onto the
+    population-model IR ({!Fluid.Net_form}) — tokens pooled by (place,
+    local derivative), firings as inter-place transfer flux —
+    integrate to steady state, and report throughputs (local activity
+    types and firings combined, as {!Pepanet.Net_measures.throughput}
+    counts them) and per-block local-state proportions.  Raises
+    {!Analysis_error} on nets with no fluid interpretation (passive
+    rates, mixed transition priorities) and lets
+    {!Fluid.Rk45.Did_not_reach_steady} and
+    {!Fluid.Rk45.Step_budget_exhausted} escape. *)
+
+val analyse_net_fluid_string :
+  ?name:string -> ?tolerances:Fluid.Rk45.tolerances -> string -> net_fluid_analysis
+
+val analyse_net_fluid_file :
+  ?tolerances:Fluid.Rk45.tolerances -> string -> net_fluid_analysis
 
 val analyse_net :
   ?name:string ->

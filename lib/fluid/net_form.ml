@@ -1,0 +1,452 @@
+(* The PEPA-net lowering onto the population-model IR.
+
+   Coordinates: one block per (token family, place) pooling the
+   family's cells there — tokens are counted by local derivative, not
+   tracked by cell — plus one block per static component.  Each place's
+   cooperation context becomes one tree of the IR forest (local
+   activities flow per place, independently); net transitions become
+   transfer rows that drain candidate firing derivatives of the input
+   places and deposit the moved mass at the target derivative in the
+   output places. *)
+
+module String_set = Pepa.Syntax.String_set
+module NC = Pepanet.Net_compile
+
+exception Unsupported = Population.Unsupported
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Unsupported msg)) fmt
+
+type t = {
+  compiled : NC.t;
+  form : Population.t;
+  family_block : int array array;  (* .(place).(family): block id or -1 *)
+  place_of_block : int array;
+  family_of_block : int array;     (* family id, -1 for static blocks *)
+}
+
+let active_rate what rate =
+  match rate with
+  | Pepa.Rate.Active r -> r
+  | Pepa.Rate.Passive _ ->
+      fail
+        "passive rate on %s: the fluid approximation requires active rates (replace infty \
+         with a finite rate)"
+        what
+
+(* Intermediate per-place tree over block ids. *)
+type btree = Bblock of int | Bcoop of btree * String_set.t * btree
+
+let derive compiled =
+  Obs.Span.with_ "fluid.derive_net" (fun span ->
+      let n_places = Array.length compiled.NC.places in
+      let n_families = Array.length compiled.NC.families in
+      (* Priority preemption is discontinuous: a higher-priority
+         transition with concession suppresses the rest outright, so a
+         net mixing priorities has no deterministic limit. *)
+      (match Array.to_list compiled.NC.transitions with
+      | [] -> ()
+      | first :: rest ->
+          List.iter
+            (fun tr ->
+              if tr.NC.t_priority <> first.NC.t_priority then
+                fail
+                  "transitions %s and %s carry different priorities (%d vs %d): priority \
+                   preemption has no fluid interpretation"
+                  first.NC.t_name tr.NC.t_name first.NC.t_priority tr.NC.t_priority)
+            rest);
+      (* Interned named action types: token families, then statics,
+         then firing labels. *)
+      let action_ids = Hashtbl.create 16 in
+      let action_rev = ref [] in
+      let n_actions = ref 0 in
+      let intern name =
+        match Hashtbl.find_opt action_ids name with
+        | Some id -> id
+        | None ->
+            let id = !n_actions in
+            Hashtbl.add action_ids name id;
+            action_rev := name :: !action_rev;
+            incr n_actions;
+            id
+      in
+      let intern_component (component : Pepa.Compile.component) =
+        Array.iter
+          (Array.iter (fun (action, _, _) ->
+               match action with
+               | Pepa.Action.Act name -> ignore (intern name)
+               | Pepa.Action.Tau -> ()))
+          component.Pepa.Compile.local_moves
+      in
+      Array.iter (fun family -> intern_component family.NC.component) compiled.NC.families;
+      Array.iter intern_component compiled.NC.static_components;
+      Array.iter (fun tr -> ignore (intern tr.NC.t_action)) compiled.NC.transitions;
+      let actions = Array.of_list (List.rev !action_rev) in
+      let n_actions = Array.length actions in
+      let is_firing name = String_set.mem name compiled.NC.firing_actions in
+      let m0 = Pepanet.Marking.initial compiled in
+      (* Blocks: walk each place's context, pooling same-family cells
+         of its parallel (empty-set) chains; statics are blocks of
+         one. *)
+      let family_block = Array.init n_places (fun _ -> Array.make n_families (-1)) in
+      let blocks_rev = ref [] in
+      let n_blocks = ref 0 in
+      let add_block ~label ~(component : Pepa.Compile.component) ~family ~place ~init_local
+          ~count =
+        let id = !n_blocks in
+        incr n_blocks;
+        blocks_rev := (label, component, family, place, init_local, count) :: !blocks_rev;
+        id
+      in
+      let family_initial family =
+        Option.value ~default:0
+          (List.assoc_opt family.NC.family_root family.NC.constant_states)
+      in
+      let add_family_block place family =
+        if family_block.(place).(family) >= 0 then
+          fail
+            "cells of family %s appear in more than one cooperation position of place %s: \
+             arriving tokens would have no unique pool"
+            compiled.NC.families.(family).NC.family_root
+            (NC.place_name compiled place);
+        let f = compiled.NC.families.(family) in
+        let id =
+          add_block
+            ~label:(Printf.sprintf "%s@%s" f.NC.family_root (NC.place_name compiled place))
+            ~component:f.NC.component ~family ~place ~init_local:(family_initial f)
+            ~count:0.0
+        in
+        family_block.(place).(family) <- id;
+        id
+      in
+      let rec members acc s =
+        match s with
+        | NC.Pcoop (a, set, b) when String_set.is_empty set -> members (members acc a) b
+        | other -> other :: acc
+      in
+      let build_place place =
+        let rec build s =
+          match s with
+          | NC.Pleaf (NC.Lcell { cell = _; family }) ->
+              Bblock (add_family_block place family)
+          | NC.Pleaf (NC.Lstatic { static; component }) ->
+              Bblock
+                (add_block
+                   ~label:
+                     (Printf.sprintf "%s@%s" component.Pepa.Compile.root_label
+                        (NC.place_name compiled place))
+                   ~component ~family:(-1) ~place
+                   ~init_local:m0.Pepanet.Marking.statics.(static) ~count:1.0)
+          | NC.Pcoop (_, set, _) when String_set.is_empty set ->
+              let ms = List.rev (members [] s) in
+              (* Group the cell members by family; keep statics and
+                 composite members apart, in order. *)
+              let seen = Hashtbl.create 4 in
+              let order = ref [] in
+              List.iter
+                (fun m ->
+                  match m with
+                  | NC.Pleaf (NC.Lcell { cell = _; family }) ->
+                      if not (Hashtbl.mem seen family) then begin
+                        Hashtbl.add seen family ();
+                        order := `Fam family :: !order
+                      end
+                  | other -> order := `Tree other :: !order)
+                ms;
+              let parts =
+                List.rev_map
+                  (function
+                    | `Fam family -> Bblock (add_family_block place family)
+                    | `Tree sub -> build sub)
+                  !order
+              in
+              (match parts with
+              | [] -> fail "empty place context"
+              | first :: rest ->
+                  List.fold_left (fun acc p -> Bcoop (acc, String_set.empty, p)) first rest)
+          | NC.Pcoop (a, set, b) -> Bcoop (build a, set, build b)
+        in
+        build compiled.NC.places.(place).NC.structure
+      in
+      let place_trees = Array.init n_places build_place in
+      let raw_blocks = Array.of_list (List.rev !blocks_rev) in
+      let n_blocks = Array.length raw_blocks in
+      (* Initial token mass and initial local states per block. *)
+      let counts = Array.map (fun (_, _, _, _, _, c) -> c) raw_blocks in
+      let init_local = Array.map (fun (_, _, _, _, i, _) -> i) raw_blocks in
+      let init_seen = Array.make n_blocks false in
+      let offsets = Array.make n_blocks 0 in
+      let dim = ref 0 in
+      Array.iteri
+        (fun b (_, (component : Pepa.Compile.component), _, _, _, _) ->
+          offsets.(b) <- !dim;
+          dim := !dim + Array.length component.Pepa.Compile.labels)
+        raw_blocks;
+      let dim = !dim in
+      let x0 = Array.make dim 0.0 in
+      Array.iteri
+        (fun b (_, _, family, _, _, _) ->
+          if family < 0 then x0.(offsets.(b) + init_local.(b)) <- 1.0)
+        raw_blocks;
+      Array.iter
+        (fun token ->
+          let place = compiled.NC.cell_place.(token.NC.initial_cell) in
+          let b = family_block.(place).(token.NC.token_family) in
+          counts.(b) <- counts.(b) +. 1.0;
+          x0.(offsets.(b) + token.NC.initial_state) <-
+            x0.(offsets.(b) + token.NC.initial_state) +. 1.0;
+          if not init_seen.(b) then begin
+            init_seen.(b) <- true;
+            init_local.(b) <- token.NC.initial_state
+          end)
+        compiled.NC.tokens;
+      (* Disambiguate duplicate labels (two statics of one behaviour in
+         one place). *)
+      let labels =
+        let label_counts = Hashtbl.create 8 in
+        Array.map
+          (fun (label, _, _, _, _, _) ->
+            let k = 1 + Option.value ~default:0 (Hashtbl.find_opt label_counts label) in
+            Hashtbl.replace label_counts label k;
+            if k = 1 then label else Printf.sprintf "%s#%d" label k)
+          raw_blocks
+      in
+      let blocks =
+        Array.mapi
+          (fun b (_, (component : Pepa.Compile.component), _, _, _, _) ->
+            {
+              Population.b_label = labels.(b);
+              b_count = counts.(b);
+              b_offset = offsets.(b);
+              b_n_local = Array.length component.Pepa.Compile.labels;
+              b_labels = component.Pepa.Compile.labels;
+              b_init_local = init_local.(b);
+            })
+          raw_blocks
+      in
+      (* Local activity rows: firing-typed activities of tokens only
+         participate in net-level transfers, exactly as in the discrete
+         semantics; everything else flows within the place. *)
+      let moves =
+        Array.mapi
+          (fun b (_, (component : Pepa.Compile.component), family, _, _, _) ->
+            let rows = ref [] in
+            Array.iteri
+              (fun local state_moves ->
+                Array.iter
+                  (fun (action, rate, target) ->
+                    let keep, aid =
+                      match action with
+                      | Pepa.Action.Act name ->
+                          if family >= 0 && is_firing name then (false, 0)
+                          else (true, Hashtbl.find action_ids name)
+                      | Pepa.Action.Tau -> (true, -1)
+                    in
+                    if keep then begin
+                      let rate =
+                        active_rate
+                          (Printf.sprintf "action %s of %s"
+                             (Pepa.Action.to_string action)
+                             labels.(b))
+                          rate
+                      in
+                      rows :=
+                        { Population.m_local = local; m_aid = aid; m_rate = rate; m_target = target }
+                        :: !rows
+                    end)
+                  state_moves)
+              component.Pepa.Compile.local_moves;
+            Array.of_list (List.rev !rows))
+          raw_blocks
+      in
+      (* Flatten the per-place trees into one post-order forest. *)
+      let nodes_rev = ref [] in
+      let n_nodes = ref 0 in
+      let block_node = Array.make n_blocks (-1) in
+      let mask_of set =
+        let m = Array.make n_actions false in
+        String_set.iter
+          (fun name ->
+            match Hashtbl.find_opt action_ids name with
+            | Some aid -> m.(aid) <- true
+            | None -> ())
+          set;
+        m
+      in
+      let no_mask = Array.make n_actions false in
+      let push node =
+        let id = !n_nodes in
+        incr n_nodes;
+        nodes_rev := node :: !nodes_rev;
+        id
+      in
+      let rec flatten = function
+        | Bblock b ->
+            let id = push { Population.kind = Population.Kblock b; mask = no_mask } in
+            block_node.(b) <- id;
+            id
+        | Bcoop (l, set, r) ->
+            let lid = flatten l in
+            let rid = flatten r in
+            push { Population.kind = Population.Kcoop (lid, rid); mask = mask_of set }
+      in
+      Array.iter (fun tree -> ignore (flatten tree)) place_trees;
+      let nodes = Array.of_list (List.rev !nodes_rev) in
+      (* Transfers: one per net transition.  Candidate rows are the
+         firing-typed derivative moves of every family present at an
+         input place; destinations advance the token to the firing
+         target in each output place's pool. *)
+      let transfers =
+        Array.map
+          (fun tr ->
+            let cap =
+              active_rate (Printf.sprintf "net transition %s" tr.NC.t_name) tr.NC.t_rate
+            in
+            let dst_offset output family =
+              let b = family_block.(output).(family) in
+              if b < 0 then
+                fail
+                  "transition %s moves a %s token to place %s, which has no cell of that \
+                   family"
+                  tr.NC.t_name
+                  compiled.NC.families.(family).NC.family_root
+                  (NC.place_name compiled output);
+              offsets.(b)
+            in
+            let inputs =
+              Array.map
+                (fun place ->
+                  let rows = ref [] in
+                  for family = 0 to n_families - 1 do
+                    let b = family_block.(place).(family) in
+                    if b >= 0 then begin
+                      let component = compiled.NC.families.(family).NC.component in
+                      Array.iteri
+                        (fun s state_moves ->
+                          Array.iter
+                            (fun (action, rate, target) ->
+                              match action with
+                              | Pepa.Action.Act name when name = tr.NC.t_action ->
+                                  let r =
+                                    active_rate
+                                      (Printf.sprintf "firing %s of family %s" name
+                                         compiled.NC.families.(family).NC.family_root)
+                                      rate
+                                  in
+                                  let dsts =
+                                    Array.map
+                                      (fun o -> dst_offset o family + target)
+                                      tr.NC.t_outputs
+                                  in
+                                  rows :=
+                                    { Population.r_src = offsets.(b) + s; r_rate = r; r_dsts = dsts }
+                                    :: !rows
+                              | _ -> ())
+                            state_moves)
+                        component.Pepa.Compile.local_moves
+                    end
+                  done;
+                  Array.of_list (List.rev !rows))
+                tr.NC.t_inputs
+            in
+            { Population.t_label = tr.NC.t_name; t_aid = intern tr.NC.t_action; t_cap = cap; t_inputs = inputs })
+          compiled.NC.transitions
+      in
+      let form =
+        Population.make ~blocks ~actions ~moves ~nodes ~block_node ~transfers ~x0 ()
+      in
+      Obs.Span.add_int span "dim" (Population.dim form);
+      Obs.Span.add_int span "blocks" n_blocks;
+      Obs.Span.add_int span "transfers" (Array.length transfers);
+      {
+        compiled;
+        form;
+        family_block;
+        place_of_block = Array.map (fun (_, _, _, place, _, _) -> place) raw_blocks;
+        family_of_block = Array.map (fun (_, _, family, _, _, _) -> family) raw_blocks;
+      })
+
+let of_net net = derive (NC.compile net)
+let of_string src = derive (NC.of_string src)
+let of_file path = derive (NC.of_file path)
+
+let compiled t = t.compiled
+let form t = t.form
+let dim t = Population.dim t.form
+let n_flux_entries t = Population.n_flux_entries t.form
+let initial t = Population.initial t.form
+let derivative t x dx = Population.derivative t.form x dx
+let blocks t = Population.blocks t.form
+
+let block_index t ~label =
+  let blocks = Population.blocks t.form in
+  let found = ref (-1) in
+  Array.iteri (fun b blk -> if blk.Population.b_label = label then found := b) blocks;
+  if !found < 0 then raise Not_found;
+  !found
+
+let with_count t ~block ~count = { t with form = Population.with_count t.form ~block ~count }
+
+let action_names t = Population.action_names t.form
+let throughput t x name = Population.throughput t.form x name
+let throughputs t x = Population.throughputs t.form x
+let firing_throughput t x name = Population.transfer_throughput t.form x name
+
+let expected_tokens_at t x ~place =
+  let p = NC.place_index t.compiled place in
+  let blocks = Population.blocks t.form in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun b blk ->
+      if t.place_of_block.(b) = p && t.family_of_block.(b) >= 0 then
+        for s = 0 to blk.Population.b_n_local - 1 do
+          total := !total +. x.(blk.Population.b_offset + s)
+        done)
+    blocks;
+  !total
+
+let token_location_proportions t x ~family =
+  let fi = ref (-1) in
+  Array.iteri
+    (fun i f -> if f.NC.family_root = family then fi := i)
+    t.compiled.NC.families;
+  if !fi < 0 then raise Not_found;
+  let blocks = Population.blocks t.form in
+  let mass_at p =
+    match t.family_block.(p).(!fi) with
+    | -1 -> 0.0
+    | b ->
+        let blk = blocks.(b) in
+        let total = ref 0.0 in
+        for s = 0 to blk.Population.b_n_local - 1 do
+          total := !total +. x.(blk.Population.b_offset + s)
+        done;
+        !total
+  in
+  let masses = Array.init (Array.length t.compiled.NC.places) mass_at in
+  let total = Array.fold_left ( +. ) 0.0 masses in
+  let scale = if total > 0.0 then 1.0 /. total else 0.0 in
+  Array.to_list
+    (Array.mapi (fun p m -> (NC.place_name t.compiled p, m *. scale)) masses)
+
+let place_populations t x = Population.populations t.form x
+
+(* Per-block conditional distribution: normalise by the block's mass at
+   [x], not its initial count — token blocks of initially-empty places
+   acquire mass only through transfers. *)
+let proportions t x =
+  let blocks = Population.blocks t.form in
+  List.concat
+    (Array.to_list
+       (Array.map
+          (fun blk ->
+            let total = ref 0.0 in
+            for s = 0 to blk.Population.b_n_local - 1 do
+              total := !total +. x.(blk.Population.b_offset + s)
+            done;
+            let scale = if !total > 1e-12 then 1.0 /. !total else 0.0 in
+            List.init blk.Population.b_n_local (fun s ->
+                ( Printf.sprintf "%s.%s" blk.Population.b_label blk.Population.b_labels.(s),
+                  x.(blk.Population.b_offset + s) *. scale )))
+          blocks))
+
+let pp_summary fmt t = Population.pp_summary fmt t.form

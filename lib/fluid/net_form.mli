@@ -1,0 +1,104 @@
+(** The fluid-flow approximation of PEPA nets: a lowering of compiled
+    nets onto the population-model IR ({!Population}).
+
+    Tokens of one family are pooled by (place, local derivative) — the
+    same interchangeability the net symmetry engine exploits when it
+    sorts same-family cells of a place, so coordinates count {e how
+    many} tokens of a family sit in each derivative at each place
+    instead of tracking cells individually.  Static components become
+    one-replica blocks.  Each place's cooperation context is kept as a
+    tree over those blocks, so local activities flow under the usual
+    apparent-rate min/sum algebra, independently per place.
+
+    Net-level firings become {e transfer} flux between places: a
+    transition flows at the min of its own rate and every input
+    place's apparent firing rate (the candidate tokens' summed rates —
+    Definition 5's bounded capacity in the limit), drains each input
+    place's candidate derivatives proportionally, and deposits the
+    moved mass — already advanced to the firing's target derivative —
+    uniformly across the output places (the equiprobable-φ rule in the
+    limit).  Cell-capacity constraints vanish in the fluid limit: the
+    ODE does not block a firing because the output place is full,
+    which is exact as counts grow and cells scale with tokens.
+
+    Rejected with {!Unsupported}: passive rates anywhere a rate is
+    read (local activities, firing candidates, transition labels),
+    nets whose transitions carry more than one distinct priority
+    (preemption has no continuous interpretation), cells of one family
+    spread over several cooperation positions of a place (no unique
+    pool to deposit arriving tokens into), and transitions whose
+    output places have no cell of a moving family. *)
+
+type t
+
+exception Unsupported of string
+(** Shared with {!Vector_form} (both are raised as
+    {!Population.Unsupported}). *)
+
+val derive : Pepanet.Net_compile.t -> t
+(** Build the fluid form of a compiled net.  Emits a
+    ["fluid.derive_net"] tracing span with the dimension, block and
+    transfer counts. *)
+
+val of_net : Pepanet.Net.t -> t
+val of_string : string -> t
+val of_file : string -> t
+
+val compiled : t -> Pepanet.Net_compile.t
+val form : t -> Population.t
+
+val dim : t -> int
+val n_flux_entries : t -> int
+
+val initial : t -> float array
+(** Every token's initial mass at its initial (place, derivative)
+    coordinate; statics at their initial local states. *)
+
+val derivative : t -> float array -> float array -> unit
+
+val blocks : t -> Population.block array
+(** Cell blocks are labelled ["Family\@Place"], static blocks
+    ["Component\@Place"]. *)
+
+val block_index : t -> label:string -> int
+(** Index of the block with the given label; raises [Not_found]. *)
+
+val with_count : t -> block:int -> count:float -> t
+(** Re-parameterise one block's initial token count (the fluid
+    analogue of adding cells and tokens to a place) — dimension and
+    flux structure unchanged.  See {!Population.with_count}. *)
+
+val action_names : t -> string list
+
+val throughput : t -> float array -> string -> float
+(** Counts both local occurrences and net-level firings of the named
+    type, like [Pepanet.Net_measures.throughput]. *)
+
+val throughputs : t -> float array -> (string * float) list
+
+val firing_throughput : t -> float array -> string -> float
+(** Flow of one named net transition at [x]. *)
+
+val expected_tokens_at : t -> float array -> place:string -> float
+(** Total token mass present at the named place — the fluid analogue
+    of [Pepanet.Net_measures.expected_tokens_at].  Raises
+    [Pepanet.Net_compile.Net_error] for unknown places. *)
+
+val token_location_proportions :
+  t -> float array -> family:string -> (string * float) list
+(** Distribution of the named family's token mass over the places —
+    the population analogue of
+    [Pepanet.Net_measures.token_location_probabilities].  Raises
+    [Not_found] for unknown families. *)
+
+val place_populations : t -> float array -> (string * float) list
+(** [("Family\@Place.State", mass)] per coordinate, in place order. *)
+
+val proportions : t -> float array -> (string * float) list
+(** Per-block conditional local-state distribution at [x]: each
+    coordinate divided by its block's total mass {e at [x]} (zero for
+    massless blocks).  Unlike {!Population.proportions} this does not
+    normalise by the initial count — a token block of an
+    initially-empty place only acquires mass through transfers. *)
+
+val pp_summary : Format.formatter -> t -> unit

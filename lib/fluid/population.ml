@@ -1,0 +1,415 @@
+(* The population-model IR: coordinates grouped into blocks, a
+   cooperation forest for the apparent-rate min/sum algebra, local flux
+   rows at the blocks and capacity-bounded transfer rows between them.
+
+   One derivative evaluation is allocation-free:
+
+     bottom-up   apparent rate of every action type at every node
+                 (blocks sum local-state contributions, shared
+                 cooperation takes the min, independent composition
+                 sums, hiding zeroes)
+     top-down    flow assignment per tree (a cooperation passes its
+                 bounded flow to both sides of a shared action and
+                 splits independent flow proportionally; hiding
+                 restores the inner subtree's autonomous flow) ending
+                 in per-move fluxes at the blocks
+     transfers   each transfer flows at the min of its capacity and
+                 every input context's apparent rate, drains candidate
+                 coordinates proportionally and deposits the mass
+                 uniformly over its destinations. *)
+
+exception Unsupported of string
+
+type block = {
+  b_label : string;
+  b_count : float;
+  b_offset : int;
+  b_n_local : int;
+  b_labels : string array;
+  b_init_local : int;
+}
+
+type move = { m_local : int; m_aid : int; m_rate : float; m_target : int }
+
+type nkind = Kblock of int | Kcoop of int * int | Khide of int
+
+type node = { kind : nkind; mask : bool array }
+
+type trow = { r_src : int; r_rate : float; r_dsts : int array }
+
+type transfer = {
+  t_label : string;
+  t_aid : int;
+  t_cap : float;
+  t_inputs : trow array array;
+}
+
+type t = {
+  blocks : block array;
+  actions : string array;
+  moves : move array array;
+  contrib : float array array array;  (* contrib.(b).(s).(aid): summed rate *)
+  nodes : node array;                 (* post-order forest *)
+  trees : (int * int) array;          (* (first node, root node) per tree *)
+  block_node : int array;
+  transfers : transfer array;
+  visible : bool array;               (* aid visible at some root / transfer *)
+  dim : int;
+  x0 : float array;
+  (* evaluation scratch (node-major), reused across calls *)
+  app : float array array;
+  flow : float array array;
+  tapp : float array array;           (* per transfer: apparent rate per input *)
+}
+
+let make ~blocks ~actions ~moves ~nodes ~block_node ?(transfers = [||]) ?x0 () =
+  let n_actions = Array.length actions in
+  let n_nodes = Array.length nodes in
+  let dim =
+    Array.fold_left (fun acc b -> max acc (b.b_offset + b.b_n_local)) 0 blocks
+  in
+  let contrib =
+    Array.mapi
+      (fun p b ->
+        let table = Array.make_matrix b.b_n_local n_actions 0.0 in
+        Array.iter
+          (fun m ->
+            if m.m_aid >= 0 then
+              table.(m.m_local).(m.m_aid) <- table.(m.m_local).(m.m_aid) +. m.m_rate)
+          moves.(p);
+        table)
+      blocks
+  in
+  (* Tree boundaries: post-order puts every subtree before its parent,
+     so the roots (nodes no other node references) delimit contiguous
+     ranges. *)
+  let is_child = Array.make (max 1 n_nodes) false in
+  Array.iter
+    (fun nd ->
+      match nd.kind with
+      | Kblock _ -> ()
+      | Kcoop (l, r) ->
+          is_child.(l) <- true;
+          is_child.(r) <- true
+      | Khide c -> is_child.(c) <- true)
+    nodes;
+  let trees =
+    let acc = ref [] and start = ref 0 in
+    for id = 0 to n_nodes - 1 do
+      if not is_child.(id) then begin
+        acc := (!start, id) :: !acc;
+        start := id + 1
+      end
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  (* Visibility of each action type at its tree root. *)
+  let visible_at = Array.make n_nodes [||] in
+  Array.iteri
+    (fun id node ->
+      visible_at.(id) <-
+        (match node.kind with
+        | Kblock p ->
+            Array.init n_actions (fun a ->
+                let rec any s =
+                  s < blocks.(p).b_n_local && (contrib.(p).(s).(a) > 0.0 || any (s + 1))
+                in
+                any 0)
+        | Kcoop (l, r) ->
+            Array.init n_actions (fun a -> visible_at.(l).(a) || visible_at.(r).(a))
+        | Khide c ->
+            Array.init n_actions (fun a -> visible_at.(c).(a) && not (node.mask.(a)))))
+    nodes;
+  let visible =
+    if n_nodes = 0 then Array.make n_actions false
+    else if Array.length trees = 1 then visible_at.(snd trees.(0))
+    else begin
+      let v = Array.make n_actions false in
+      Array.iter
+        (fun (_, root) ->
+          Array.iteri (fun a b -> if b then v.(a) <- true) visible_at.(root))
+        trees;
+      v
+    end
+  in
+  Array.iter (fun tr -> visible.(tr.t_aid) <- true) transfers;
+  let x0 =
+    match x0 with
+    | Some given ->
+        if Array.length given <> dim then
+          invalid_arg "Population.make: x0 dimension mismatch";
+        Array.copy given
+    | None ->
+        let v = Array.make dim 0.0 in
+        Array.iter (fun b -> v.(b.b_offset + b.b_init_local) <- b.b_count) blocks;
+        v
+  in
+  let app = Array.map (fun _ -> Array.make n_actions 0.0) nodes in
+  let flow = Array.map (fun _ -> Array.make n_actions 0.0) nodes in
+  let tapp = Array.map (fun tr -> Array.make (Array.length tr.t_inputs) 0.0) transfers in
+  {
+    blocks;
+    actions;
+    moves;
+    contrib;
+    nodes;
+    trees;
+    block_node;
+    transfers;
+    visible;
+    dim;
+    x0;
+    app;
+    flow;
+    tapp;
+  }
+
+let blocks t = t.blocks
+let actions t = t.actions
+let dim t = t.dim
+
+let n_flux_entries t =
+  Array.fold_left (fun acc m -> acc + Array.length m) 0 t.moves
+  + Array.fold_left
+      (fun acc tr -> Array.fold_left (fun acc rows -> acc + Array.length rows) acc tr.t_inputs)
+      0 t.transfers
+
+let initial t = Array.copy t.x0
+
+let with_count t ~block ~count =
+  if block < 0 || block >= Array.length t.blocks then
+    invalid_arg "Population.with_count: block index out of range";
+  if not (Float.is_finite count) || count < 0.0 then
+    invalid_arg "Population.with_count: count must be finite and non-negative";
+  let blocks = Array.copy t.blocks in
+  blocks.(block) <- { blocks.(block) with b_count = count };
+  let x0 = Array.make t.dim 0.0 in
+  Array.iter (fun b -> x0.(b.b_offset + b.b_init_local) <- b.b_count) blocks;
+  { t with blocks; x0 }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pos x = if x > 0.0 then x else 0.0
+
+(* Bottom-up pass: apparent rate of every action type at every node. *)
+let fill_apparent t x =
+  let n_actions = Array.length t.actions in
+  Array.iteri
+    (fun id node ->
+      let out = t.app.(id) in
+      match node.kind with
+      | Kblock p ->
+          let b = t.blocks.(p) in
+          let table = t.contrib.(p) in
+          for a = 0 to n_actions - 1 do
+            let acc = ref 0.0 in
+            for s = 0 to b.b_n_local - 1 do
+              let c = table.(s).(a) in
+              if c > 0.0 then acc := !acc +. (pos x.(b.b_offset + s) *. c)
+            done;
+            out.(a) <- !acc
+          done
+      | Kcoop (l, r) ->
+          let al = t.app.(l) and ar = t.app.(r) in
+          for a = 0 to n_actions - 1 do
+            out.(a) <- (if node.mask.(a) then Float.min al.(a) ar.(a) else al.(a) +. ar.(a))
+          done
+      | Khide c ->
+          let ac = t.app.(c) in
+          for a = 0 to n_actions - 1 do
+            out.(a) <- (if node.mask.(a) then 0.0 else ac.(a))
+          done)
+    t.nodes
+
+(* Apparent rate of one transfer input context and the resulting
+   bounded flow, straight off the candidate rows (transfer actions
+   never appear in the cooperation forest). *)
+let input_apparent x rows =
+  let acc = ref 0.0 in
+  Array.iter (fun r -> acc := !acc +. (pos x.(r.r_src) *. r.r_rate)) rows;
+  !acc
+
+let bounded_flow t x ti =
+  let tr = t.transfers.(ti) in
+  let apps = t.tapp.(ti) in
+  let bounded = ref tr.t_cap in
+  Array.iteri
+    (fun i rows ->
+      let app = input_apparent x rows in
+      apps.(i) <- app;
+      if app < !bounded then bounded := app)
+    tr.t_inputs;
+  !bounded
+
+let derivative t x dx =
+  Array.fill dx 0 t.dim 0.0;
+  let n_nodes = Array.length t.nodes in
+  if n_nodes > 0 then begin
+    let n_actions = Array.length t.actions in
+    fill_apparent t x;
+    (* Top-down pass per tree: the root flows at its own apparent rate;
+       shared cooperation passes the bounded flow to both sides,
+       independent composition splits it proportionally, hiding
+       restores the inner subtree's autonomous flow. *)
+    Array.iter
+      (fun (start, root) ->
+        Array.blit t.app.(root) 0 t.flow.(root) 0 n_actions;
+        for id = root downto start do
+          let node = t.nodes.(id) in
+          let fl = t.flow.(id) in
+          match node.kind with
+          | Kblock _ -> ()
+          | Kcoop (l, r) ->
+              let al = t.app.(l) and ar = t.app.(r) in
+              for a = 0 to n_actions - 1 do
+                if node.mask.(a) then begin
+                  t.flow.(l).(a) <- fl.(a);
+                  t.flow.(r).(a) <- fl.(a)
+                end
+                else begin
+                  let denom = al.(a) +. ar.(a) in
+                  if denom > 0.0 then begin
+                    t.flow.(l).(a) <- fl.(a) *. al.(a) /. denom;
+                    t.flow.(r).(a) <- fl.(a) *. ar.(a) /. denom
+                  end
+                  else begin
+                    t.flow.(l).(a) <- 0.0;
+                    t.flow.(r).(a) <- 0.0
+                  end
+                end
+              done
+          | Khide c ->
+              let ac = t.app.(c) in
+              for a = 0 to n_actions - 1 do
+                t.flow.(c).(a) <- (if node.mask.(a) then ac.(a) else fl.(a))
+              done
+        done)
+      t.trees;
+    (* Per-move fluxes at the blocks. *)
+    Array.iteri
+      (fun p rows ->
+        let b = t.blocks.(p) in
+        let id = t.block_node.(p) in
+        let fl = t.flow.(id) and ap = t.app.(id) in
+        Array.iter
+          (fun m ->
+            let level = pos x.(b.b_offset + m.m_local) in
+            let flux =
+              if m.m_aid < 0 then level *. m.m_rate
+              else begin
+                let total = ap.(m.m_aid) in
+                if total > 0.0 then fl.(m.m_aid) *. (level *. m.m_rate) /. total else 0.0
+              end
+            in
+            if flux <> 0.0 then begin
+              dx.(b.b_offset + m.m_local) <- dx.(b.b_offset + m.m_local) -. flux;
+              dx.(b.b_offset + m.m_target) <- dx.(b.b_offset + m.m_target) +. flux
+            end)
+          rows)
+      t.moves
+  end;
+  (* Transfer fluxes between blocks. *)
+  Array.iteri
+    (fun ti tr ->
+      let f = bounded_flow t x ti in
+      if f > 0.0 then begin
+        let apps = t.tapp.(ti) in
+        Array.iteri
+          (fun i rows ->
+            let app = apps.(i) in
+            if app > 0.0 then
+              Array.iter
+                (fun r ->
+                  let share = f *. (pos x.(r.r_src) *. r.r_rate) /. app in
+                  if share <> 0.0 then begin
+                    dx.(r.r_src) <- dx.(r.r_src) -. share;
+                    let portion = share /. float_of_int (Array.length r.r_dsts) in
+                    Array.iter (fun d -> dx.(d) <- dx.(d) +. portion) r.r_dsts
+                  end)
+                rows)
+          tr.t_inputs
+      end)
+    t.transfers
+
+(* ------------------------------------------------------------------ *)
+(* Measures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Apparent rate of every action type over the tree roots. *)
+let root_rates t x =
+  let n_nodes = Array.length t.nodes in
+  if n_nodes = 0 then Array.make (Array.length t.actions) 0.0
+  else begin
+    fill_apparent t x;
+    let acc = Array.copy t.app.(snd t.trees.(0)) in
+    for i = 1 to Array.length t.trees - 1 do
+      let a = t.app.(snd t.trees.(i)) in
+      Array.iteri (fun j v -> acc.(j) <- acc.(j) +. v) a
+    done;
+    acc
+  end
+
+let rates t x =
+  let out = root_rates t x in
+  Array.iteri
+    (fun ti tr -> out.(tr.t_aid) <- out.(tr.t_aid) +. bounded_flow t x ti)
+    t.transfers;
+  out
+
+let action_names t =
+  let names = ref [] in
+  Array.iteri (fun a name -> if t.visible.(a) then names := name :: !names) t.actions;
+  List.sort String.compare !names
+
+let throughput t x name =
+  let rates = rates t x in
+  let result = ref 0.0 in
+  Array.iteri (fun a n -> if n = name && t.visible.(a) then result := rates.(a)) t.actions;
+  !result
+
+let throughputs t x =
+  let rates = rates t x in
+  let out = ref [] in
+  Array.iteri (fun a name -> if t.visible.(a) then out := (name, rates.(a)) :: !out) t.actions;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
+let transfer_flux t x ti =
+  if ti < 0 || ti >= Array.length t.transfers then
+    invalid_arg "Population.transfer_flux: transfer index out of range";
+  bounded_flow t x ti
+
+let transfer_throughput t x label =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun ti tr -> if tr.t_label = label then acc := !acc +. bounded_flow t x ti)
+    t.transfers;
+  !acc
+
+let n_transfers t = Array.length t.transfers
+let transfer_label t ti = t.transfers.(ti).t_label
+
+let populations t x =
+  Array.to_list t.blocks
+  |> List.concat_map (fun b ->
+         List.init b.b_n_local (fun s ->
+             (Printf.sprintf "%s.%s" b.b_label b.b_labels.(s), x.(b.b_offset + s))))
+
+let proportions t x =
+  Array.to_list t.blocks
+  |> List.concat_map (fun b ->
+         let scale = if b.b_count > 0.0 then 1.0 /. b.b_count else 0.0 in
+         List.init b.b_n_local (fun s ->
+             (Printf.sprintf "%s.%s" b.b_label b.b_labels.(s), x.(b.b_offset + s) *. scale)))
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>population model: %d coordinates, %d blocks, %d flux rows, %d transfers@,"
+    t.dim (Array.length t.blocks) (n_flux_entries t) (Array.length t.transfers);
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "  %-24s %g initial mass over %d local states@," b.b_label b.b_count
+        b.b_n_local)
+    t.blocks;
+  Format.fprintf fmt "@]"

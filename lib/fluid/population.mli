@@ -1,0 +1,131 @@
+(** The backend-neutral population-model IR of the fluid engine.
+
+    A population model is the object {!Rk45} integrates: a vector of
+    population coordinates grouped into {e blocks} (one block per
+    pooled sequential behaviour — a replica group of a plain PEPA
+    model, or the tokens of one family at one place of a PEPA net),
+    plus two kinds of flux rows over that vector:
+
+    - {e local moves}, guarded rate functions evaluated through the
+      apparent-rate min/sum algebra of a cooperation forest (each tree
+      root is an independent top-level context — the whole system for
+      plain PEPA, one place for a net);
+    - {e transfers}, inter-block flux rows (the fluid image of net
+      firings): capacity-bounded flows that drain candidate
+      coordinates of their input blocks proportionally and deposit the
+      moved mass uniformly across the output blocks.
+
+    Lowerings ({!Vector_form} for [Pepa.Compile], {!Net_form} for
+    [Pepanet.Net_compile]) build the IR; everything downstream —
+    derivative evaluation, [with_count] re-parameterisation, the
+    throughput/proportion readout — is shared here and is oblivious to
+    which formalism produced the model. *)
+
+exception Unsupported of string
+(** The source model has no deterministic population limit (passive
+    rates, un-poolable structure, …).  Raised by the lowerings; owned
+    here so both share one exception. *)
+
+type block = {
+  b_label : string;  (** printable name, e.g. ["Proc"] or ["Agent\@HostA"] *)
+  b_count : float;  (** replicas/tokens initially pooled in the block *)
+  b_offset : int;  (** first coordinate of the block in the vector *)
+  b_n_local : int;  (** number of local derivative states *)
+  b_labels : string array;  (** printable name per local state *)
+  b_init_local : int;  (** local state holding the initial mass *)
+}
+
+(** One local flux row: in local state [m_local] of the owning block,
+    the move fires action [m_aid] ([-1] for tau) at rate [m_rate]
+    towards local state [m_target] of the same block. *)
+type move = { m_local : int; m_aid : int; m_rate : float; m_target : int }
+
+(** Cooperation-forest nodes, post-order within each tree.  [mask]
+    marks the action types the node synchronises ([Kcoop]) or hides
+    ([Khide]). *)
+type nkind = Kblock of int | Kcoop of int * int | Khide of int
+
+type node = { kind : nkind; mask : bool array }
+
+(** One transfer candidate row: coordinate [r_src] offers the
+    transfer's action at rate [r_rate]; mass leaving it is deposited
+    uniformly over the coordinates [r_dsts] (one per output block). *)
+type trow = { r_src : int; r_rate : float; r_dsts : int array }
+
+type transfer = {
+  t_label : string;  (** printable name of the transfer (net transition) *)
+  t_aid : int;  (** interned action the transfer counts as *)
+  t_cap : float;  (** capacity bound (the transition's own rate) *)
+  t_inputs : trow array array;  (** candidate rows per input context *)
+}
+
+type t
+
+val make :
+  blocks:block array ->
+  actions:string array ->
+  moves:move array array ->
+  nodes:node array ->
+  block_node:int array ->
+  ?transfers:transfer array ->
+  ?x0:float array ->
+  unit ->
+  t
+(** Assemble a population model.  [nodes] is a post-order forest (every
+    tree contiguous, root last); roots are found structurally.  [moves]
+    and [block_node] are indexed like [blocks].  [x0] defaults to
+    placing each block's [b_count] at its [b_init_local]; pass it
+    explicitly when initial mass is spread over several local states.
+    Per-(state, action) contribution tables and root visibility of
+    every action type are derived here. *)
+
+val blocks : t -> block array
+val actions : t -> string array
+val dim : t -> int
+
+val n_flux_entries : t -> int
+(** Local activity-matrix rows plus transfer candidate rows. *)
+
+val initial : t -> float array
+
+val with_count : t -> block:int -> count:float -> t
+(** Same flux structure, different initial population: every block's
+    initial mass is re-placed at its [b_init_local] (so a model whose
+    [x0] spread one block over several states is normalised), with the
+    given block's count replaced.  The ODE dimension is unchanged. *)
+
+val derivative : t -> float array -> float array -> unit
+(** [derivative t x dx] writes the population derivative at [x] into
+    [dx] without allocating: one bottom-up apparent-rate pass, one
+    top-down flow pass per tree, per-move flux at the blocks, then
+    transfer flux ([min] of capacity and every input context's
+    apparent rate, split proportionally over candidate rows and
+    uniformly over destinations). *)
+
+val action_names : t -> string list
+(** Visible action types (at some tree root, or carried by a
+    transfer), sorted. *)
+
+val throughput : t -> float array -> string -> float
+(** Steady-state flow of a named visible action at [x]: apparent rate
+    summed over tree roots plus transfer flux.  [0.] for hidden or
+    unknown names. *)
+
+val throughputs : t -> float array -> (string * float) list
+
+val transfer_flux : t -> float array -> int -> float
+(** Bounded flow of one transfer (by index) at [x]. *)
+
+val transfer_throughput : t -> float array -> string -> float
+(** Summed flow of the transfers carrying the given label. *)
+
+val n_transfers : t -> int
+val transfer_label : t -> int -> string
+
+val populations : t -> float array -> (string * float) list
+(** [("block.state", mass)] per coordinate, in block order. *)
+
+val proportions : t -> float array -> (string * float) list
+(** {!populations} scaled by each block's count. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -16,6 +16,9 @@ type stats = {
 
 exception Did_not_reach_steady of { steps : int; t : float; dx_norm : float }
 
+exception
+  Step_budget_exhausted of { steps : int; t : float; error_estimate : float }
+
 let steps_gauge = Obs.Metrics.gauge "fluid.steps"
 let rejected_gauge = Obs.Metrics.gauge "fluid.rejected_steps"
 
@@ -98,6 +101,7 @@ let integrate ?(tolerances = default_tolerances) ?steady_tol ?(t_max = 1e6)
       let t = ref 0.0 in
       let steps = ref 0 in
       let rejected = ref 0 in
+      let last_err = ref 0.0 in
       eval !t x k1;
       let steady dx = inf_norm dx <= steady_tol *. Float.max 1.0 (inf_norm x) in
       (* Initial step: a conservative fraction of the solution's own
@@ -173,6 +177,7 @@ let integrate ?(tolerances = default_tolerances) ?steady_tol ?(t_max = 1e6)
           err := !err +. (d *. d)
         done;
         let err = sqrt (!err /. float_of_int (max n 1)) in
+        last_err := err;
         if err <= 1.0 then begin
           (* Accept: clamp truncation-noise negatives, reuse k7 as the
              next step's k1, and test for steady state for free. *)
@@ -207,7 +212,15 @@ let integrate ?(tolerances = default_tolerances) ?steady_tol ?(t_max = 1e6)
       Obs.Metrics.set steps_gauge (float_of_int !steps);
       Obs.Metrics.set rejected_gauge (float_of_int !rejected);
       if not !finished then
-        raise (Did_not_reach_steady { steps = !steps; t = !t; dx_norm });
+        if !steps >= max_steps then
+          (* The step budget ran out, not the time horizon: a stiff
+             model spinning through tiny accepted steps.  Report the
+             reached time and the last local error estimate so the
+             caller can decide between relaxing tolerances and giving
+             up. *)
+          raise
+            (Step_budget_exhausted { steps = !steps; t = !t; error_estimate = !last_err })
+        else raise (Did_not_reach_steady { steps = !steps; t = !t; dx_norm });
       ( x,
         {
           steps = !steps;

@@ -28,10 +28,20 @@ type stats = {
 
 exception
   Did_not_reach_steady of { steps : int; t : float; dx_norm : float }
-(** The time horizon or step cap was exhausted before the derivative
-    norm fell below tolerance — the fluid counterpart of
-    {!Markov.Steady.Did_not_converge}, and reported with the same exit
-    convention by the command-line front ends. *)
+(** The time horizon was exhausted (or the step size collapsed) before
+    the derivative norm fell below tolerance — the fluid counterpart
+    of {!Markov.Steady.Did_not_converge}, and reported with the same
+    exit convention by the command-line front ends. *)
+
+exception
+  Step_budget_exhausted of { steps : int; t : float; error_estimate : float }
+(** The [max_steps] budget ran out before steady state: a stiff model
+    grinding through tiny accepted steps, distinct from the horizon
+    case above so front ends can hint at the remedy (relax the
+    tolerances or raise the budget).  Carries the time reached and the
+    last scaled local error estimate (close to 1 means the controller
+    was step-limited by accuracy, far below 1 means it was
+    stability-limited). *)
 
 val integrate :
   ?tolerances:tolerances ->
@@ -54,8 +64,9 @@ val integrate :
     vectors physical.
 
     Raises {!Did_not_reach_steady} after [t_max] (default [1e6]) time
-    units or [max_steps] (default [2_000_000]) accepted steps, and
-    [Invalid_argument] on non-positive tolerances.  Emits a
+    units, {!Step_budget_exhausted} after [max_steps] (default
+    [2_000_000]) accepted steps, and [Invalid_argument] on
+    non-positive tolerances.  Emits a
     ["fluid.integrate"] tracing span and sets the
     ["fluid.steps"]/["fluid.rejected_steps"] gauges when telemetry is
     enabled. *)

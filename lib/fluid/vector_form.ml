@@ -1,26 +1,19 @@
-(* The numerical vector form and its fluid ODE system.
+(* The numerical vector form as a lowering onto the population-model
+   IR ({!Population}).
 
    Derivation pools the leaves of parallel compositions by structural
    fingerprint (component index + initial state, the same leaf
    fingerprint the symmetry engine sorts on) into populations; the
    remaining cooperation/hiding skeleton is kept as a small tree whose
    leaves are populations instead of single sequential components.
-   The tree is flattened into a post-order node array so one derivative
-   evaluation is two allocation-free passes:
-
-     bottom-up   apparent rate of every action type at every node
-                 (populations sum local-state contributions, shared
-                 cooperation takes the min, independent composition
-                 sums, hiding zeroes)
-     top-down    flow assignment (a cooperation passes its bounded
-                 flow to both sides of a shared action and splits
-                 independent flow proportionally; hiding restores the
-                 inner subtree's autonomous flow) ending in per-move
-                 fluxes at the populations.  *)
+   The tree, the activity-matrix rows and the initial vector are
+   handed to {!Population.make}; evaluation, re-parameterisation and
+   the throughput/proportion readout live there, shared with the PEPA
+   net lowering ({!Net_form}). *)
 
 module String_set = Pepa.Syntax.String_set
 
-exception Unsupported of string
+exception Unsupported = Population.Unsupported
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Unsupported msg)) fmt
 
@@ -33,30 +26,11 @@ type pop = {
   leaves : int array;
 }
 
-(* One row of the activity matrix: in [local], the move fires action
-   [aid] (-1 for tau) at rate [rate] towards [target]. *)
-type move = { local : int; aid : int; rate : float; target : int }
-
-type nkind = Kpop of int | Kcoop of int * int | Khide of int
-
-type nnode = { kind : nkind; mask : bool array }
-
 type t = {
   compiled : Pepa.Compile.t;
+  form : Population.t;
   pops : pop array;
-  init_local : int array;            (* initial local state per pop *)
-  actions : string array;            (* interned named action types *)
-  moves : move array array;          (* activity matrix rows, per pop *)
-  contrib : float array array array; (* contrib.(p).(s).(aid): summed rate *)
-  nodes : nnode array;               (* post-order, root last *)
-  pop_node : int array;              (* pop index -> node id *)
-  visible : bool array;              (* aid visible at the root *)
   leaf_pop : int array;
-  dim : int;
-  x0 : float array;
-  (* evaluation scratch (node-major), reused across calls *)
-  app : float array array;
-  flow : float array array;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -194,11 +168,9 @@ let derive compiled =
             })
           raw_pops
       in
-      let dim = !offset in
-      (* Activity matrix rows and per-(state, action) contributions.
-         Passive rates are rejected here: under min cooperation a
-         passive side never throttles, so its population has no
-         deterministic limit. *)
+      (* Activity matrix rows.  Passive rates are rejected here: under
+         min cooperation a passive side never throttles, so its
+         population has no deterministic limit. *)
       let moves =
         Array.map
           (fun pop ->
@@ -224,20 +196,12 @@ let derive compiled =
                             (Pepa.Action.to_string action)
                             component.root_label
                     in
-                    rows := { local; aid; rate; target } :: !rows)
+                    rows :=
+                      { Population.m_local = local; m_aid = aid; m_rate = rate; m_target = target }
+                      :: !rows)
                   state_moves)
               component.local_moves;
             Array.of_list (List.rev !rows))
-          pops
-      in
-      let contrib =
-        Array.mapi
-          (fun p pop ->
-            let table = Array.make_matrix pop.n_local n_actions 0.0 in
-            Array.iter
-              (fun m -> if m.aid >= 0 then table.(m.local).(m.aid) <- table.(m.local).(m.aid) +. m.rate)
-              moves.(p);
-            table)
           pops
       in
       (* Flatten the tree to a post-order node array. *)
@@ -263,74 +227,46 @@ let derive compiled =
       in
       let rec flatten = function
         | Tpop p ->
-            let id = push { kind = Kpop p; mask = no_mask } in
+            let id = push { Population.kind = Population.Kblock p; mask = no_mask } in
             pop_node.(p) <- id;
             id
         | Tcoop (l, set, r) ->
             let lid = flatten l in
             let rid = flatten r in
-            push { kind = Kcoop (lid, rid); mask = mask_of set }
+            push { Population.kind = Population.Kcoop (lid, rid); mask = mask_of set }
         | Thide (inner, set) ->
             let cid = flatten inner in
-            push { kind = Khide cid; mask = mask_of set }
+            push { Population.kind = Population.Khide cid; mask = mask_of set }
       in
       ignore (flatten tree);
       let nodes = Array.of_list (List.rev !nodes_rev) in
-      (* Visibility of each action type at the root. *)
-      let visible_at = Array.make (Array.length nodes) [||] in
-      Array.iteri
-        (fun id node ->
-          visible_at.(id) <-
-            (match node.kind with
-            | Kpop p ->
-                Array.init n_actions (fun a ->
-                    let rec any s =
-                      s < pops.(p).n_local && (contrib.(p).(s).(a) > 0.0 || any (s + 1))
-                    in
-                    any 0)
-            | Kcoop (l, r) ->
-                Array.init n_actions (fun a -> visible_at.(l).(a) || visible_at.(r).(a))
-            | Khide c ->
-                Array.init n_actions (fun a -> visible_at.(c).(a) && not (node.mask.(a)))))
-        nodes;
-      let visible =
-        if Array.length nodes = 0 then Array.make n_actions false
-        else visible_at.(Array.length nodes - 1)
+      let blocks =
+        Array.mapi
+          (fun p pop ->
+            {
+              Population.b_label = pop.label;
+              b_count = pop.count;
+              b_offset = pop.offset;
+              b_n_local = pop.n_local;
+              b_labels = compiled.components.(pop.comp).labels;
+              b_init_local = init_local.(p);
+            })
+          pops
       in
-      let x0 = Array.make dim 0.0 in
-      Array.iteri
-        (fun p pop -> x0.(pop.offset + init_local.(p)) <- pop.count)
-        pops;
-      let app = Array.map (fun _ -> Array.make n_actions 0.0) nodes in
-      let flow = Array.map (fun _ -> Array.make n_actions 0.0) nodes in
-      Obs.Span.add_int span "dim" dim;
+      let form = Population.make ~blocks ~actions ~moves ~nodes ~block_node:pop_node () in
+      Obs.Span.add_int span "dim" (Population.dim form);
       Obs.Span.add_int span "populations" (Array.length pops);
       Obs.Span.add_int span "actions" n_actions;
-      {
-        compiled;
-        pops;
-        init_local;
-        actions;
-        moves;
-        contrib;
-        nodes;
-        pop_node;
-        visible;
-        leaf_pop;
-        dim;
-        x0;
-        app;
-        flow;
-      })
+      { compiled; form; pops; leaf_pop })
 
 let of_model model = derive (Pepa.Compile.of_model model)
 let of_string src = of_model (Pepa.Parser.model_of_string src)
 
 let compiled t = t.compiled
 let pops t = t.pops
-let dim t = t.dim
-let n_flux_entries t = Array.fold_left (fun acc m -> acc + Array.length m) 0 t.moves
-let initial t = Array.copy t.x0
+let dim t = Population.dim t.form
+let n_flux_entries t = Population.n_flux_entries t.form
+let initial t = Population.initial t.form
 
 let with_count t ~pop ~count =
   if pop < 0 || pop >= Array.length t.pops then
@@ -339,155 +275,18 @@ let with_count t ~pop ~count =
     invalid_arg "Vector_form.with_count: replica count must be finite and non-negative";
   let pops = Array.copy t.pops in
   pops.(pop) <- { pops.(pop) with count };
-  let x0 = Array.make t.dim 0.0 in
-  Array.iteri (fun p q -> x0.(q.offset + t.init_local.(p)) <- q.count) pops;
-  { t with pops; x0 }
+  { t with pops; form = Population.with_count t.form ~block:pop ~count }
 
 (* ------------------------------------------------------------------ *)
-(* Evaluation                                                          *)
+(* Evaluation and measures (delegated to the IR)                       *)
 (* ------------------------------------------------------------------ *)
 
-let pos x = if x > 0.0 then x else 0.0
-
-(* Bottom-up pass: apparent rate of every action type at every node. *)
-let fill_apparent t x =
-  let n_actions = Array.length t.actions in
-  Array.iteri
-    (fun id node ->
-      let out = t.app.(id) in
-      match node.kind with
-      | Kpop p ->
-          let pop = t.pops.(p) in
-          let table = t.contrib.(p) in
-          for a = 0 to n_actions - 1 do
-            let acc = ref 0.0 in
-            for s = 0 to pop.n_local - 1 do
-              let c = table.(s).(a) in
-              if c > 0.0 then acc := !acc +. (pos x.(pop.offset + s) *. c)
-            done;
-            out.(a) <- !acc
-          done
-      | Kcoop (l, r) ->
-          let al = t.app.(l) and ar = t.app.(r) in
-          for a = 0 to n_actions - 1 do
-            out.(a) <- (if node.mask.(a) then Float.min al.(a) ar.(a) else al.(a) +. ar.(a))
-          done
-      | Khide c ->
-          let ac = t.app.(c) in
-          for a = 0 to n_actions - 1 do
-            out.(a) <- (if node.mask.(a) then 0.0 else ac.(a))
-          done)
-    t.nodes
-
-let derivative t x dx =
-  Array.fill dx 0 t.dim 0.0;
-  let n_nodes = Array.length t.nodes in
-  if n_nodes = 0 then ()
-  else begin
-    let n_actions = Array.length t.actions in
-    fill_apparent t x;
-    (* Top-down pass: the root flows at its own apparent rate; shared
-       cooperation passes the bounded flow to both sides, independent
-       composition splits it proportionally, hiding restores the inner
-       subtree's autonomous flow. *)
-    Array.blit t.app.(n_nodes - 1) 0 t.flow.(n_nodes - 1) 0 n_actions;
-    for id = n_nodes - 1 downto 0 do
-      let node = t.nodes.(id) in
-      let fl = t.flow.(id) in
-      match node.kind with
-      | Kpop _ -> ()
-      | Kcoop (l, r) ->
-          let al = t.app.(l) and ar = t.app.(r) in
-          for a = 0 to n_actions - 1 do
-            if node.mask.(a) then begin
-              t.flow.(l).(a) <- fl.(a);
-              t.flow.(r).(a) <- fl.(a)
-            end
-            else begin
-              let denom = al.(a) +. ar.(a) in
-              if denom > 0.0 then begin
-                t.flow.(l).(a) <- fl.(a) *. al.(a) /. denom;
-                t.flow.(r).(a) <- fl.(a) *. ar.(a) /. denom
-              end
-              else begin
-                t.flow.(l).(a) <- 0.0;
-                t.flow.(r).(a) <- 0.0
-              end
-            end
-          done
-      | Khide c ->
-          let ac = t.app.(c) in
-          for a = 0 to n_actions - 1 do
-            t.flow.(c).(a) <- (if node.mask.(a) then ac.(a) else fl.(a))
-          done
-    done;
-    (* Per-move fluxes at the populations. *)
-    Array.iteri
-      (fun p rows ->
-        let pop = t.pops.(p) in
-        let id = t.pop_node.(p) in
-        let fl = t.flow.(id) and ap = t.app.(id) in
-        Array.iter
-          (fun m ->
-            let level = pos x.(pop.offset + m.local) in
-            let flux =
-              if m.aid < 0 then level *. m.rate
-              else begin
-                let total = ap.(m.aid) in
-                if total > 0.0 then fl.(m.aid) *. (level *. m.rate) /. total else 0.0
-              end
-            in
-            if flux <> 0.0 then begin
-              dx.(pop.offset + m.local) <- dx.(pop.offset + m.local) -. flux;
-              dx.(pop.offset + m.target) <- dx.(pop.offset + m.target) +. flux
-            end)
-          rows)
-      t.moves
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Measures                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let root_rates t x =
-  let n_nodes = Array.length t.nodes in
-  if n_nodes = 0 then [||]
-  else begin
-    fill_apparent t x;
-    Array.copy t.app.(n_nodes - 1)
-  end
-
-let action_names t =
-  let names = ref [] in
-  Array.iteri (fun a name -> if t.visible.(a) then names := name :: !names) t.actions;
-  List.sort String.compare !names
-
-let throughput t x name =
-  let rates = root_rates t x in
-  let result = ref 0.0 in
-  Array.iteri (fun a n -> if n = name && t.visible.(a) then result := rates.(a)) t.actions;
-  !result
-
-let throughputs t x =
-  let rates = root_rates t x in
-  let out = ref [] in
-  Array.iteri (fun a name -> if t.visible.(a) then out := (name, rates.(a)) :: !out) t.actions;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
-
-let populations t x =
-  Array.to_list t.pops
-  |> List.concat_map (fun pop ->
-         let labels = t.compiled.Pepa.Compile.components.(pop.comp).Pepa.Compile.labels in
-         List.init pop.n_local (fun s ->
-             (Printf.sprintf "%s.%s" pop.label labels.(s), x.(pop.offset + s))))
-
-let proportions t x =
-  Array.to_list t.pops
-  |> List.concat_map (fun pop ->
-         let labels = t.compiled.Pepa.Compile.components.(pop.comp).Pepa.Compile.labels in
-         let scale = if pop.count > 0.0 then 1.0 /. pop.count else 0.0 in
-         List.init pop.n_local (fun s ->
-             (Printf.sprintf "%s.%s" pop.label labels.(s), x.(pop.offset + s) *. scale)))
+let derivative t x dx = Population.derivative t.form x dx
+let action_names t = Population.action_names t.form
+let throughput t x name = Population.throughput t.form x name
+let throughputs t x = Population.throughputs t.form x
+let populations t x = Population.populations t.form x
+let proportions t x = Population.proportions t.form x
 
 let leaf_pop t ~leaf =
   if leaf < 0 || leaf >= Array.length t.leaf_pop then
@@ -502,7 +301,7 @@ let leaf_proportions t x ~leaf =
 
 let pp_summary fmt t =
   Format.fprintf fmt "@[<v>numerical vector form: %d coordinates, %d populations, %d activities@,"
-    t.dim (Array.length t.pops) (n_flux_entries t);
+    (dim t) (Array.length t.pops) (n_flux_entries t);
   Array.iter
     (fun pop ->
       Format.fprintf fmt "  %-24s %g replicas over %d local states@," pop.label pop.count

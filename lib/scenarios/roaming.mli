@@ -8,6 +8,34 @@
 
 val pepanet_source : string
 
+val pepanet_family : tokens:int -> string
+(** The patrol scaled to [tokens] agents (all starting at HostA) over
+    [tokens] cells per host.  Every capacity — the monitors' probe and
+    log rates, the hop transitions' rates — grows linearly with
+    [tokens] so the density dynamics stay fixed and the fluid
+    approximation converges as [tokens] grows; at [tokens = 2] the
+    rates coincide with {!pepanet_source}. *)
+
+type lumped_family = {
+  lumped_ctmc : Markov.Ctmc.t;
+      (** the exact population chain: (agents, readies) per host plus
+          the monitor bits *)
+  lumped_initial : int;  (** index of the all-at-HostA state *)
+  lumped_hop_throughput : float array -> float;
+      (** total hop firing flux under a distribution *)
+  lumped_probe_throughput : float array -> float;
+  lumped_hop_jump : src:int -> dst:int -> bool;
+      (** whether a jump is a hop firing, for counting rewards in
+          simulation *)
+}
+
+val lumped_family : tokens:int -> lumped_family
+(** The exact lumped chain of {!pepanet_family} — tokens of one family
+    are interchangeable, so markings lump to population counts.
+    States grow like [tokens^5] instead of the marking graph's
+    [6^tokens]; the test suite validates the construction against the
+    marking graph at small counts. *)
+
 val pepa_source : replicas:int -> string
 (** A plain-PEPA roaming population for the fluid/exact/simulation
     three-way comparison: [replicas] users cycling idle → connected →

@@ -284,6 +284,96 @@ let test_pipeline_fluid () =
     (List.exists (contains "solved exactly") results.R.warnings)
 
 (* ------------------------------------------------------------------ *)
+(* Bit-identity of the lowering onto the population IR                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Goldens captured from the pre-refactor vector form (before the
+   {!Fluid.Population} IR split): derivative evaluations, RK45 steady
+   points with their step counts, and throughputs, as IEEE-754 bit
+   patterns.  The lowering must reproduce every float-operation order
+   exactly, so these are checked bit for bit — any reordering of the
+   flux arithmetic shows up here even when the values agree to 1e-15. *)
+let test_bit_identity () =
+  let hiding_model =
+    {|
+      Proc = (task, 1.0).(swap, 2.0).Proc;
+      Srv = (task, 2.0).(log, 5.0).Srv;
+      system ((Proc[4]) <task> (Srv[2])) / {task};
+    |}
+  in
+  let check_bits label expected actual =
+    Array.iteri
+      (fun i bits ->
+        Alcotest.(check int64)
+          (Printf.sprintf "%s[%d]" label i)
+          bits
+          (Int64.bits_of_float actual.(i)))
+      expected
+  in
+  let run name source ~ddt0 ~ddtp ~steps ~steady ~thr =
+    let form = Fluid.Vector_form.of_string source in
+    let dim = Fluid.Vector_form.dim form in
+    Alcotest.(check int) (name ^ " dim") (Array.length ddt0) dim;
+    let dx = Array.make dim 0.0 in
+    Fluid.Vector_form.derivative form (Fluid.Vector_form.initial form) dx;
+    check_bits (name ^ " d/dt at x0") ddt0 dx;
+    let xp = Array.init dim (fun i -> float_of_int (((i * 7) mod 5) + 1) *. 0.61) in
+    Fluid.Vector_form.derivative form xp dx;
+    check_bits (name ^ " d/dt at probe") ddtp dx;
+    let f ~t:_ ~x ~dx = Fluid.Vector_form.derivative form x dx in
+    let x, stats = Fluid.Rk45.integrate ~f ~x0:(Fluid.Vector_form.initial form) () in
+    Alcotest.(check int) (name ^ " step count") steps stats.Fluid.Rk45.steps;
+    check_bits (name ^ " steady point") steady x;
+    List.iter
+      (fun (action, bits) ->
+        Alcotest.(check int64)
+          (Printf.sprintf "%s throughput %s" name action)
+          bits
+          (Int64.bits_of_float (Fluid.Vector_form.throughput form x action)))
+      thr
+  in
+  run "pool16x4" (pool_model 16 4)
+    ~ddt0:
+      [| 0xc020000000000000L; 0x4020000000000000L; 0xc020000000000000L;
+         0x4020000000000000L |]
+    ~ddtp:
+      [| 0x401fb851eb851eb9L; 0xc01fb851eb851eb9L; 0x3ff3851eb851eb85L;
+         0xbff3851eb851eb85L |]
+    ~steps:71
+    ~steady:
+      [| 0x4006db6db6db6db8L; 0x3ff2492492492493L; 0x402a4929a35e7c1cL;
+         0x4006db5972860f7eL |]
+    ~thr:
+      [ ("log", 0x4016db6db6db6db8L); ("swap", 0x4016db5972860f7eL);
+        ("task", 0x4016db6db6db6db8L) ];
+  run "hidden4x2" hiding_model
+    ~ddt0:
+      [| 0xc010000000000000L; 0x4010000000000000L; 0xc010000000000000L;
+         0x4010000000000000L |]
+    ~ddtp:
+      [| 0x401fb851eb851eb9L; 0xc01fb851eb851eb9L; 0x3ff3851eb851eb85L;
+         0xbff3851eb851eb85L |]
+    ~steps:74
+    ~steady:
+      [| 0x3ff777755305e00fL; 0x3fe1111559f43fdbL; 0x400555577a0e25fcL;
+         0x3ff555510be3b3feL |]
+    ~thr:[ ("log", 0x4005555ab0714fd2L); ("swap", 0x400555510be3b3feL) ];
+  run "roaming16" (Scenarios.Roaming.pepa_source ~replicas:16)
+    ~ddt0:
+      [| 0xc030000000000000L; 0x4030000000000000L; 0xc030000000000000L;
+         0x4030000000000000L; 0x0L |]
+    ~ddtp:
+      [| 0x4008666666666666L; 0xc008666666666666L; 0x4008666666666666L;
+         0xc008666666666666L; 0x0L |]
+    ~steps:79
+    ~steady:
+      [| 0x4003b13fec09afd3L; 0x4016276009fb2817L; 0x4024ec4ffb026bfaL;
+         0x3ffd89dda812e594L; 0x400d89d13fecdd66L |]
+    ~thr:
+      [ ("connect", 0x401d89dfe20e87bcL); ("disconnect", 0x401d89d13fecdd66L);
+        ("transmit", 0x401d89dda812e594L) ]
+
+(* ------------------------------------------------------------------ *)
 (* Three-way agreement on the roaming scenario                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -348,5 +438,6 @@ let suite =
     Alcotest.test_case "approximation xmltable round trip" `Quick
       test_results_approximation_roundtrip;
     Alcotest.test_case "pipeline fluid mode and fallback" `Quick test_pipeline_fluid;
+    Alcotest.test_case "bit-identity with the pre-IR vector form" `Quick test_bit_identity;
     Alcotest.test_case "three-way roaming agreement" `Slow test_three_way_roaming;
   ]

@@ -34,6 +34,7 @@ let () =
       ("aggregation", Test_aggregate.suite);
       ("parallel", Test_parallel.suite);
       ("fluid", Test_fluid.suite);
+    ("fluid-net", Test_fluid_net.suite);
       ("assets", Test_assets.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("surface", Test_surface.suite);
