@@ -110,6 +110,11 @@ let max_par_divergence = ref 0.0
 let par_states_mismatch = ref false
 let par_speedup_at_16 = ref None
 
+(* Below this many states the 4-domain rerun measures domain-fork
+   overhead and scheduler noise, not the engine, so such rows skip the
+   rerun and are marked ["skipped_small"] in the JSON. *)
+let par_skip_threshold = 4096
+
 let record_par ~states_match ~divergence =
   par_states_mismatch := !par_states_mismatch || not states_match;
   max_par_divergence := Float.max !max_par_divergence divergence
@@ -162,36 +167,61 @@ let pepa_row n =
       (Pepa.Statespace.throughputs space_a pi_a)
   in
   max_divergence := Float.max !max_divergence divergence;
-  (* Parallel rerun of the exact pipeline. *)
-  let space_p, par_build_s =
-    time ~attrs "bench.pepa.build_par" (fun _ ->
-        Pepa.Statespace.of_string ~jobs:par_jobs (replicated_model n))
+  (* Parallel rerun of the exact pipeline, skipped below the small-instance
+     threshold. *)
+  let par =
+    if Pepa.Statespace.n_states space < par_skip_threshold then None
+    else begin
+      (* Sequential Jacobi yardstick first, then drop the sequential
+         pipeline's cached CSR matrices: the parallel rerun's generator
+         (and its transpose) never coexists with them, which is what
+         the 16-replica memory gate measures. *)
+      let pi_j1, j1_solve_s =
+        time ~attrs "bench.pepa.solve_jacobi_seq" (fun _ ->
+            Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
+      in
+      Pepa.Statespace.release_derived space;
+      Pepa.Statespace.release_derived space_a;
+      let space_p, par_build_s =
+        time ~attrs "bench.pepa.build_par" (fun _ ->
+            Pepa.Statespace.of_string ~jobs:par_jobs (replicated_model n))
+      in
+      let chain_p, par_assemble_s =
+        time ~attrs "bench.pepa.assemble_par" (fun _ ->
+            let chain = Pepa.Statespace.ctmc space_p in
+            ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
+            chain)
+      in
+      let (pi_p, stats_p), par_solve_s =
+        time ~attrs "bench.pepa.solve_par" (fun _ ->
+            Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
+              ~jobs:par_jobs chain_p)
+      in
+      let par_states_match =
+        Pepa.Statespace.n_states space_p = Pepa.Statespace.n_states space
+        && Pepa.Statespace.n_transitions space_p = Pepa.Statespace.n_transitions space
+      in
+      let par_divergence = steady_divergence pi_j1 pi_p in
+      record_par ~states_match:par_states_match ~divergence:par_divergence;
+      let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
+      let par_total = par_build_s +. par_assemble_s +. par_solve_s in
+      let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
+      if n = 16 then par_speedup_at_16 := Some par_speedup;
+      Some
+        {
+          par_jobs;
+          par_build_s;
+          par_assemble_s;
+          par_solve_s;
+          par_iterations = stats_p.Markov.Steady.iterations;
+          par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
+          par_seq_total_s;
+          par_speedup;
+          par_divergence;
+          par_states_match;
+        }
+    end
   in
-  let chain_p, par_assemble_s =
-    time ~attrs "bench.pepa.assemble_par" (fun _ ->
-        let chain = Pepa.Statespace.ctmc space_p in
-        ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
-        chain)
-  in
-  let (pi_p, stats_p), par_solve_s =
-    time ~attrs "bench.pepa.solve_par" (fun _ ->
-        Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
-          ~jobs:par_jobs chain_p)
-  in
-  let pi_j1, j1_solve_s =
-    time ~attrs "bench.pepa.solve_jacobi_seq" (fun _ ->
-        Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
-  in
-  let par_states_match =
-    Pepa.Statespace.n_states space_p = Pepa.Statespace.n_states space
-    && Pepa.Statespace.n_transitions space_p = Pepa.Statespace.n_transitions space
-  in
-  let par_divergence = steady_divergence pi_j1 pi_p in
-  record_par ~states_match:par_states_match ~divergence:par_divergence;
-  let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
-  let par_total = par_build_s +. par_assemble_s +. par_solve_s in
-  let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
-  if n = 16 then par_speedup_at_16 := Some par_speedup;
   let total = build_s +. assemble_s +. solve_s in
   let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
   ( {
@@ -216,18 +246,7 @@ let pepa_row n =
       speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
       divergence;
     },
-    {
-      par_jobs;
-      par_build_s;
-      par_assemble_s;
-      par_solve_s;
-      par_iterations = stats_p.Markov.Steady.iterations;
-      par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
-      par_seq_total_s;
-      par_speedup;
-      par_divergence;
-      par_states_match;
-    } )
+    par )
 
 let net_row k =
   let diagram = Scenarios.Pda.diagram_with_transmitters k in
@@ -265,36 +284,60 @@ let net_row k =
       (Pepanet.Net_measures.throughputs space_a pi_a)
   in
   max_divergence := Float.max !max_divergence divergence;
-  (* Parallel rerun of the exact pipeline. *)
-  let space_p, par_build_s =
-    time ~attrs "bench.net.build_par" (fun _ ->
-        Pepanet.Net_statespace.build ~jobs:par_jobs compiled)
+  (* Parallel rerun of the exact pipeline, skipped below the small-instance
+     threshold. *)
+  let par =
+    if Pepanet.Net_statespace.n_markings space < par_skip_threshold then None
+    else begin
+      (* Same scoping as the PEPA rows: yardstick first, sequential CSR
+         matrices dropped before the parallel rerun. *)
+      let pi_j1, j1_solve_s =
+        time ~attrs "bench.net.solve_jacobi_seq" (fun _ ->
+            Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
+      in
+      Pepanet.Net_statespace.release_derived space;
+      Pepanet.Net_statespace.release_derived space_a;
+      let space_p, par_build_s =
+        time ~attrs "bench.net.build_par" (fun _ ->
+            Pepanet.Net_statespace.build ~jobs:par_jobs compiled)
+      in
+      let chain_p, par_assemble_s =
+        time ~attrs "bench.net.assemble_par" (fun _ ->
+            let chain = Pepanet.Net_statespace.ctmc space_p in
+            ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
+            chain)
+      in
+      let (pi_p, stats_p), par_solve_s =
+        time ~attrs "bench.net.solve_par" (fun _ ->
+            Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
+              ~jobs:par_jobs chain_p)
+      in
+      let par_states_match =
+        Pepanet.Net_statespace.n_markings space_p
+        = Pepanet.Net_statespace.n_markings space
+        && Pepanet.Net_statespace.n_transitions space_p
+           = Pepanet.Net_statespace.n_transitions space
+      in
+      let par_divergence = steady_divergence pi_j1 pi_p in
+      record_par ~states_match:par_states_match ~divergence:par_divergence;
+      let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
+      let par_total = par_build_s +. par_assemble_s +. par_solve_s in
+      let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
+      Some
+        {
+          par_jobs;
+          par_build_s;
+          par_assemble_s;
+          par_solve_s;
+          par_iterations = stats_p.Markov.Steady.iterations;
+          par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
+          par_seq_total_s;
+          par_speedup;
+          par_divergence;
+          par_states_match;
+        }
+    end
   in
-  let chain_p, par_assemble_s =
-    time ~attrs "bench.net.assemble_par" (fun _ ->
-        let chain = Pepanet.Net_statespace.ctmc space_p in
-        ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
-        chain)
-  in
-  let (pi_p, stats_p), par_solve_s =
-    time ~attrs "bench.net.solve_par" (fun _ ->
-        Markov.Steady.solve_stats ~method_:Markov.Steady.Jacobi ~options:solve_options
-          ~jobs:par_jobs chain_p)
-  in
-  let pi_j1, j1_solve_s =
-    time ~attrs "bench.net.solve_jacobi_seq" (fun _ ->
-        Markov.Steady.solve ~method_:Markov.Steady.Jacobi ~options:solve_options chain)
-  in
-  let par_states_match =
-    Pepanet.Net_statespace.n_markings space_p = Pepanet.Net_statespace.n_markings space
-    && Pepanet.Net_statespace.n_transitions space_p
-       = Pepanet.Net_statespace.n_transitions space
-  in
-  let par_divergence = steady_divergence pi_j1 pi_p in
-  record_par ~states_match:par_states_match ~divergence:par_divergence;
-  let par_seq_total_s = build_s +. assemble_s +. j1_solve_s in
-  let par_total = par_build_s +. par_assemble_s +. par_solve_s in
-  let par_speedup = if par_total > 0.0 then par_seq_total_s /. par_total else 0.0 in
   let total = build_s +. assemble_s +. solve_s in
   let agg_total = agg_build_s +. agg_lump_s +. agg_solve_s in
   ( {
@@ -319,18 +362,114 @@ let net_row k =
       speedup = (if agg_total > 0.0 then total /. agg_total else 0.0);
       divergence;
     },
-    {
-      par_jobs;
-      par_build_s;
-      par_assemble_s;
-      par_solve_s;
-      par_iterations = stats_p.Markov.Steady.iterations;
-      par_method = Markov.Steady.method_name stats_p.Markov.Steady.method_used;
-      par_seq_total_s;
-      par_speedup;
-      par_divergence;
-      par_states_match;
-    } )
+    par )
+
+(* ------------------------------------------------------------------ *)
+(* Tandem queue family: the largest-exact-instance trajectory          *)
+(* ------------------------------------------------------------------ *)
+
+(* Three stations of capacity c give (c+1)^3 states — a slowly-mixing
+   chain where the stationary methods need thousands of sweeps, which
+   is exactly the regime BiCGStab is for.  The family sweeps capacity
+   up to 99 (a million states), built with the packed-key parallel
+   explorer and solved exactly with BiCGStab on the domain pool.  Up to
+   the capacity bound below, a sequential Gauss-Seidel solve of the
+   same chain cross-checks the steady vector to 1e-10. *)
+
+type tandem_row = {
+  td_capacity : int;
+  td_states : int;
+  td_transitions : int;
+  td_build_s : float;
+  td_assemble_s : float;
+  td_solve_s : float;
+  td_iterations : int;
+  td_residual : float;
+  td_method : string;
+  td_check_divergence : float option;  (** vs sequential Gauss-Seidel *)
+  td_heap_words : int;
+}
+
+let tandem_stations = 3
+
+(* Cross-check bound: beyond ~10^5 states the Gauss-Seidel yardstick
+   costs more than the instance it checks, so the largest rows rely on
+   the residual gate alone. *)
+let tandem_check_capacity = 46
+let tandem_divergence_tolerance = 1e-10
+let max_tandem_divergence = ref 0.0
+let tandem_residual_tolerance = 1e-10
+let tandem_gate_failure = ref None
+
+let tandem_fail msg = if !tandem_gate_failure = None then tandem_gate_failure := Some msg
+
+let tandem_row capacity =
+  let attrs = [ ("capacity", Obs.Span.Int capacity) ] in
+  let source = Scenarios.Tandem.source ~stations:tandem_stations ~capacity in
+  let space, build_s =
+    time ~attrs "bench.tandem.build" (fun _ ->
+        Pepa.Statespace.of_string ~max_states:1_100_000 ~jobs:par_jobs source)
+  in
+  let chain, assemble_s =
+    time ~attrs "bench.tandem.assemble" (fun _ ->
+        let chain = Pepa.Statespace.ctmc space in
+        ignore (Markov.Ctmc.generator_transposed ~jobs:par_jobs chain);
+        chain)
+  in
+  (* Cross-checked instances solve to the default 1e-12 so the
+     Gauss-Seidel comparison has headroom under the 1e-10 divergence
+     gate; the largest rows stop at the residual gate itself — the
+     extra two decades buy nothing they would be measured against. *)
+  let tandem_solve_options =
+    if capacity <= tandem_check_capacity then solve_options
+    else { solve_options with Markov.Steady.tolerance = tandem_residual_tolerance }
+  in
+  let (pi, stats), solve_s =
+    time ~attrs "bench.tandem.solve" (fun _ ->
+        Markov.Steady.solve_stats ~method_:Markov.Steady.Bicgstab
+          ~options:tandem_solve_options ~jobs:par_jobs chain)
+  in
+  let method_used = Markov.Steady.method_name stats.Markov.Steady.method_used in
+  if method_used <> "bicgstab" then
+    tandem_fail
+      (Printf.sprintf "capacity %d fell back to %s instead of bicgstab" capacity
+         method_used);
+  if stats.Markov.Steady.residual > tandem_residual_tolerance then
+    tandem_fail
+      (Printf.sprintf "capacity %d residual %.3e exceeds %.1e" capacity
+         stats.Markov.Steady.residual tandem_residual_tolerance);
+  let td_check_divergence =
+    if capacity > tandem_check_capacity then None
+    else begin
+      let pi_gs, _ =
+        time ~attrs "bench.tandem.check" (fun _ ->
+            Markov.Steady.solve ~method_:Markov.Steady.Gauss_seidel ~options:solve_options
+              chain)
+      in
+      let d = steady_divergence pi_gs pi in
+      max_tandem_divergence := Float.max !max_tandem_divergence d;
+      Some d
+    end
+  in
+  {
+    td_capacity = capacity;
+    td_states = Pepa.Statespace.n_states space;
+    td_transitions = Pepa.Statespace.n_transitions space;
+    td_build_s = build_s;
+    td_assemble_s = assemble_s;
+    td_solve_s = solve_s;
+    td_iterations = stats.Markov.Steady.iterations;
+    td_residual = stats.Markov.Steady.residual;
+    td_method = method_used;
+    td_check_divergence;
+    td_heap_words = heap_words ();
+  }
+
+(* ISSUE 9 memory gate: the packed-key state store and the streamed CSR
+   assembly must at least halve the 16-replica footprint measured
+   before the compression work landed (PR 8 recorded 84,974,954 words
+   on this container). *)
+let pr8_peak_heap_words_at_16 = 84_974_954
 
 (* ------------------------------------------------------------------ *)
 (* Fluid approximation family                                          *)
@@ -605,6 +744,19 @@ let scaling_row_json r =
     {|    { "replicas": %d, "integrate_s": %.6f, "steps": %d, "task_throughput": %.6f, "peak_heap_words": %d }|}
     r.s_replicas r.s_integrate_s r.s_steps r.s_throughput r.s_heap_words
 
+let par_json = function
+  | None -> {|"parallel": { "skipped_small": true }|}
+  | Some p ->
+      Printf.sprintf
+        {|"parallel": { "jobs": %d, "method": "%s",
+        "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
+        "sequential_total_s": %.6f, "speedup": %.2f, "iterations": %d,
+        "steady_divergence": %.3e, "states_match": %b }|}
+        p.par_jobs p.par_method p.par_build_s p.par_assemble_s p.par_solve_s
+        (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
+        p.par_seq_total_s p.par_speedup p.par_iterations p.par_divergence
+        p.par_states_match
+
 let row_json ~parameter_name (r, a, p) =
   let states_per_sec =
     if r.build_s > 0.0 then float_of_int r.states /. r.build_s else 0.0
@@ -617,19 +769,29 @@ let row_json ~parameter_name (r, a, p) =
       "aggregated": { "states": %d, "transitions": %d, "lumped_classes": %d,
         "build_s": %.6f, "lump_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
         "speedup": %.2f, "throughput_divergence": %.3e },
-      "parallel": { "jobs": %d, "method": "%s",
-        "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
-        "sequential_total_s": %.6f, "speedup": %.2f, "iterations": %d,
-        "steady_divergence": %.3e, "states_match": %b } }|}
+      %s }|}
     parameter_name r.parameter r.states r.transitions r.build_s r.assemble_s r.solve_s
     (r.build_s +. r.assemble_s +. r.solve_s)
     states_per_sec r.iterations r.residual r.method_used r.peak_heap_words a.agg_states
     a.agg_transitions a.agg_classes a.agg_build_s a.agg_lump_s a.agg_solve_s
     (a.agg_build_s +. a.agg_lump_s +. a.agg_solve_s)
-    a.speedup a.divergence p.par_jobs p.par_method p.par_build_s p.par_assemble_s
-    p.par_solve_s
-    (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
-    p.par_seq_total_s p.par_speedup p.par_iterations p.par_divergence p.par_states_match
+    a.speedup a.divergence (par_json p)
+
+let tandem_row_json r =
+  let check =
+    match r.td_check_divergence with
+    | Some d -> Printf.sprintf "%.3e" d
+    | None -> "null"
+  in
+  Printf.sprintf
+    {|    { "stations": %d, "capacity": %d, "states": %d, "transitions": %d,
+      "build_s": %.6f, "assemble_s": %.6f, "solve_s": %.6f, "total_s": %.6f,
+      "jobs": %d, "iterations": %d, "residual": %.3e, "method": "%s",
+      "check_divergence_vs_gauss_seidel": %s, "peak_heap_words": %d }|}
+    tandem_stations r.td_capacity r.td_states r.td_transitions r.td_build_s
+    r.td_assemble_s r.td_solve_s
+    (r.td_build_s +. r.td_assemble_s +. r.td_solve_s)
+    par_jobs r.td_iterations r.td_residual r.td_method check r.td_heap_words
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -665,12 +827,16 @@ let () =
     Sys.argv;
   let replicas = if smoke then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
   let transmitters = if smoke then [ 2 ] else [ 2; 3; 5; 8; 12 ] in
-  let print_par p =
-    Printf.eprintf
-      "            parallel(jobs=%d, %s): total=%.4fs sequential=%.4fs speedup=%.2fx divergence=%.1e states_match=%b\n%!"
-      p.par_jobs p.par_method
-      (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
-      p.par_seq_total_s p.par_speedup p.par_divergence p.par_states_match
+  let print_par = function
+    | None ->
+        Printf.eprintf "            parallel: skipped (below %d states)\n%!"
+          par_skip_threshold
+    | Some p ->
+        Printf.eprintf
+          "            parallel(jobs=%d, %s): total=%.4fs sequential=%.4fs speedup=%.2fx divergence=%.1e states_match=%b\n%!"
+          p.par_jobs p.par_method
+          (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
+          p.par_seq_total_s p.par_speedup p.par_divergence p.par_states_match
   in
   let pepa_rows =
     List.map
@@ -754,6 +920,25 @@ let () =
         r)
       net_scaling_tokens
   in
+  (* The tandem family runs last: its million-state footprint would
+     otherwise contaminate the monotone peak-heap numbers of the
+     replicated family, which carry the memory gate. *)
+  let tandem_capacities = if smoke then [ 4; 9 ] else [ 9; 21; 46; 99 ] in
+  let tandem_rows =
+    List.map
+      (fun capacity ->
+        let r = tandem_row capacity in
+        Printf.eprintf
+          "tandem capacity=%3d states=%8d transitions=%9d build=%.4fs assemble=%.4fs solve=%.4fs (%d iterations, %s, residual=%.1e)\n%!"
+          capacity r.td_states r.td_transitions r.td_build_s r.td_assemble_s r.td_solve_s
+          r.td_iterations r.td_method r.td_residual;
+        (match r.td_check_divergence with
+        | Some d -> Printf.eprintf "            gauss-seidel cross-check divergence=%.1e\n%!" d
+        | None -> ());
+        r)
+      tandem_capacities
+  in
+  let largest_tandem = List.nth tandem_rows (List.length tandem_rows - 1) in
   let largest, largest_agg, largest_par = List.nth pepa_rows (List.length pepa_rows - 1) in
   (* The multicore speedup gate needs real cores: with fewer than 4 the
      4-domain run measures oversubscription, not the engine, so the
@@ -777,6 +962,22 @@ let () =
         {|  "pda_transmitter_family": [|};
         String.concat ",\n" (List.map (row_json ~parameter_name:"transmitters") net_rows);
         "  ],";
+        {|  "tandem_queue_family": [|};
+        String.concat ",\n" (List.map tandem_row_json tandem_rows);
+        "  ],";
+        Printf.sprintf {|  "tandem_divergence_tolerance": %.1e,|}
+          tandem_divergence_tolerance;
+        Printf.sprintf
+          {|  "largest_exact_instance": { "model": "tandem", "stations": %d, "capacity": %d, "states": %d, "transitions": %d, "method": "%s", "iterations": %d, "residual": %.3e, "total_s": %.6f, "peak_heap_words": %d },|}
+          tandem_stations largest_tandem.td_capacity largest_tandem.td_states
+          largest_tandem.td_transitions largest_tandem.td_method
+          largest_tandem.td_iterations largest_tandem.td_residual
+          (largest_tandem.td_build_s +. largest_tandem.td_assemble_s
+          +. largest_tandem.td_solve_s)
+          largest_tandem.td_heap_words;
+        Printf.sprintf
+          {|  "peak_heap_gate": { "baseline_pr8_words_at_16_replicas": %d, "required_reduction": 2.0, "measured_words_at_16_replicas": %d, "enforced": %b },|}
+          pr8_peak_heap_words_at_16 largest.peak_heap_words (not smoke);
         {|  "fluid_family": [|};
         String.concat ",\n" (List.map fluid_row_json fluid_rows);
         "  ],";
@@ -799,13 +1000,17 @@ let () =
           {|  "parallel_speedup_gate": { "jobs": %d, "required_at_16_replicas": 2.0, "recommended_domains": %d, "enforced": %b },|}
           par_jobs (Par.recommended ()) speedup_gate_enforced;
         Printf.sprintf
-          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f, "parallel_total_s": %.6f, "parallel_speedup": %.2f },|}
+          {|  "largest_instance": { "replicas": %d, "states": %d, "transitions": %d, "total_s": %.6f, "aggregated_total_s": %.6f, "aggregated_speedup": %.2f%s },|}
           largest.parameter largest.states largest.transitions
           (largest.build_s +. largest.assemble_s +. largest.solve_s)
           (largest_agg.agg_build_s +. largest_agg.agg_lump_s +. largest_agg.agg_solve_s)
           largest_agg.speedup
-          (largest_par.par_build_s +. largest_par.par_assemble_s +. largest_par.par_solve_s)
-          largest_par.par_speedup;
+          (match largest_par with
+          | Some p ->
+              Printf.sprintf {|, "parallel_total_s": %.6f, "parallel_speedup": %.2f|}
+                (p.par_build_s +. p.par_assemble_s +. p.par_solve_s)
+                p.par_speedup
+          | None -> "");
         (* Trajectory anchor: the list-based seed pipeline measured on
            this same container immediately before the flat-array rewrite
            (PR 1), same solver tolerance and direct limit.  Kept static
@@ -878,6 +1083,31 @@ let () =
     Printf.eprintf
       "error: parallel steady vectors diverge by %.3e from sequential (tolerance 1e-10)\n%!"
       !max_par_divergence;
+    exit 1
+  end;
+  (* Tandem exactness gates: the Krylov solve must agree with
+     Gauss-Seidel where the cross-check runs, and every row — the
+     million-state instance included — must converge as BiCGStab with a
+     tight residual. *)
+  if !max_tandem_divergence > tandem_divergence_tolerance then begin
+    Printf.eprintf
+      "error: tandem BiCGStab diverges from Gauss-Seidel by %.3e (tolerance %.1e)\n%!"
+      !max_tandem_divergence tandem_divergence_tolerance;
+    exit 1
+  end;
+  (match !tandem_gate_failure with
+  | Some msg ->
+      Printf.eprintf "error: tandem family: %s\n%!" msg;
+      exit 1
+  | None -> ());
+  (* Memory gate: packed state keys and streamed CSR assembly must at
+     least halve the 16-replica footprint against the PR 8 baseline.
+     Monotone top-heap numbers only mean something on the full sweep,
+     so smoke runs record but do not enforce. *)
+  if (not smoke) && largest.peak_heap_words * 2 > pr8_peak_heap_words_at_16 then begin
+    Printf.eprintf
+      "error: peak heap at 16 replicas is %d words; required <= half of the %d-word PR 8 baseline\n%!"
+      largest.peak_heap_words pr8_peak_heap_words_at_16;
     exit 1
   end;
   (* Parallel speed gate: 4 domains must halve the un-aggregated

@@ -401,6 +401,11 @@ let obs_cmd =
           Printf.printf "no stage of run %d exceeds %.2fx its median over %d prior run(s)\n"
             (n - 1) threshold (n - 1)
       | regressions ->
+          (* Time rows are in milliseconds; the synthetic memory row is
+             in heap words and says so. *)
+          let quantity (r : Obs.Ledger.regression) v =
+            if r.Obs.Ledger.r_memory then Printf.sprintf "%.0f words" v else ms v
+          in
           print_string
             (Choreographer.Report.table
                ~header:[ "stage"; "latest ms"; "median ms"; "ratio" ]
@@ -408,8 +413,8 @@ let obs_cmd =
                   (fun (r : Obs.Ledger.regression) ->
                     [
                       r.Obs.Ledger.r_stage;
-                      ms r.Obs.Ledger.latest_s;
-                      ms r.Obs.Ledger.median_s;
+                      quantity r r.Obs.Ledger.latest_s;
+                      quantity r r.Obs.Ledger.median_s;
                       Printf.sprintf "%.2fx" r.Obs.Ledger.ratio;
                     ])
                   regressions));
@@ -417,7 +422,8 @@ let obs_cmd =
     in
     Cmd.v
       (Cmd.info "regress"
-         ~doc:"Compare the latest run against the ledger median of every stage.")
+         ~doc:"Compare the latest run against the ledger median of every stage and of \
+               its peak heap size.")
       Term.(const run $ ledger_file_arg $ threshold_arg $ fail_arg)
   in
   Cmd.group

@@ -10,6 +10,7 @@ let method_conv =
     | "jacobi" -> Ok (Some Markov.Steady.Jacobi)
     | "gauss-seidel" | "gs" -> Ok (Some Markov.Steady.Gauss_seidel)
     | "power" -> Ok (Some Markov.Steady.Power)
+    | "bicgstab" -> Ok (Some Markov.Steady.Bicgstab)
     | "auto" -> Ok None
     | other -> (
         (* "sor" or "sor:<omega>", omega in (0, 2); plain "sor" uses a
@@ -26,7 +27,7 @@ let method_conv =
               (`Msg
                 (Printf.sprintf
                    "unknown method %s (valid: auto, direct, jacobi, gauss-seidel, \
-                    sor[:omega], power)"
+                    sor[:omega], power, bicgstab)"
                    other)))
   in
   let print fmt m =
@@ -40,7 +41,10 @@ let method_arg =
     value
     & opt method_conv None
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega] or power.")
+        ~doc:
+          "Steady-state method: auto, direct, jacobi, gauss-seidel, sor[:omega], power or \
+           bicgstab (preconditioned Krylov iteration — usually the fastest exact method \
+           on large chains).")
 
 let aggregate_conv =
   let parse s =
@@ -360,12 +364,15 @@ let exit_did_not_converge = 2
 
 let report_did_not_converge ~method_used ~iterations ~residual =
   let name = Markov.Steady.method_name method_used in
-  (* Suggesting SOR when SOR is what just diverged would send the user
-     in a circle; under-relaxing is the documented way out there. *)
+  (* Suggesting the method that just gave up would send the user in a
+     circle: under-relaxing is the way out of an SOR oscillation, and
+     the Krylov solver is only suggested while it is not the one that
+     failed. *)
   let method_hint =
     match method_used with
     | Markov.Steady.Sor _ -> "--method sor:0.8 (damp the oscillation)"
-    | _ -> "--method sor (faster mixing)"
+    | Markov.Steady.Bicgstab -> "--method sor (stationary sweeps can pass a stalled Krylov run)"
+    | _ -> "--method bicgstab (Krylov iteration), --method sor (faster mixing)"
   in
   Printf.eprintf
     "error: %s solver did not converge after %d sweeps (last residual %g)\n\

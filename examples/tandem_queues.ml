@@ -1,0 +1,24 @@
+(* Emit the tandem-network benchmark family as PEPA source:
+
+     dune exec examples/tandem_queues.exe -- [STATIONS] [CAPACITY]
+
+   Defaults to 3 stations of capacity 46 — the 103,823-state instance
+   the CI smoke test solves exactly.  Three stations at capacity 99
+   give a million-state CTMC:
+
+     dune exec examples/tandem_queues.exe -- 3 99 > tandem1m.pepa
+     dune exec bin/workbench_main.exe -- solve tandem1m.pepa --method bicgstab *)
+
+let () =
+  let arg i default =
+    if Array.length Sys.argv > i then
+      match int_of_string_opt Sys.argv.(i) with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "usage: tandem_queues [STATIONS] [CAPACITY]\n";
+          exit 2
+    else default
+  in
+  let stations = arg 1 3 in
+  let capacity = arg 2 46 in
+  print_string (Scenarios.Tandem.source ~stations ~capacity)

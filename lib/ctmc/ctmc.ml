@@ -46,6 +46,27 @@ let of_arrays ~n ~src ~dst ~rate =
   let exit = Sparse.row_sums rates in
   { n; rates; exit; transposed = None })
 
+let of_grouped ~n ~row_start ~dst ~rate =
+  Obs.Span.with_ "ctmc.assemble" (fun span ->
+  if Array.length row_start <> n + 1 then
+    invalid_arg "Ctmc.of_grouped: row_start has wrong length";
+  Obs.Span.add_int span "states" n;
+  Obs.Span.add_int span "transitions" row_start.(n);
+  for i = 0 to n - 1 do
+    for k = row_start.(i) to row_start.(i + 1) - 1 do
+      validate_entry ~n ~context:"Ctmc.of_grouped" i (dst k) (rate k)
+    done
+  done;
+  (* Self-loops are discarded inside the assembly pass itself
+     ([drop_diagonal]): nothing is ever copied into a filtered triplet
+     set the way [of_arrays] has to. *)
+  let rates =
+    Sparse.of_grouped ~drop_diagonal:true ~n_rows:n ~n_cols:n ~row_start ~col:dst
+      ~value:rate
+  in
+  let exit = Sparse.row_sums rates in
+  { n; rates; exit; transposed = None })
+
 let of_transitions ~n transitions =
   List.iter
     (fun (i, j, r) -> validate_entry ~n ~context:"Ctmc.of_transitions" i j r)
@@ -64,34 +85,15 @@ let of_transitions ~n transitions =
 
 let n_states c = c.n
 
-(* The generator shares the rate matrix's structure with one extra
-   diagonal entry per non-absorbing state; assemble its CSR directly
-   instead of going through triplets. *)
-let generator c =
-  let nnz = Sparse.nnz c.rates in
-  let extra = ref 0 in
-  for i = 0 to c.n - 1 do
-    if c.exit.(i) > 0.0 then incr extra
-  done;
-  let total = nnz + !extra in
-  let rows = Array.make total 0 in
-  let cols = Array.make total 0 in
-  let values = Array.make total 0.0 in
-  let w = ref 0 in
-  for i = 0 to c.n - 1 do
-    if c.exit.(i) > 0.0 then begin
-      rows.(!w) <- i;
-      cols.(!w) <- i;
-      values.(!w) <- -.c.exit.(i);
-      incr w
-    end;
-    Sparse.iter_row c.rates i (fun j v ->
-        rows.(!w) <- i;
-        cols.(!w) <- j;
-        values.(!w) <- v;
-        incr w)
-  done;
-  Sparse.of_arrays ~n_rows:c.n ~n_cols:c.n ~rows ~cols ~values
+(* The generator is the rate matrix plus the negated exit rates on the
+   diagonal (absorbing states contribute nothing: [-.0.0 = 0.0] and
+   zero diagonals are not stored).  Both the plain and the transposed
+   form stream straight out of the rates CSR — no triplet arrays, no
+   re-sort, and for the transposed form no intermediate untransposed
+   generator. *)
+let neg_exit c = Array.map (fun e -> -.e) c.exit
+
+let generator c = Sparse.add_diagonal c.rates (neg_exit c)
 
 let generator_transposed ?jobs c =
   match c.transposed with
@@ -100,7 +102,7 @@ let generator_transposed ?jobs c =
       let m =
         Obs.Span.with_ "ctmc.transpose" (fun span ->
             Obs.Span.add_int span "states" c.n;
-            Sparse.transpose ?jobs (generator c))
+            Sparse.transpose_add_diagonal ?jobs c.rates (neg_exit c))
       in
       c.transposed <- Some m;
       m

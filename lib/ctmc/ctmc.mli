@@ -20,6 +20,16 @@ val of_arrays : n:int -> src:int array -> dst:int array -> rate:float array -> t
     transitions in columns should prefer this path.  The input arrays are
     not modified. *)
 
+val of_grouped :
+  n:int -> row_start:int array -> dst:(int -> int) -> rate:(int -> float) -> t
+(** Build from a transition stream already grouped by source state: the
+    transitions of state [i] occupy stream positions [row_start.(i)] to
+    [row_start.(i + 1) - 1], read on demand through [dst]/[rate].  Same
+    semantics as {!of_arrays} (parallel transitions summed, self-loops
+    dropped) without ever materialising a src column or coordinate
+    arrays — the assembly path for the compressed state-space
+    transition streams. *)
+
 val n_states : t -> int
 
 val generator : t -> Sparse.t

@@ -200,6 +200,59 @@ let of_arrays ~n_rows ~n_cols ~rows ~cols ~values =
   let values = if count = nnz_in then vals else Array.sub vals 0 count in
   { n_rows; n_cols; row_ptr; col_index; values }
 
+(* Same stable insertion sort and duplicate merge as the tail of
+   [of_arrays], but the entries arrive already grouped by row, so the
+   counting sort — and with it any materialised coordinate arrays —
+   disappears.  The row is known while its slice is scanned, which is
+   what lets [drop_diagonal] discard self-loops without the caller
+   storing a src column just to recognise them. *)
+let of_grouped ~drop_diagonal ~n_rows ~n_cols ~row_start ~col ~value =
+  if Array.length row_start <> n_rows + 1 then
+    invalid_arg "Sparse.of_grouped: row_start has wrong length";
+  if row_start.(0) <> 0 then invalid_arg "Sparse.of_grouped: row_start must begin at 0";
+  let nnz_in = row_start.(n_rows) in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_index = Array.make nnz_in 0 in
+  let vals = Array.make nnz_in 0.0 in
+  let write = ref 0 in
+  for i = 0 to n_rows - 1 do
+    let lo = row_start.(i) and hi = row_start.(i + 1) in
+    if hi < lo then invalid_arg "Sparse.of_grouped: row_start must be nondecreasing";
+    let row_write_start = !write in
+    for k = lo to hi - 1 do
+      let c = col k in
+      if c < 0 || c >= n_cols then
+        invalid_arg (Printf.sprintf "Sparse.of_grouped: index (%d, %d) out of range" i c);
+      if not (drop_diagonal && c = i) then begin
+        let v = value k in
+        (* Stable insertion into the slice written so far; a duplicate
+           column adds into its slot, so values accumulate in stream
+           order exactly as the [of_arrays] compaction sums them. *)
+        let p = ref !write in
+        while !p > row_write_start && col_index.(!p - 1) > c do
+          decr p
+        done;
+        if !p > row_write_start && col_index.(!p - 1) = c then
+          vals.(!p - 1) <- vals.(!p - 1) +. v
+        else begin
+          let len = !write - !p in
+          if len > 0 then begin
+            Array.blit col_index !p col_index (!p + 1) len;
+            Array.blit vals !p vals (!p + 1) len
+          end;
+          col_index.(!p) <- c;
+          vals.(!p) <- v;
+          incr write
+        end
+      end
+    done;
+    row_ptr.(i + 1) <- !write
+  done;
+  let count = !write in
+  let col_index = if count = nnz_in then col_index else Array.sub col_index 0 count in
+  let values = if count = nnz_in then vals else Array.sub vals 0 count in
+  { n_rows; n_cols; row_ptr; col_index; values }
+
 let of_triplets ~n_rows ~n_cols triplets =
   let nnz = List.length triplets in
   let rows = Array.make nnz 0 in
@@ -351,6 +404,157 @@ let transpose ?jobs m =
     done
   done;
   { n_rows = m.n_cols; n_cols = m.n_rows; row_ptr; col_index; values }
+
+(* Streamed fused assemblies for the CTMC layer: the generator matrix
+   is the off-diagonal rate matrix plus a diagonal, and its transpose
+   is what the solvers actually consume.  Building either directly
+   from the rates CSR avoids the triplet arrays (3 x nnz words) and
+   the intermediate untransposed generator the historical path
+   materialised.  Both functions require [m] to store no diagonal
+   entries (the rate matrix never does: self-loops are dropped at CTMC
+   assembly), which keeps the streamed output bitwise identical to the
+   compose-then-sort path it replaces. *)
+
+let check_square_no_diagonal ~context m d =
+  if m.n_rows <> m.n_cols then invalid_arg (context ^ ": matrix not square");
+  if Array.length d <> m.n_rows then invalid_arg (context ^ ": diagonal length mismatch")
+
+let count_nonzero d =
+  let extra = ref 0 in
+  Array.iter (fun v -> if v <> 0.0 then incr extra) d;
+  !extra
+
+let add_diagonal m d =
+  check_square_no_diagonal ~context:"Sparse.add_diagonal" m d;
+  let n = m.n_rows in
+  let total = Array.length m.values + count_nonzero d in
+  let row_ptr = Array.make (n + 1) 0 in
+  let col_index = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i) <- !w;
+    (* Insert the diagonal at its sorted position within the row. *)
+    let placed = ref (d.(i) = 0.0) in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col_index.(k) in
+      if j = i then invalid_arg "Sparse.add_diagonal: matrix stores a diagonal entry";
+      if (not !placed) && j > i then begin
+        col_index.(!w) <- i;
+        values.(!w) <- d.(i);
+        incr w;
+        placed := true
+      end;
+      col_index.(!w) <- j;
+      values.(!w) <- m.values.(k);
+      incr w
+    done;
+    if not !placed then begin
+      col_index.(!w) <- i;
+      values.(!w) <- d.(i);
+      incr w
+    end
+  done;
+  row_ptr.(n) <- !w;
+  { n_rows = n; n_cols = n; row_ptr; col_index; values }
+
+(* Transpose-with-diagonal: one counting-sort pass over the source
+   rows.  Output row [j] collects the diagonal (source [j]) and every
+   stored [(i, j)] in ascending source order — exactly the order
+   [transpose (add_diagonal m d)] would produce, so the fusion is
+   bitwise invisible.  The parallel variant uses the same in-order
+   block scatter as [transpose_par]. *)
+let transpose_add_diagonal_par p m d =
+  let n = m.n_rows in
+  let total = Array.length m.values + count_nonzero d in
+  let blocks = Par.Pool.size p in
+  let counts = Array.init blocks (fun _ -> Array.make n 0) in
+  Par.parallel_chunks p ~chunk:1 ~lo:0 ~hi:blocks (fun ~chunk:_ b _ ->
+      let lo, hi = block_bounds ~blocks n b in
+      let count = counts.(b) in
+      for i = lo to hi - 1 do
+        if d.(i) <> 0.0 then count.(i) <- count.(i) + 1;
+        for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          count.(m.col_index.(k)) <- count.(m.col_index.(k)) + 1
+        done
+      done)
+  |> ignore;
+  let row_ptr = Array.make (n + 1) 0 in
+  let run = ref 0 in
+  for j = 0 to n - 1 do
+    row_ptr.(j) <- !run;
+    for b = 0 to blocks - 1 do
+      let c = counts.(b).(j) in
+      counts.(b).(j) <- !run;
+      run := !run + c
+    done
+  done;
+  row_ptr.(n) <- !run;
+  let col_index = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  Par.parallel_chunks p ~chunk:1 ~lo:0 ~hi:blocks (fun ~chunk:_ b _ ->
+      let lo, hi = block_bounds ~blocks n b in
+      let cursor = counts.(b) in
+      for i = lo to hi - 1 do
+        if d.(i) <> 0.0 then begin
+          let pos = cursor.(i) in
+          col_index.(pos) <- i;
+          values.(pos) <- d.(i);
+          cursor.(i) <- pos + 1
+        end;
+        for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          let j = m.col_index.(k) in
+          let pos = cursor.(j) in
+          col_index.(pos) <- i;
+          values.(pos) <- m.values.(k);
+          cursor.(j) <- pos + 1
+        done
+      done)
+  |> ignore;
+  { n_rows = n; n_cols = n; row_ptr; col_index; values }
+
+let transpose_add_diagonal ?jobs m d =
+  check_square_no_diagonal ~context:"Sparse.transpose_add_diagonal" m d;
+  let n = m.n_rows in
+  for i = 0 to n - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      if m.col_index.(k) = i then
+        invalid_arg "Sparse.transpose_add_diagonal: matrix stores a diagonal entry"
+    done
+  done;
+  let total = Array.length m.values + count_nonzero d in
+  match if total >= par_threshold then Par.pool ?jobs () else None with
+  | Some p -> transpose_add_diagonal_par p m d
+  | None ->
+      let row_ptr = Array.make (n + 1) 0 in
+      for k = 0 to Array.length m.values - 1 do
+        row_ptr.(m.col_index.(k) + 1) <- row_ptr.(m.col_index.(k) + 1) + 1
+      done;
+      for i = 0 to n - 1 do
+        if d.(i) <> 0.0 then row_ptr.(i + 1) <- row_ptr.(i + 1) + 1
+      done;
+      for j = 1 to n do
+        row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+      done;
+      let cursor = Array.copy row_ptr in
+      let col_index = Array.make total 0 in
+      let values = Array.make total 0.0 in
+      for i = 0 to n - 1 do
+        if d.(i) <> 0.0 then begin
+          let pos = cursor.(i) in
+          col_index.(pos) <- i;
+          values.(pos) <- d.(i);
+          cursor.(i) <- pos + 1
+        end;
+        for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+          let j = m.col_index.(k) in
+          let pos = cursor.(j) in
+          col_index.(pos) <- i;
+          values.(pos) <- m.values.(k);
+          cursor.(j) <- pos + 1
+        done
+      done;
+      { n_rows = n; n_cols = n; row_ptr; col_index; values }
 
 let diagonal m =
   let n = min m.n_rows m.n_cols in

@@ -32,6 +32,28 @@ val of_arrays :
     stable per-block counting sort on the domain pool; the result is
     bitwise identical to the sequential build. *)
 
+val of_grouped :
+  drop_diagonal:bool ->
+  n_rows:int ->
+  n_cols:int ->
+  row_start:int array ->
+  col:(int -> int) ->
+  value:(int -> float) ->
+  t
+(** Build a matrix from an entry stream already grouped by row: row
+    [i]'s entries sit at stream positions [row_start.(i)] to
+    [row_start.(i + 1) - 1] and are read on demand through
+    [col]/[value] — no coordinate arrays are ever materialised, which
+    is the point: the state-space builders feed their compressed
+    transition streams straight in.  Within-row order is arbitrary;
+    duplicate columns are merged by summation in stream order, so the
+    result is bitwise identical to {!of_arrays} on the flattened
+    stream.  [drop_diagonal] discards entries with
+    [col = row] during the pass — CTMC assembly uses it because
+    self-loops never affect a generator.  Raises [Invalid_argument] if
+    [row_start] is not a nondecreasing scan starting at 0 or a column
+    is out of range. *)
+
 val of_triplets : n_rows:int -> n_cols:int -> (int * int * float) list -> t
 (** Build a matrix from [(row, col, value)] triplets.  Duplicate
     coordinates are summed; resulting zeros are kept (a stored zero is
@@ -73,6 +95,23 @@ val transpose : ?jobs:int -> t -> t
     intermediate triplets.  [?jobs] overrides the process-wide default
     for this call; the parallel transpose is bitwise identical to the
     sequential one. *)
+
+val add_diagonal : t -> float array -> t
+(** [add_diagonal m d] is the square matrix [m + diag d], streamed row
+    by row in one pass: each diagonal entry is spliced into its sorted
+    column position and zero entries of [d] are not stored.  The result
+    is bitwise identical to rebuilding from triplets.  Raises
+    [Invalid_argument] if [m] is not square, [d] has the wrong length,
+    or [m] already stores a diagonal entry (the CTMC rate matrix never
+    does). *)
+
+val transpose_add_diagonal : ?jobs:int -> t -> float array -> t
+(** [transpose_add_diagonal m d] is [transpose (add_diagonal m d)]
+    assembled in a single fused counting-sort pass, without
+    materialising the intermediate matrix — the construction path for
+    transposed CTMC generators, halving peak storage during assembly.
+    Preconditions as for {!add_diagonal}; bitwise identical (at any
+    [jobs] count) to the composed form. *)
 
 val diagonal : t -> float array
 (** The main diagonal as a dense vector (zero where not stored). *)

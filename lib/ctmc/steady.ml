@@ -1,4 +1,4 @@
-type method_ = Direct | Jacobi | Gauss_seidel | Sor of float | Power
+type method_ = Direct | Jacobi | Gauss_seidel | Sor of float | Power | Bicgstab
 
 type options = {
   tolerance : float;
@@ -19,6 +19,7 @@ let method_name = function
   | Gauss_seidel -> "gauss-seidel"
   | Sor _ -> "sor"
   | Power -> "power"
+  | Bicgstab -> "bicgstab"
 
 type stats = { method_used : method_; iterations : int; residual : float }
 
@@ -121,25 +122,26 @@ let check_no_absorbing c =
    roughly halves the cost per iteration for stationary methods whose
    sweep is itself one pass over the matrix.  The iteration count
    reported on failure is the exact number of sweeps performed. *)
+(* A warm start must still be a distribution candidate: negative
+   entries are clamped, then the copy is normalised.  The mass check
+   must come before [normalise_into], whose collapse message would
+   blame the iteration for a bad argument. *)
+let prepare_initial n initial =
+  match initial with
+  | None -> Array.make n (1.0 /. float_of_int n)
+  | Some v ->
+      if Array.length v <> n then
+        raise (Not_solvable "warm-start vector has the wrong dimension");
+      let pi = Array.map (fun x -> if x > 0.0 then x else 0.0) v in
+      if Array.fold_left ( +. ) 0.0 pi <= 0.0 then
+        raise (Not_solvable "warm-start vector has no positive mass");
+      normalise_into pi;
+      pi
+
 let iterate ?initial ?pool ~method_ ~options ~c ~sweep () =
   let n = Ctmc.n_states c in
   let qt = Ctmc.generator_transposed c in
-  let pi =
-    match initial with
-    | None -> Array.make n (1.0 /. float_of_int n)
-    | Some v ->
-        if Array.length v <> n then
-          raise (Not_solvable "warm-start vector has the wrong dimension");
-        (* A warm start must still be a distribution candidate: negative
-           entries are clamped, then the copy is normalised.  The mass
-           check must come before [normalise_into], whose collapse
-           message would blame the iteration for a bad argument. *)
-        let pi = Array.map (fun x -> if x > 0.0 then x else 0.0) v in
-        if Array.fold_left ( +. ) 0.0 pi <= 0.0 then
-          raise (Not_solvable "warm-start vector has no positive mass");
-        normalise_into pi;
-        pi
-  in
+  let pi = prepare_initial n initial in
   let work = Array.make n 0.0 in
   let defect = Array.make n 0.0 in
   let measure () =
@@ -256,6 +258,34 @@ let solve_power ?initial ?pool options c =
   in
   iterate ?initial ?pool ~method_:Power ~options ~c ~sweep ()
 
+(* BiCGStab delegates to the Krylov engine; [Krylov] owns its own
+   telemetry (same registry handles).  A scalar breakdown is not a
+   verdict on the chain — the candidate is simply handed to the power
+   method, the always-convergent sweep, and the stats record the
+   method that actually produced the answer (the same convention as
+   the auto policy's Gauss-Seidel -> Direct fallback). *)
+let solve_bicgstab ?initial ?pool options c =
+  check_no_absorbing c;
+  let x0 = prepare_initial (Ctmc.n_states c) initial in
+  let r =
+    Krylov.bicgstab ~initial:x0 ?pool ~tolerance:options.tolerance
+      ~max_iterations:options.max_iterations c
+  in
+  match r.Krylov.outcome with
+  | Krylov.Converged ->
+      ( r.Krylov.pi,
+        { method_used = Bicgstab; iterations = r.Krylov.iterations; residual = r.Krylov.residual } )
+  | Krylov.No_convergence ->
+      raise
+        (Did_not_converge
+           { method_used = Bicgstab; iterations = r.Krylov.iterations; residual = r.Krylov.residual })
+  | Krylov.Breakdown reason ->
+      Obs.Log.info
+        "steady.solve: bicgstab breakdown (%s) after %d sweeps; falling back to power iteration"
+        reason r.Krylov.iterations;
+      let pi, iterations, residual = solve_power ~initial:r.Krylov.pi ?pool options c in
+      (pi, { method_used = Power; iterations; residual })
+
 let record_stats stats =
   last := Some stats;
   stats
@@ -293,6 +323,7 @@ let solve_stats ?method_ ?(options = default_options) ?initial ?jobs c =
           | Some (Sor omega) ->
               iterative (Sor omega) (fun () -> solve_sor ?initial options c omega)
           | Some Power -> iterative Power (fun () -> solve_power ?initial ?pool options c)
+          | Some Bicgstab -> solve_bicgstab ?initial ?pool options c
           | None -> (
               (* Default policy: Gauss-Seidel, falling back to the direct solver
                  for chains it cannot handle (absorbing states, slow mixing). *)

@@ -1,10 +1,12 @@
 (** Steady-state solution of a CTMC: the probability vector [pi] with
     [pi Q = 0] and [sum pi = 1].
 
-    Five solution methods are provided, mirroring the PEPA Workbench:
-    a direct dense LU solver (exact up to rounding, limited to small
-    chains), Jacobi, Gauss–Seidel and SOR iterations on the normal
-    equations, and the power method on the uniformised jump chain.
+    Six solution methods are provided, mirroring the PEPA Workbench
+    plus one Krylov method: a direct dense LU solver (exact up to
+    rounding, limited to small chains), Jacobi, Gauss–Seidel and SOR
+    iterations on the normal equations, the power method on the
+    uniformised jump chain, and preconditioned BiCGStab on the
+    replaced-row normal system (see {!Krylov}).
 
     The iterative methods run allocation-free: each sweep updates a
     preallocated candidate vector in place and the residual — itself a
@@ -23,6 +25,15 @@ type method_ =
                      convergent (strongly cyclic chains can oscillate);
                      values below 1 damp such oscillations. *)
   | Power        (** power iteration on [P = I + Q / Lambda] *)
+  | Bicgstab     (** preconditioned BiCGStab (see {!Krylov}) on the
+                     replaced-row system; typically far fewer sweeps
+                     than the stationary methods on slowly-mixing
+                     chains, each sweep costing two matrix–vector
+                     products.  On a scalar breakdown the solve falls
+                     back to power iteration warm-started from the
+                     Krylov candidate, and the returned stats name the
+                     method that produced the answer.  Bitwise
+                     deterministic at every [jobs] count. *)
 
 type options = {
   tolerance : float;      (** convergence threshold on the residual

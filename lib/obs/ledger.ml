@@ -245,6 +245,7 @@ type regression = {
   latest_s : float;
   median_s : float;
   ratio : float;  (** latest / median *)
+  r_memory : bool;  (** the quantity is heap words, not seconds *)
 }
 
 let median sorted =
@@ -260,18 +261,53 @@ let median sorted =
    never trips the gate on its first appearance. *)
 let regress ?(threshold = 1.25) ~history latest =
   if threshold <= 0.0 then invalid_arg "Ledger.regress: threshold must be positive";
-  List.filter_map
-    (fun (stage, latest_s) ->
-      let past =
-        List.filter_map (fun r -> List.assoc_opt stage r.stages) history
-        |> Array.of_list
-      in
-      if Array.length past = 0 then None
-      else begin
-        Array.sort compare past;
-        let med = median past in
-        if med > 0.0 && latest_s > med *. threshold then
-          Some { r_stage = stage; latest_s; median_s = med; ratio = latest_s /. med }
-        else None
-      end)
-    latest.stages
+  let stage_regressions =
+    List.filter_map
+      (fun (stage, latest_s) ->
+        let past =
+          List.filter_map (fun r -> List.assoc_opt stage r.stages) history
+          |> Array.of_list
+        in
+        if Array.length past = 0 then None
+        else begin
+          Array.sort compare past;
+          let med = median past in
+          if med > 0.0 && latest_s > med *. threshold then
+            Some
+              { r_stage = stage; latest_s; median_s = med; ratio = latest_s /. med; r_memory = false }
+          else None
+        end)
+      latest.stages
+  in
+  (* Memory regresses under the same contract as time: the latest run's
+     peak heap against its median over the history.  Records written
+     before the field existed parse as 0 and drop out of the median, so
+     an old ledger never trips the gate spuriously. *)
+  let memory_regression =
+    let past =
+      List.filter_map
+        (fun r ->
+          if r.gc_peak_heap_words > 0 then Some (float_of_int r.gc_peak_heap_words)
+          else None)
+        history
+      |> Array.of_list
+    in
+    if Array.length past = 0 || latest.gc_peak_heap_words <= 0 then []
+    else begin
+      Array.sort compare past;
+      let med = median past in
+      let latest_w = float_of_int latest.gc_peak_heap_words in
+      if med > 0.0 && latest_w > med *. threshold then
+        [
+          {
+            r_stage = "peak_heap_words";
+            latest_s = latest_w;
+            median_s = med;
+            ratio = latest_w /. med;
+            r_memory = true;
+          };
+        ]
+      else []
+    end
+  in
+  stage_regressions @ memory_regression

@@ -91,10 +91,16 @@ type regression = {
   latest_s : float;
   median_s : float;
   ratio : float;  (** latest / median *)
+  r_memory : bool;  (** the quantity is heap words, not seconds *)
 }
 
 val regress : ?threshold:float -> history:record list -> record -> regression list
 (** Stages of [latest] that ran more than [threshold] (default 1.25,
     i.e. 25% slower) times their median duration over [history].
-    Stages with no history are skipped.  Raises [Invalid_argument] on
-    a non-positive threshold. *)
+    Stages with no history are skipped.  The same contract covers
+    memory: when the latest run's [gc_peak_heap_words] exceeds
+    [threshold] times its median over the history, a synthetic
+    ["peak_heap_words"] entry with [r_memory = true] is appended
+    (records predating the field parse as 0 and drop out of the
+    median).  Raises [Invalid_argument] on a non-positive
+    threshold. *)

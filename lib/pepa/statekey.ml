@@ -1,0 +1,111 @@
+type t = {
+  cards : int array;   (* field cardinalities, for range checks *)
+  widths : int array;  (* bits per field *)
+  size : int;          (* bytes per packed key *)
+}
+
+let bits_for card =
+  (* Smallest w with 2^w >= card; 0 for singleton fields. *)
+  let w = ref 0 in
+  while 1 lsl !w < card do
+    incr w
+  done;
+  !w
+
+let of_cardinalities cards =
+  Array.iter
+    (fun c -> if c <= 0 then invalid_arg "Statekey.of_cardinalities: non-positive cardinality")
+    cards;
+  let widths = Array.map bits_for cards in
+  let total_bits = Array.fold_left ( + ) 0 widths in
+  { cards = Array.copy cards; widths; size = (total_bits + 7) / 8 }
+
+let n_fields t = Array.length t.cards
+let size t = t.size
+
+(* Fields are laid out little-endian in bit order: field [i]'s low bit
+   follows field [i-1]'s high bit.  A field can straddle byte
+   boundaries, so reads and writes move at most 8 bits at a time. *)
+
+let pack_into t v buf off =
+  if Array.length v <> Array.length t.cards then
+    invalid_arg "Statekey.pack_into: vector length mismatch";
+  Bytes.fill buf off t.size '\000';
+  let bit = ref 0 in
+  for i = 0 to Array.length v - 1 do
+    let w = t.widths.(i) in
+    let x = v.(i) in
+    if x < 0 || x >= t.cards.(i) then
+      invalid_arg (Printf.sprintf "Statekey.pack_into: field %d value %d out of range" i x);
+    if w > 0 then begin
+      let b = ref !bit and rest = ref x and remaining = ref w in
+      while !remaining > 0 do
+        let byte = off + (!b lsr 3) in
+        let shift = !b land 7 in
+        let take = min !remaining (8 - shift) in
+        let cur = Char.code (Bytes.unsafe_get buf byte) in
+        let add = (!rest land ((1 lsl take) - 1)) lsl shift in
+        Bytes.unsafe_set buf byte (Char.unsafe_chr (cur lor add));
+        rest := !rest lsr take;
+        b := !b + take;
+        remaining := !remaining - take
+      done;
+      bit := !bit + w
+    end
+  done
+
+let pack t v =
+  let buf = Bytes.create t.size in
+  pack_into t v buf 0;
+  buf
+
+let unpack_into t buf off v =
+  if Array.length v <> Array.length t.cards then
+    invalid_arg "Statekey.unpack_into: vector length mismatch";
+  let bit = ref 0 in
+  for i = 0 to Array.length v - 1 do
+    let w = t.widths.(i) in
+    if w = 0 then v.(i) <- 0
+    else begin
+      let b = ref !bit and acc = ref 0 and got = ref 0 in
+      while !got < w do
+        let byte = off + (!b lsr 3) in
+        let shift = !b land 7 in
+        let take = min (w - !got) (8 - shift) in
+        let bits =
+          (Char.code (Bytes.unsafe_get buf byte) lsr shift) land ((1 lsl take) - 1)
+        in
+        acc := !acc lor (bits lsl !got);
+        got := !got + take;
+        b := !b + take
+      done;
+      v.(i) <- !acc;
+      bit := !bit + w
+    end
+  done
+
+let unpack t buf =
+  let v = Array.make (Array.length t.cards) 0 in
+  unpack_into t buf 0 v;
+  v
+
+let hash b =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length b - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 16777619 land max_int
+  done;
+  !h
+
+let equal = Bytes.equal
+
+let blit_key t key arena i = Bytes.blit key 0 arena (i * t.size) t.size
+
+let matches t arena i key =
+  let off = i * t.size in
+  let rec go k = k >= t.size || (Bytes.unsafe_get arena (off + k) = Bytes.unsafe_get key k && go (k + 1)) in
+  go 0
+
+let unpack_at t arena i =
+  let v = Array.make (Array.length t.cards) 0 in
+  unpack_into t arena (i * t.size) v;
+  v

@@ -1,0 +1,70 @@
+(** Bit-packed state keys: compressed storage for exploration.
+
+    A global PEPA state is a vector of small bounded integers (each
+    leaf's local-state index); a PEPA-net marking flattens to one too.
+    Storing such vectors as boxed [int array]s costs a header plus a
+    full word per field — two orders of magnitude more than the
+    information content.  A codec built from the per-field
+    cardinalities packs each vector into a fixed-width little-endian
+    bit string held in [Bytes.t], so the intern tables and the state
+    arena of the builders keep one compact key per state instead of a
+    boxed vector.
+
+    The packing is a bijection on valid vectors: [unpack] of [pack] is
+    the identity, and two vectors pack equal iff they are equal — so
+    [Bytes.equal] on keys is exactly vector equality and hashing the
+    key bytes is a sound intern-table hash. *)
+
+type t
+(** A codec: field widths and the derived key size.  Immutable and
+    shareable across domains. *)
+
+val of_cardinalities : int array -> t
+(** [of_cardinalities card] builds a codec for vectors [v] with
+    [0 <= v.(i) < card.(i)].  Field [i] occupies [ceil (log2 card.(i))]
+    bits; fields of cardinality 1 occupy none.  Raises
+    [Invalid_argument] on a non-positive cardinality. *)
+
+val n_fields : t -> int
+
+val size : t -> int
+(** Bytes per packed key (0 when every field has cardinality 1). *)
+
+val pack : t -> int array -> Bytes.t
+(** Pack a vector into a fresh key.  Raises [Invalid_argument] on a
+    length mismatch or an out-of-range field. *)
+
+val pack_into : t -> int array -> Bytes.t -> int -> unit
+(** [pack_into c v buf off] packs into [buf] at byte offset [off]
+    (clearing the destination bytes first), for scratch-key reuse and
+    arena writes. *)
+
+val unpack : t -> Bytes.t -> int array
+(** Decode a whole key (offset 0) into a fresh vector. *)
+
+val unpack_into : t -> Bytes.t -> int -> int array -> unit
+(** [unpack_into c buf off v] decodes the key at byte offset [off]
+    into the preallocated [v]. *)
+
+val hash : Bytes.t -> int
+(** FNV-1a over the key bytes, masked positive — the same scheme the
+    builders previously applied to the boxed vectors. *)
+
+val equal : Bytes.t -> Bytes.t -> bool
+(** [Bytes.equal]. *)
+
+(** {1 Arena access}
+
+    The sequential builders store keys contiguously in one growable
+    byte arena — state [i] lives at byte offset [i * size c] — so a
+    million interned states cost one heap block. *)
+
+val blit_key : t -> Bytes.t -> Bytes.t -> int -> unit
+(** [blit_key c key arena i] stores [key] as arena entry [i]. *)
+
+val matches : t -> Bytes.t -> int -> Bytes.t -> bool
+(** [matches c arena i key]: does arena entry [i] equal [key]? *)
+
+val unpack_at : t -> Bytes.t -> int -> int array
+(** [unpack_at c arena i] decodes arena entry [i] into a fresh
+    vector. *)

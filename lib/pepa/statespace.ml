@@ -1,19 +1,22 @@
 type transition = { src : int; action : Action.t; rate : float; dst : int }
 
-(* Transitions live in flat columns (src/dst/rate/action-id) with the
-   action types interned into a small table: the CTMC assembly, the
-   throughput measures and the benchmark harness all run over arrays
-   without touching a list.  The historical list-returning API survives
-   as a thin compatibility layer that materialises (and caches) records
-   on demand. *)
+(* Transitions live in a compressed grouped stream with the action
+   types interned into a small table: [row_start] delimits each source
+   state's slice (the src column is its run-length encoding and is
+   never stored), and each transition packs destination and action id
+   into one word next to its rate — two words per transition where the
+   seed layout spent four.  The CTMC assembles straight from the
+   stream ([Ctmc.of_grouped]); the historical list-returning API
+   survives as a thin compatibility layer that materialises (and
+   caches) records on demand. *)
 type t = {
   compiled : Compile.t;
   symmetry : Symmetry.t;  (* trivial unless built with ~symmetry:true *)
-  states : int array array;
-  tr_src : int array;
-  tr_dst : int array;
+  codec : Statekey.t;
+  n_states : int;
+  packed : Bytes.t;  (* bit-packed state arena: state [i] at [i * Statekey.size codec] *)
+  tr_pack : int array;  (* dst in the low bits, interned action id above *)
   tr_rate : float array;
-  tr_action : int array;  (* index into [actions] *)
   actions : Action.t array;  (* interned action table *)
   row_start : int array;  (* CSR over transitions grouped by src; length n_states + 1 *)
   mutable transition_cache : transition list option;
@@ -21,6 +24,17 @@ type t = {
   mutable chain : Markov.Ctmc.t option;
   mutable lump : Markov.Lump.t option;
 }
+
+(* Destination in the low 48 bits, action id in the bits above:
+   comfortably inside a 63-bit int for any explorable space (the
+   default cap is 10^6 states) and any realistic action alphabet (the
+   14-bit budget is guarded at intern time). *)
+let pack_dst_bits = 48
+let pack_dst_mask = (1 lsl pack_dst_bits) - 1
+let max_interned_actions = 1 lsl (62 - pack_dst_bits)
+let pack ~dst ~action = (action lsl pack_dst_bits) lor dst
+let tr_dst t k = t.tr_pack.(k) land pack_dst_mask
+let tr_action_id t k = t.tr_pack.(k) lsr pack_dst_bits
 
 exception Too_many_states of int
 exception Passive_transition of { state : string; action : string }
@@ -41,22 +55,24 @@ let shard_states = Obs.Metrics.gauge "statespace.shard_states"
    PEPA-net builder shares the gauge). *)
 let frontier_states = Obs.Metrics.gauge "statespace.frontier_states"
 
-(* FNV-1a over the leaf-state vector, masked positive.  Computed exactly
-   once per interned vector: the table stores each slot's hash, so
-   probing and resizing compare integers, never rehash arrays. *)
-let hash_vec (v : int array) =
-  let h = ref 0x811c9dc5 in
-  for i = 0 to Array.length v - 1 do
-    h := (!h lxor v.(i)) * 16777619 land max_int
-  done;
-  !h
+(* Compressed state storage (the PEPA-net builder sets the same gauges
+   for its marking keys): bytes per bit-packed key and total arena
+   footprint of the most recent build. *)
+let packed_key_bytes = Obs.Metrics.gauge "statespace.packed_key_bytes"
+let packed_arena_bytes = Obs.Metrics.gauge "statespace.packed_arena_bytes"
 
-let vec_equal (a : int array) (b : int array) =
-  let n = Array.length a in
-  n = Array.length b
-  &&
-  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
-  go 0
+(* Every explored vector is bit-packed through the codec before it
+   touches a table: the intern structures and the state store hold
+   compact [Bytes.t] keys (a handful of bytes each) instead of boxed
+   [int array]s (a header plus a word per leaf).  Hashing is FNV-1a
+   over the key bytes, computed exactly once per interned key: the
+   table stores each slot's hash, so probing and resizing compare
+   integers, never rehash keys. *)
+let codec_of compiled =
+  Statekey.of_cardinalities
+    (Array.map
+       (fun comp -> Array.length compiled.Compile.components.(comp).Compile.states)
+       compiled.Compile.leaf_component)
 
 let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
   Obs.Span.with_ "statespace.build" (fun span ->
@@ -75,12 +91,17 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
     if use_sym && Symmetry.canonicalise sym vec then incr hits;
     vec
   in
-  (* Growable state store; BFS order doubles as the index order, so the
-     work queue is just a cursor into it. *)
-  let states = ref (Array.make 1024 [||]) in
+  let codec = codec_of compiled in
+  let key_size = Statekey.size codec in
+  (* Contiguous packed state store; BFS order doubles as the index
+     order, so the work queue is just a cursor into it.  One heap block
+     holds every interned state. *)
+  let arena = ref (Bytes.create (1024 * (max key_size 1))) in
   let n_states = ref 0 in
+  (* Scratch key the candidate vector is packed into before probing. *)
+  let scratch = Bytes.create key_size in
   (* Open-addressing intern table: [slots] holds state index + 1 (0 =
-     empty), [hashes] the stored hash of that slot's vector. *)
+     empty), [hashes] the stored hash of that slot's key. *)
   let capacity = ref 4096 in
   let slots = ref (Array.make !capacity 0) in
   let hashes = ref (Array.make !capacity 0) in
@@ -104,7 +125,8 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
       old_slots
   in
   let intern vec =
-    let h = hash_vec vec in
+    Statekey.pack_into codec vec scratch 0;
+    let h = Statekey.hash scratch in
     let mask = !capacity - 1 in
     let pos = ref (h land mask) in
     let result = ref (-1) in
@@ -113,19 +135,20 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
       if s = 0 then begin
         if !n_states >= max_states then raise (Too_many_states max_states);
         let i = !n_states in
-        if i >= Array.length !states then begin
-          let bigger = Array.make (2 * Array.length !states) [||] in
-          Array.blit !states 0 bigger 0 i;
-          states := bigger
+        if (i + 1) * key_size > Bytes.length !arena then begin
+          let bigger = Bytes.create (2 * Bytes.length !arena) in
+          Bytes.blit !arena 0 bigger 0 (i * key_size);
+          arena := bigger
         end;
-        !states.(i) <- vec;
+        Statekey.blit_key codec scratch !arena i;
         incr n_states;
         !slots.(!pos) <- i + 1;
         !hashes.(!pos) <- h;
         if 4 * !n_states > 3 * !capacity then rehash ();
         result := i
       end
-      else if !hashes.(!pos) = h && vec_equal !states.(s - 1) vec then result := s - 1
+      else if !hashes.(!pos) = h && Statekey.matches codec !arena (s - 1) scratch then
+        result := s - 1
       else begin
         incr collisions;
         pos := (!pos + 1) land mask
@@ -133,28 +156,38 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
     done;
     !result
   in
-  (* Flat transition buffers, doubled on demand. *)
+  (* Compressed transition buffers, doubled on demand: one packed
+     dst/action word and one rate per transition.  Sources arrive in
+     nondecreasing order (BFS pops states by index), so the src column
+     reduces to per-source counts recorded as the stream is emitted. *)
   let tr_cap = ref 4096 in
-  let tr_src = ref (Array.make !tr_cap 0) in
-  let tr_dst = ref (Array.make !tr_cap 0) in
+  let tr_pack = ref (Array.make !tr_cap 0) in
   let tr_rate = ref (Array.make !tr_cap 0.0) in
-  let tr_action = ref (Array.make !tr_cap 0) in
   let n_transitions = ref 0 in
+  let rc_cap = ref 4096 in
+  let row_count = ref (Array.make !rc_cap 0) in
   let push src dst rate action =
     if !n_transitions = !tr_cap then begin
       let grow_int a = let b = Array.make (2 * !tr_cap) 0 in Array.blit a 0 b 0 !tr_cap; b in
       let grow_float a = let b = Array.make (2 * !tr_cap) 0.0 in Array.blit a 0 b 0 !tr_cap; b in
-      tr_src := grow_int !tr_src;
-      tr_dst := grow_int !tr_dst;
-      tr_action := grow_int !tr_action;
+      tr_pack := grow_int !tr_pack;
       tr_rate := grow_float !tr_rate;
       tr_cap := 2 * !tr_cap
     end;
+    if src >= !rc_cap then begin
+      let cap = ref (2 * !rc_cap) in
+      while src >= !cap do
+        cap := 2 * !cap
+      done;
+      let b = Array.make !cap 0 in
+      Array.blit !row_count 0 b 0 !rc_cap;
+      row_count := b;
+      rc_cap := !cap
+    end;
+    !row_count.(src) <- !row_count.(src) + 1;
     let k = !n_transitions in
-    !tr_src.(k) <- src;
-    !tr_dst.(k) <- dst;
+    !tr_pack.(k) <- pack ~dst ~action;
     !tr_rate.(k) <- rate;
-    !tr_action.(k) <- action;
     incr n_transitions
   in
   (* Action interning. *)
@@ -165,6 +198,8 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
     match Hashtbl.find_opt action_ids a with
     | Some id -> id
     | None ->
+        if !n_actions >= max_interned_actions then
+          invalid_arg "Statespace.build: action alphabet exceeds the packed budget";
         let id = !n_actions in
         Hashtbl.add action_ids a id;
         action_list := a :: !action_list;
@@ -172,7 +207,7 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
         id
   in
   let pool = Par.pool ?jobs () in
-  let explored_states, shard_occupancy =
+  let packed_states, n, shard_occupancy =
     match pool with
     | None ->
         ignore (intern (canonical (Compile.initial_state compiled)));
@@ -186,7 +221,7 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
                 ~detail:
                   (Printf.sprintf "%d discovered, %d transitions" !n_states !n_transitions)
           end;
-          let vec = !states.(src) in
+          let vec = Statekey.unpack_at codec !arena src in
           List.iter
             (fun move ->
               let rate =
@@ -205,15 +240,19 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
             (Semantics.moves compiled vec);
           incr next
         done;
-        (Array.sub !states 0 !n_states, None)
+        (Bytes.sub !arena 0 (!n_states * key_size), !n_states, None)
     | Some p ->
         (* Frontier-parallel exploration: successor expansion and
            canonicalisation run on worker domains; the engine's merge
            step reproduces sequential first-occurrence numbering, so
            [emit] (transition push + action interning, on the
-           coordinator) sees exactly the sequential stream. *)
+           coordinator) sees exactly the sequential stream.  The engine
+           is instantiated at packed keys: its sharded dedup tables and
+           frontiers hold compact [Bytes.t] keys, and vectors exist
+           only transiently inside [expand]. *)
         let hits_par = Atomic.make 0 in
-        let expand vec =
+        let expand key =
+          let vec = Statekey.unpack codec key in
           List.map
             (fun move ->
               let rate =
@@ -229,7 +268,7 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
               in
               let dst = Semantics.apply vec move.Semantics.deltas in
               if use_sym && Symmetry.canonicalise sym dst then Atomic.incr hits_par;
-              (dst, (rate, move.Semantics.action)))
+              (Statekey.pack codec dst, (rate, move.Semantics.action)))
             (Semantics.moves compiled vec)
         in
         let emit ~src ~dst (rate, action) = push src dst rate (intern_action action) in
@@ -251,34 +290,38 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
         in
         let result =
           try
-            Par.Explore.explore ~pool:p ~hash:hash_vec ~equal:vec_equal ~expand ~emit
-              ~max_states ?progress
-              (canonical (Compile.initial_state compiled))
+            Par.Explore.explore ~pool:p ~hash:Statekey.hash ~equal:Statekey.equal ~expand
+              ~emit ~max_states ?progress
+              (Statekey.pack codec (canonical (Compile.initial_state compiled)))
           with Par.Explore.Limit -> raise (Too_many_states max_states)
         in
         hits := !hits + Atomic.get hits_par;
-        (result.Par.Explore.states, Some result.Par.Explore.shard_states)
+        let keys = result.Par.Explore.states in
+        let count = Array.length keys in
+        let packed = Bytes.create (count * key_size) in
+        Array.iteri (fun i k -> Statekey.blit_key codec k packed i) keys;
+        (packed, count, Some result.Par.Explore.shard_states)
   in
-  let n = Array.length explored_states in
   let count = !n_transitions in
-  let tr_src = Array.sub !tr_src 0 count in
-  let tr_dst = Array.sub !tr_dst 0 count in
+  let tr_pack = Array.sub !tr_pack 0 count in
   let tr_rate = Array.sub !tr_rate 0 count in
-  let tr_action = Array.sub !tr_action 0 count in
-  (* Sources are emitted in increasing order (BFS pops states by index),
-     so the columns are already grouped by src; record the boundaries. *)
+  (* Sources were emitted in increasing order, so the per-source counts
+     scan straight into the row boundaries (states past the counter's
+     high-water mark emitted nothing). *)
   let row_start = Array.make (n + 1) 0 in
-  Array.iter (fun s -> row_start.(s + 1) <- row_start.(s + 1) + 1) tr_src;
-  for i = 1 to n do
-    row_start.(i) <- row_start.(i) + row_start.(i - 1)
+  for i = 0 to n - 1 do
+    row_start.(i + 1) <- row_start.(i) + (if i < !rc_cap then !row_count.(i) else 0)
   done;
   if obs_on then begin
     Obs.Metrics.add states_explored n;
     Obs.Metrics.add transitions_emitted count;
     Obs.Metrics.add intern_collisions !collisions;
+    Obs.Metrics.set packed_key_bytes (float_of_int key_size);
+    Obs.Metrics.set packed_arena_bytes (float_of_int (Bytes.length packed_states));
     Obs.Span.add_int span "states" n;
     Obs.Span.add_int span "transitions" count;
     Obs.Span.add_int span "intern_collisions" !collisions;
+    Obs.Span.add_int span "packed_key_bytes" key_size;
     Obs.Span.add_int span "jobs"
       (match pool with Some p -> Par.Pool.size p | None -> 1);
     (match shard_occupancy with
@@ -296,11 +339,11 @@ let build ?(max_states = 1_000_000) ?(symmetry = false) ?jobs compiled =
   {
     compiled;
     symmetry = sym;
-    states = explored_states;
-    tr_src;
-    tr_dst;
+    codec;
+    n_states = n;
+    packed = packed_states;
+    tr_pack;
     tr_rate;
-    tr_action;
     actions = Array.of_list (List.rev !action_list);
     row_start;
     transition_cache = None;
@@ -317,32 +360,42 @@ let of_string ?max_states ?symmetry ?jobs src =
 
 let compiled t = t.compiled
 let symmetry t = t.symmetry
-let n_states t = Array.length t.states
-let n_transitions t = Array.length t.tr_src
-let state t i = Array.copy t.states.(i)
-let state_label t i = Compile.state_label t.compiled t.states.(i)
+let n_states t = t.n_states
+let n_transitions t = Array.length t.tr_pack
+
+let state t i =
+  if i < 0 || i >= t.n_states then invalid_arg "Statespace.state: index out of range";
+  Statekey.unpack_at t.codec t.packed i
+
+let state_label t i = Compile.state_label t.compiled (state t i)
 let initial_index _ = 0
 
-let transition_record t k =
+(* The source of transition [k] is implicit in [row_start]; record
+   consumers all iterate by row, so it is threaded in rather than
+   searched for. *)
+let transition_record t ~src k =
   {
-    src = t.tr_src.(k);
-    action = t.actions.(t.tr_action.(k));
+    src;
+    action = t.actions.(tr_action_id t k);
     rate = t.tr_rate.(k);
-    dst = t.tr_dst.(k);
+    dst = tr_dst t k;
   }
 
 let iter_transitions t f =
-  for k = 0 to Array.length t.tr_src - 1 do
-    f ~src:t.tr_src.(k) ~action:t.actions.(t.tr_action.(k)) ~rate:t.tr_rate.(k)
-      ~dst:t.tr_dst.(k)
+  for s = 0 to t.n_states - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      f ~src:s ~action:t.actions.(tr_action_id t k) ~rate:t.tr_rate.(k) ~dst:(tr_dst t k)
+    done
   done
 
 let fold_transitions t f init =
   let acc = ref init in
-  for k = 0 to Array.length t.tr_src - 1 do
-    acc :=
-      f !acc ~src:t.tr_src.(k) ~action:t.actions.(t.tr_action.(k)) ~rate:t.tr_rate.(k)
-        ~dst:t.tr_dst.(k)
+  for s = 0 to t.n_states - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      acc :=
+        f !acc ~src:s ~action:t.actions.(tr_action_id t k) ~rate:t.tr_rate.(k)
+          ~dst:(tr_dst t k)
+    done
   done;
   !acc
 
@@ -350,9 +403,14 @@ let transitions t =
   match t.transition_cache with
   | Some l -> l
   | None ->
-      let l = List.init (n_transitions t) (transition_record t) in
-      t.transition_cache <- Some l;
-      l
+      let acc = ref [] in
+      for s = n_states t - 1 downto 0 do
+        for k = t.row_start.(s + 1) - 1 downto t.row_start.(s) do
+          acc := transition_record t ~src:s k :: !acc
+        done
+      done;
+      t.transition_cache <- Some !acc;
+      !acc
 
 let transitions_from t i =
   match t.outgoing_cache with
@@ -362,7 +420,7 @@ let transitions_from t i =
         Array.init (n_states t) (fun s ->
             List.init
               (t.row_start.(s + 1) - t.row_start.(s))
-              (fun k -> transition_record t (t.row_start.(s) + k)))
+              (fun k -> transition_record t ~src:s (t.row_start.(s) + k)))
       in
       t.outgoing_cache <- Some rows;
       rows.(i)
@@ -379,14 +437,24 @@ let action_names t =
     (List.filter_map Action.name (Array.to_list t.actions))
 
 let ctmc t =
-  (* CSR assembly inside [Ctmc.of_arrays] picks up the process-wide
-     [Par.jobs] default on its own. *)
   match t.chain with
   | Some c -> c
   | None ->
-      let c = Markov.Ctmc.of_arrays ~n:(n_states t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate in
+      (* The CSR assembles straight from the compressed stream: the
+         grouped layout is exactly what [Ctmc.of_grouped] consumes, so
+         no src/dst/rate coordinate arrays ever exist. *)
+      let c =
+        Markov.Ctmc.of_grouped ~n:(n_states t) ~row_start:t.row_start ~dst:(tr_dst t)
+          ~rate:(fun k -> t.tr_rate.(k))
+      in
       t.chain <- Some c;
       c
+
+let release_derived t =
+  t.transition_cache <- None;
+  t.outgoing_cache <- None;
+  t.chain <- None;
+  t.lump <- None
 
 (* The lump partition's classes must keep every reported measure exact
    under uniform disaggregation.  Ordinary lumpability alone guarantees
@@ -424,12 +492,10 @@ let lump_respect t =
     if Symmetry.is_trivial t.symmetry then Symmetry.detect t.compiled else t.symmetry
   in
   if not (Symmetry.is_trivial sym) then
-    Array.map
-      (fun vec ->
-        let c = Array.copy vec in
+    Array.init n (fun i ->
+        let c = Statekey.unpack_at t.codec t.packed i in
         ignore (Symmetry.canonicalise sym c);
         intern_key c)
-      t.states
   else begin
     let codes = Hashtbl.create 64 in
     let n_codes = ref 0 in
@@ -442,14 +508,31 @@ let lump_respect t =
           incr n_codes;
           c
     in
-    Array.map
-      (fun vec ->
+    Array.init n (fun i ->
+        let vec = Statekey.unpack_at t.codec t.packed i in
         intern_key
           (Array.mapi
              (fun leaf local -> code (Compile.local_label t.compiled ~leaf ~local))
              vec))
-      t.states
   end
+
+(* The partition refinement still speaks flat coordinate columns;
+   expanding the compressed stream here is transient and confined to
+   aggregation requests, which target far smaller spaces than the raw
+   solves the compression exists for. *)
+let transition_columns t =
+  let m = n_transitions t in
+  let src = Array.make m 0 in
+  let dst = Array.make m 0 in
+  let label = Array.make m 0 in
+  for s = 0 to n_states t - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      src.(k) <- s;
+      dst.(k) <- tr_dst t k;
+      label.(k) <- tr_action_id t k
+    done
+  done;
+  (src, dst, label)
 
 let lump_partition t =
   match t.lump with
@@ -460,9 +543,10 @@ let lump_partition t =
          every throughput measure is exact on the uniformly
          disaggregated solution; the respect key keeps the per-state
          measures exact as well. *)
+      let src, dst, label = transition_columns t in
       let part =
-        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_states t) ~src:t.tr_src
-          ~dst:t.tr_dst ~rate:t.tr_rate ~label:t.tr_action ()
+        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_states t) ~src ~dst
+          ~rate:t.tr_rate ~label ()
       in
       t.lump <- Some part;
       part
@@ -474,9 +558,8 @@ let steady_state ?method_ ?options ?(lump = false) ?jobs t =
     if part.Markov.Lump.n_classes >= n_states t then
       Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
     else begin
-      let quotient =
-        Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
-      in
+      let src, dst, _ = transition_columns t in
+      let quotient = Markov.Lump.quotient_ctmc part ~src ~dst ~rate:t.tr_rate in
       Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options ?jobs quotient)
     end
   end
@@ -490,18 +573,22 @@ let transient t ~time =
 (* Per-action-id steady-state flux in one pass over the columns. *)
 let action_flux t pi =
   let flux = Array.make (Array.length t.actions) 0.0 in
-  for k = 0 to Array.length t.tr_src - 1 do
-    let id = t.tr_action.(k) in
-    flux.(id) <- flux.(id) +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
+  for s = 0 to t.n_states - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      let id = tr_action_id t k in
+      flux.(id) <- flux.(id) +. (pi.(s) *. t.tr_rate.(k))
+    done
   done;
   flux
 
 let throughput t pi name =
   let flux = ref 0.0 in
-  for k = 0 to Array.length t.tr_src - 1 do
-    match t.actions.(t.tr_action.(k)) with
-    | Action.Act n when n = name -> flux := !flux +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
-    | Action.Act _ | Action.Tau -> ()
+  for s = 0 to t.n_states - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      match t.actions.(tr_action_id t k) with
+      | Action.Act n when n = name -> flux := !flux +. (pi.(s) *. t.tr_rate.(k))
+      | Action.Act _ | Action.Tau -> ()
+    done
   done;
   !flux
 
@@ -528,14 +615,16 @@ let local_state_probability t pi ~leaf ~label =
   let orbit = Symmetry.orbit t.symmetry leaf in
   let scale = 1.0 /. float_of_int (Array.length orbit) in
   let total = ref 0.0 in
-  Array.iteri
-    (fun i vec ->
-      let hits = ref 0 in
-      Array.iter
-        (fun j -> if Compile.local_label t.compiled ~leaf:j ~local:vec.(j) = label then incr hits)
-        orbit;
-      if !hits > 0 then total := !total +. (pi.(i) *. float_of_int !hits *. scale))
-    t.states;
+  let key_size = Statekey.size t.codec in
+  let vec = Array.make (Statekey.n_fields t.codec) 0 in
+  for i = 0 to t.n_states - 1 do
+    Statekey.unpack_into t.codec t.packed (i * key_size) vec;
+    let hits = ref 0 in
+    Array.iter
+      (fun j -> if Compile.local_label t.compiled ~leaf:j ~local:vec.(j) = label then incr hits)
+      orbit;
+    if !hits > 0 then total := !total +. (pi.(i) *. float_of_int !hits *. scale)
+  done;
   !total
 
 let pp_summary fmt t =

@@ -6,12 +6,21 @@
     retains action labels so that action-type measures (throughput) can
     be computed after the steady-state solution.
 
-    Internally transitions are stored in flat src/dst/rate/action-id
-    columns with the action types interned into a table, state vectors
-    are hashed exactly once on interning, and the CTMC is assembled
-    straight from the columns — the list-returning accessors below are a
-    compatibility layer that materialises records on demand (cached, so
-    repeated calls stay cheap). *)
+    Internally transitions are stored as a compressed grouped stream
+    with the action types interned into a table: the row-boundary array
+    is the src column's run-length encoding (so no src column exists),
+    and each transition packs destination and action id into a single
+    word next to its rate — two words per transition.  The CTMC is
+    assembled straight from the stream; the list-returning accessors
+    below are a compatibility layer that materialises records on demand
+    (cached, so repeated calls stay cheap).
+
+    State vectors are bit-packed through {!Statekey} before they touch
+    any table: the intern structures hold compact byte keys hashed
+    exactly once, and the explored states live in one contiguous packed
+    arena (a few bytes per state instead of a boxed [int array]), so
+    exploration memory is dominated by the transition columns rather
+    than the state store.  Accessors decode on demand. *)
 
 type transition = { src : int; action : Action.t; rate : float; dst : int }
 
@@ -49,6 +58,17 @@ val frontier_states : Obs.Metrics.gauge
     (["statespace.frontier_states"]), refreshed per expansion
     (sequential) or per BFS level (parallel) so the background sampler
     can chart frontier occupancy over time.  Shared with
+    {!Pepanet.Net_statespace.build}. *)
+
+val packed_key_bytes : Obs.Metrics.gauge
+(** Bytes per bit-packed state key of the most recent build
+    (["statespace.packed_key_bytes"]).  Shared with
+    {!Pepanet.Net_statespace.build}, which sets it for its marking
+    keys. *)
+
+val packed_arena_bytes : Obs.Metrics.gauge
+(** Total packed state-arena footprint of the most recent build in
+    bytes (["statespace.packed_arena_bytes"]).  Shared with
     {!Pepanet.Net_statespace.build}. *)
 
 val build : ?max_states:int -> ?symmetry:bool -> ?jobs:int -> Compile.t -> t
@@ -94,14 +114,14 @@ val initial_index : t -> int
 
 val transitions : t -> transition list
 (** All transitions as records, in exploration order (grouped by
-    source).  Materialised from the flat columns on first call and
+    source).  Materialised from the compressed stream on first call and
     cached. *)
 
 val transitions_from : t -> int -> transition list
 
 val iter_transitions :
   t -> (src:int -> action:Action.t -> rate:float -> dst:int -> unit) -> unit
-(** Iterate the flat columns directly — no list, no record
+(** Iterate the compressed stream directly — no list, no record
     allocation. *)
 
 val fold_transitions :
@@ -116,8 +136,18 @@ val action_names : t -> string list
 
 val ctmc : t -> Markov.Ctmc.t
 (** The derived CTMC (transition rates between identical state pairs are
-    summed; computed once and cached).  Assembled from the flat columns
-    via {!Markov.Ctmc.of_arrays}. *)
+    summed; computed once and cached).  Assembled from the compressed
+    stream via {!Markov.Ctmc.of_grouped} — no coordinate arrays are
+    materialised. *)
+
+val release_derived : t -> unit
+(** Drop every cached derived structure — the CTMC (and its transposed
+    generator), the lump partition, and the materialised transition
+    record lists.  They are rebuilt on demand by the next accessor, so
+    this only trades time for space: callers holding several large
+    spaces at once (the benchmark harness between its sequential and
+    parallel pipelines) use it to keep one pipeline's CSR matrices from
+    inflating the other's peak. *)
 
 val lump_partition : t -> Markov.Lump.t
 (** Coarsest ordinary lumping of the derived chain that respects the
@@ -144,11 +174,11 @@ val transient : t -> time:float -> float array
 val throughput : t -> float array -> string -> float
 (** [throughput space pi action] is the steady-state throughput of the
     named action type: the expected number of completions per time
-    unit.  One pass over the flat columns. *)
+    unit.  One pass over the compressed stream. *)
 
 val throughputs : t -> float array -> (string * float) list
 (** Throughput of every reachable action type, sorted by name.  One
-    pass over the flat columns for all action types together (the seed
+    pass over the compressed stream for all action types together (the seed
     implementation rescanned the transition list once per name). *)
 
 val local_state_probability : t -> float array -> leaf:int -> label:string -> float

@@ -1,15 +1,15 @@
 type transition = { src : int; label : Net_semantics.label; rate : float; dst : int }
 
-(* Same column layout as [Pepa.Statespace]: transitions in flat
-   src/dst/rate/label-id arrays with the labels interned, the
-   list-returning API kept as a cached compatibility layer. *)
+(* Same compressed stream layout as [Pepa.Statespace]: [row_start] is
+   the src column's run-length encoding (no src column is stored), and
+   each transition packs destination and interned label id into one
+   word next to its rate.  The list-returning API is kept as a cached
+   compatibility layer. *)
 type t = {
   compiled : Net_compile.t;
   markings : Marking.t array;
-  tr_src : int array;
-  tr_dst : int array;
+  tr_pack : int array;  (* dst in the low bits, interned label id above *)
   tr_rate : float array;
-  tr_label : int array;  (* index into [labels] *)
   labels : Net_semantics.label array;  (* interned label table *)
   row_start : int array;  (* CSR over transitions grouped by src; length n_markings + 1 *)
   mutable transition_cache : transition list option;
@@ -17,6 +17,15 @@ type t = {
   mutable chain : Markov.Ctmc.t option;
   mutable lump : Markov.Lump.t option;
 }
+
+(* Same packing split as [Pepa.Statespace]: destination in the low 48
+   bits, label id above, guarded at intern time. *)
+let pack_dst_bits = 48
+let pack_dst_mask = (1 lsl pack_dst_bits) - 1
+let max_interned_labels = 1 lsl (62 - pack_dst_bits)
+let pack ~dst ~label = (label lsl pack_dst_bits) lor dst
+let tr_dst t k = t.tr_pack.(k) land pack_dst_mask
+let tr_label_id t k = t.tr_pack.(k) lsr pack_dst_bits
 
 exception Too_many_markings of int
 exception Passive_firing of { marking : string; label : string }
@@ -98,6 +107,74 @@ let canonicalise groups marking =
   | None -> (marking, false)
   | Some c -> ({ marking with Marking.cells = c }, true)
 
+(* Bit-packed marking keys: a marking flattens to a vector of bounded
+   integers — each cell is [Empty] (0) or [1 + token * family_states +
+   state], each static its local state — which {!Pepa.Statekey} packs
+   into a few bytes.  The intern tables (and, under [--jobs], the
+   exploration engine's sharded dedup tables and frontiers) hold these
+   compact keys instead of boxed marking records; the decoded
+   [markings] array survives for the measure layer, which reads
+   individual markings constantly. *)
+type marking_codec = {
+  codec : Pepa.Statekey.t;
+  cell_states : int array;  (* family local-state count per cell *)
+  mc_cells : int;
+  mc_statics : int;
+}
+
+let marking_codec compiled =
+  let n_cells = Net_compile.n_cells compiled in
+  let n_statics = compiled.Net_compile.n_statics in
+  let n_tokens = Net_compile.n_tokens compiled in
+  let cell_states =
+    Array.map
+      (fun family ->
+        Array.length compiled.Net_compile.families.(family).Net_compile.component.Pepa.Compile.states)
+      compiled.Net_compile.cell_family
+  in
+  let cards = Array.make (n_cells + n_statics) 1 in
+  for cell = 0 to n_cells - 1 do
+    cards.(cell) <- 1 + (n_tokens * cell_states.(cell))
+  done;
+  for s = 0 to n_statics - 1 do
+    cards.(n_cells + s) <-
+      Array.length compiled.Net_compile.static_components.(s).Pepa.Compile.states
+  done;
+  {
+    codec = Pepa.Statekey.of_cardinalities cards;
+    cell_states;
+    mc_cells = n_cells;
+    mc_statics = n_statics;
+  }
+
+let encode_into mc vec (marking : Marking.t) =
+  Array.iteri
+    (fun cell c ->
+      vec.(cell) <-
+        (match c with
+        | Marking.Empty -> 0
+        | Marking.Tok { token; state } -> 1 + (token * mc.cell_states.(cell)) + state))
+    marking.Marking.cells;
+  Array.iteri (fun s v -> vec.(mc.mc_cells + s) <- v) marking.Marking.statics;
+  ()
+
+let encode mc vec marking =
+  encode_into mc vec marking;
+  Pepa.Statekey.pack mc.codec vec
+
+let decode mc key =
+  let vec = Pepa.Statekey.unpack mc.codec key in
+  let cells =
+    Array.init mc.mc_cells (fun cell ->
+        let v = vec.(cell) in
+        if v = 0 then Marking.Empty
+        else
+          Marking.Tok
+            { token = (v - 1) / mc.cell_states.(cell); state = (v - 1) mod mc.cell_states.(cell) })
+  in
+  let statics = Array.init mc.mc_statics (fun s -> vec.(mc.mc_cells + s)) in
+  { Marking.cells; statics }
+
 let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
   Obs.Span.with_ "net_statespace.build" (fun span ->
   let obs_on = Obs.Config.enabled () in
@@ -112,11 +189,17 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
       marking
     end
   in
-  let index = Hashtbl.create 1024 in
+  let mc = marking_codec compiled in
+  let key_size = Pepa.Statekey.size mc.codec in
+  let scratch_vec = Array.make (mc.mc_cells + mc.mc_statics) 0 in
+  let scratch_key = Bytes.create key_size in
+  let index : (Bytes.t, int) Hashtbl.t = Hashtbl.create 1024 in
   let markings = ref (Array.make 1024 (Marking.initial compiled)) in
   let n_markings = ref 0 in
   let intern marking =
-    match Hashtbl.find_opt index marking with
+    encode_into mc scratch_vec marking;
+    Pepa.Statekey.pack_into mc.codec scratch_vec scratch_key 0;
+    match Hashtbl.find_opt index scratch_key with
     | Some i -> i
     | None ->
         if !n_markings >= max_markings then raise (Too_many_markings max_markings);
@@ -127,31 +210,41 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
           markings := bigger
         end;
         !markings.(i) <- marking;
-        Hashtbl.add index marking i;
+        Hashtbl.add index (Bytes.copy scratch_key) i;
         incr n_markings;
         i
   in
+  (* Compressed transition buffers, as in [Pepa.Statespace]: sources
+     arrive in nondecreasing order, so the src column reduces to
+     per-source counts recorded at emission. *)
   let tr_cap = ref 4096 in
-  let tr_src = ref (Array.make !tr_cap 0) in
-  let tr_dst = ref (Array.make !tr_cap 0) in
+  let tr_pack = ref (Array.make !tr_cap 0) in
   let tr_rate = ref (Array.make !tr_cap 0.0) in
-  let tr_label = ref (Array.make !tr_cap 0) in
   let n_transitions = ref 0 in
+  let rc_cap = ref 4096 in
+  let row_count = ref (Array.make !rc_cap 0) in
   let push src dst rate label =
     if !n_transitions = !tr_cap then begin
       let grow_int a = let b = Array.make (2 * !tr_cap) 0 in Array.blit a 0 b 0 !tr_cap; b in
       let grow_float a = let b = Array.make (2 * !tr_cap) 0.0 in Array.blit a 0 b 0 !tr_cap; b in
-      tr_src := grow_int !tr_src;
-      tr_dst := grow_int !tr_dst;
-      tr_label := grow_int !tr_label;
+      tr_pack := grow_int !tr_pack;
       tr_rate := grow_float !tr_rate;
       tr_cap := 2 * !tr_cap
     end;
+    if src >= !rc_cap then begin
+      let cap = ref (2 * !rc_cap) in
+      while src >= !cap do
+        cap := 2 * !cap
+      done;
+      let b = Array.make !cap 0 in
+      Array.blit !row_count 0 b 0 !rc_cap;
+      row_count := b;
+      rc_cap := !cap
+    end;
+    !row_count.(src) <- !row_count.(src) + 1;
     let k = !n_transitions in
-    !tr_src.(k) <- src;
-    !tr_dst.(k) <- dst;
+    !tr_pack.(k) <- pack ~dst ~label;
     !tr_rate.(k) <- rate;
-    !tr_label.(k) <- label;
     incr n_transitions
   in
   let label_ids = Hashtbl.create 16 in
@@ -161,6 +254,8 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
     match Hashtbl.find_opt label_ids l with
     | Some id -> id
     | None ->
+        if !n_labels >= max_interned_labels then
+          invalid_arg "Net_statespace.build: label alphabet exceeds the packed budget";
         let id = !n_labels in
         Hashtbl.add label_ids l id;
         label_list := l :: !label_list;
@@ -208,7 +303,11 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
            merge preserves sequential first-occurrence numbering, so
            the coordinator-side [emit] sees the sequential stream. *)
         let hits_par = Atomic.make 0 in
-        let expand marking =
+        let expand key =
+          let marking = decode mc key in
+          (* Worker-local scratch: [expand] runs concurrently on the
+             pool, so the coordinator's scratch vector is off limits. *)
+          let vec = Array.make (mc.mc_cells + mc.mc_statics) 0 in
           List.map
             (fun move ->
               let rate =
@@ -231,7 +330,7 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
                   dst
                 end
               in
-              (dst, (rate, move.Net_semantics.label)))
+              (encode mc vec dst, (rate, move.Net_semantics.label)))
             (Net_semantics.moves compiled marking)
         in
         let emit ~src ~dst (rate, label) = push src dst rate (intern_label label) in
@@ -250,31 +349,30 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
         in
         let result =
           try
-            Par.Explore.explore ~pool:p ~hash:(Hashtbl.hash_param 64 128)
-              ~equal:(fun (a : Marking.t) b -> a = b)
+            Par.Explore.explore ~pool:p ~hash:Pepa.Statekey.hash ~equal:Pepa.Statekey.equal
               ~expand ~emit ~max_states:max_markings ?progress
-              (canonical (Marking.initial compiled))
+              (encode mc scratch_vec (canonical (Marking.initial compiled)))
           with Par.Explore.Limit -> raise (Too_many_markings max_markings)
         in
         hits := !hits + Atomic.get hits_par;
-        (result.Par.Explore.states, Some result.Par.Explore.shard_states)
+        (Array.map (decode mc) result.Par.Explore.states, Some result.Par.Explore.shard_states)
   in
   let n = Array.length explored_markings in
   let count = !n_transitions in
-  let tr_src = Array.sub !tr_src 0 count in
-  let tr_dst = Array.sub !tr_dst 0 count in
+  let tr_pack = Array.sub !tr_pack 0 count in
   let tr_rate = Array.sub !tr_rate 0 count in
-  let tr_label = Array.sub !tr_label 0 count in
   let row_start = Array.make (n + 1) 0 in
-  Array.iter (fun s -> row_start.(s + 1) <- row_start.(s + 1) + 1) tr_src;
-  for i = 1 to n do
-    row_start.(i) <- row_start.(i) + row_start.(i - 1)
+  for i = 0 to n - 1 do
+    row_start.(i + 1) <- row_start.(i) + (if i < !rc_cap then !row_count.(i) else 0)
   done;
   if obs_on then begin
     Obs.Metrics.add Pepa.Statespace.states_explored n;
     Obs.Metrics.add Pepa.Statespace.transitions_emitted count;
+    Obs.Metrics.set Pepa.Statespace.packed_key_bytes (float_of_int key_size);
+    Obs.Metrics.set Pepa.Statespace.packed_arena_bytes (float_of_int (n * key_size));
     Obs.Span.add_int span "markings" n;
     Obs.Span.add_int span "transitions" count;
+    Obs.Span.add_int span "packed_key_bytes" key_size;
     Obs.Span.add_int span "jobs"
       (match pool with Some p -> Par.Pool.size p | None -> 1);
     (match shard_occupancy with
@@ -292,10 +390,8 @@ let build ?(max_markings = 1_000_000) ?(symmetry = false) ?jobs compiled =
   {
     compiled;
     markings = explored_markings;
-    tr_src;
-    tr_dst;
+    tr_pack;
     tr_rate;
-    tr_label;
     labels = Array.of_list (List.rev !label_list);
     row_start;
     transition_cache = None;
@@ -312,32 +408,40 @@ let of_file ?max_markings ?symmetry ?jobs path =
 
 let compiled t = t.compiled
 let n_markings t = Array.length t.markings
-let n_transitions t = Array.length t.tr_src
+let n_transitions t = Array.length t.tr_pack
 let marking t i = t.markings.(i)
 let marking_label t i = Marking.label t.compiled t.markings.(i)
 let initial_index _ = 0
 
-let transition_record t k =
+(* The source of transition [k] is implicit in [row_start]; record
+   consumers all iterate by row, so it is threaded in. *)
+let transition_record t ~src k =
   {
-    src = t.tr_src.(k);
-    label = t.labels.(t.tr_label.(k));
+    src;
+    label = t.labels.(tr_label_id t k);
     rate = t.tr_rate.(k);
-    dst = t.tr_dst.(k);
+    dst = tr_dst t k;
   }
 
 let iter_transitions t f =
-  for k = 0 to Array.length t.tr_src - 1 do
-    f ~src:t.tr_src.(k) ~label:t.labels.(t.tr_label.(k)) ~rate:t.tr_rate.(k)
-      ~dst:t.tr_dst.(k)
+  for s = 0 to n_markings t - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      f ~src:s ~label:t.labels.(tr_label_id t k) ~rate:t.tr_rate.(k) ~dst:(tr_dst t k)
+    done
   done
 
 let transitions t =
   match t.transition_cache with
   | Some l -> l
   | None ->
-      let l = List.init (n_transitions t) (transition_record t) in
-      t.transition_cache <- Some l;
-      l
+      let acc = ref [] in
+      for s = n_markings t - 1 downto 0 do
+        for k = t.row_start.(s + 1) - 1 downto t.row_start.(s) do
+          acc := transition_record t ~src:s k :: !acc
+        done
+      done;
+      t.transition_cache <- Some !acc;
+      !acc
 
 let transitions_from t i =
   match t.outgoing_cache with
@@ -347,7 +451,7 @@ let transitions_from t i =
         Array.init (n_markings t) (fun s ->
             List.init
               (t.row_start.(s + 1) - t.row_start.(s))
-              (fun k -> transition_record t (t.row_start.(s) + k)))
+              (fun k -> transition_record t ~src:s (t.row_start.(s) + k)))
       in
       t.outgoing_cache <- Some rows;
       rows.(i)
@@ -363,9 +467,11 @@ let labels t = t.labels
 
 let label_flux t pi =
   let flux = Array.make (Array.length t.labels) 0.0 in
-  for k = 0 to Array.length t.tr_src - 1 do
-    let id = t.tr_label.(k) in
-    flux.(id) <- flux.(id) +. (pi.(t.tr_src.(k)) *. t.tr_rate.(k))
+  for s = 0 to n_markings t - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      let id = tr_label_id t k in
+      flux.(id) <- flux.(id) +. (pi.(s) *. t.tr_rate.(k))
+    done
   done;
   flux
 
@@ -374,10 +480,17 @@ let ctmc t =
   | Some c -> c
   | None ->
       let c =
-        Markov.Ctmc.of_arrays ~n:(n_markings t) ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
+        Markov.Ctmc.of_grouped ~n:(n_markings t) ~row_start:t.row_start ~dst:(tr_dst t)
+          ~rate:(fun k -> t.tr_rate.(k))
       in
       t.chain <- Some c;
       c
+
+let release_derived t =
+  t.transition_cache <- None;
+  t.outgoing_cache <- None;
+  t.chain <- None;
+  t.lump <- None
 
 (* Net measures go all the way down to individual markings
    ([marking_probabilities], [Marking.label] in queries), so the only
@@ -405,13 +518,31 @@ let lump_respect t =
           id)
     t.markings
 
+(* The partition refinement still speaks flat coordinate columns;
+   expanding the compressed stream here is transient and confined to
+   aggregation requests. *)
+let transition_columns t =
+  let m = n_transitions t in
+  let src = Array.make m 0 in
+  let dst = Array.make m 0 in
+  let label = Array.make m 0 in
+  for s = 0 to n_markings t - 1 do
+    for k = t.row_start.(s) to t.row_start.(s + 1) - 1 do
+      src.(k) <- s;
+      dst.(k) <- tr_dst t k;
+      label.(k) <- tr_label_id t k
+    done
+  done;
+  (src, dst, label)
+
 let lump_partition t =
   match t.lump with
   | Some part -> part
   | None ->
+      let src, dst, label = transition_columns t in
       let part =
-        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_markings t) ~src:t.tr_src
-          ~dst:t.tr_dst ~rate:t.tr_rate ~label:t.tr_label ()
+        Markov.Lump.refine ~respect:(lump_respect t) ~n:(n_markings t) ~src ~dst
+          ~rate:t.tr_rate ~label ()
       in
       t.lump <- Some part;
       part
@@ -423,9 +554,8 @@ let steady_state ?method_ ?options ?(lump = false) ?jobs t =
     if part.Markov.Lump.n_classes >= n_markings t then
       Markov.Steady.solve ?method_ ?options ?jobs (ctmc t)
     else begin
-      let quotient =
-        Markov.Lump.quotient_ctmc part ~src:t.tr_src ~dst:t.tr_dst ~rate:t.tr_rate
-      in
+      let src, dst, _ = transition_columns t in
+      let quotient = Markov.Lump.quotient_ctmc part ~src ~dst ~rate:t.tr_rate in
       Markov.Lump.disaggregate part (Markov.Steady.solve ?method_ ?options ?jobs quotient)
     end
   end

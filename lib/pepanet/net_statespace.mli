@@ -1,10 +1,12 @@
 (** Reachability graph of a PEPA net and its derived CTMC, treating each
     marking as a distinct state (as in the paper's Section 2.2).
 
-    Transitions are stored in flat src/dst/rate/label-id columns with
-    the labels interned into a table; the list-returning accessors are a
-    cached compatibility layer over them, and {!Net_measures} works
-    straight off the columns through {!label_flux}. *)
+    Transitions are stored as a compressed grouped stream (the
+    row-boundary array encodes the src column; destination and interned
+    label id share one word next to the rate — two words per
+    transition); the list-returning accessors are a cached
+    compatibility layer over it, and {!Net_measures} works straight off
+    the stream through {!label_flux}. *)
 
 type transition = {
   src : int;
@@ -54,7 +56,7 @@ val transitions_from : t -> int -> transition list
 
 val iter_transitions :
   t -> (src:int -> label:Net_semantics.label -> rate:float -> dst:int -> unit) -> unit
-(** Iterate the flat columns directly — no list, no record
+(** Iterate the compressed stream directly — no list, no record
     allocation. *)
 
 val deadlocks : t -> int list
@@ -66,10 +68,14 @@ val labels : t -> Net_semantics.label array
 val label_flux : t -> float array -> float array
 (** [label_flux space pi] is the steady-state flux [sum pi(src) * rate]
     of every interned label, indexed like {!labels}.  One pass over the
-    flat columns; the measure functions select from it instead of
+    compressed stream; the measure functions select from it instead of
     rescanning the transitions per query. *)
 
 val ctmc : t -> Markov.Ctmc.t
+
+val release_derived : t -> unit
+(** Drop the cached CTMC, lump partition and materialised record lists;
+    rebuilt on demand — see {!Pepa.Statespace.release_derived}. *)
 
 val lump_partition : t -> Markov.Lump.t
 (** Coarsest ordinary lumping of the marking chain respecting the

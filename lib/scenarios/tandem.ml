@@ -1,0 +1,54 @@
+let throughput_action = "depart"
+
+(* Station [i] (1-based) is a counter over its queue length:
+
+     S{i}_{j} =   (in_i,  rate).S{i}_{j+1}    when j < capacity
+                + (out_i, rate).S{i}_{j-1}    when j > 0
+
+   where [in_1] is the external arrival (active), [in_i] for i > 1 is
+   the upstream hand-off (passive — the upstream server sets the pace),
+   [out_i] for i < stations is the hand-off action [move{i}] shared
+   with station i+1, and [out_stations] is [depart].  Service rates
+   differ per station so no accidental lumping collapses the space. *)
+let source ~stations ~capacity =
+  if stations < 1 then invalid_arg "Tandem.source: stations must be >= 1";
+  if capacity < 1 then invalid_arg "Tandem.source: capacity must be >= 1";
+  let buf = Buffer.create (stations * capacity * 64) in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%% Tandem network: %d station(s) of capacity %d, %d states.\n" stations capacity
+    (int_of_float (float_of_int (capacity + 1) ** float_of_int stations));
+  add "arrive = 1.5;\n";
+  for i = 1 to stations do
+    add "mu%d = %g;\n" i (2.0 +. (0.25 *. float_of_int (i - 1)))
+  done;
+  let state i j = Printf.sprintf "S%d_%d" i j in
+  let in_action i = if i = 1 then "arrive" else Printf.sprintf "move%d" (i - 1) in
+  let out_action i = if i = stations then throughput_action else Printf.sprintf "move%d" i in
+  for i = 1 to stations do
+    let fill =
+      (* Arrivals are active at station 1, passive hand-offs after. *)
+      if i = 1 then "(arrive, arrive)"
+      else Printf.sprintf "(%s, infty)" (in_action i)
+    in
+    let drain j = Printf.sprintf "(%s, mu%d).%s" (out_action i) i (state i (j - 1)) in
+    for j = 0 to capacity do
+      add "%s = " (state i j);
+      if j < capacity then begin
+        add "%s.%s" fill (state i (j + 1));
+        if j > 0 then add " + %s" (drain j)
+      end
+      else add "%s" (drain j);
+      add ";\n"
+    done
+  done;
+  (* Right-nested cooperation on the hand-off actions. *)
+  let rec chain i =
+    if i = stations then state i 0
+    else Printf.sprintf "%s <%s> (%s)" (state i 0) (out_action i) (chain (i + 1))
+  in
+  add "system %s;\n" (if stations = 1 then state 1 0 else chain 1);
+  Buffer.contents buf
+
+let n_states ~stations ~capacity =
+  let rec go acc i = if i = 0 then acc else go (acc * (capacity + 1)) (i - 1) in
+  go 1 stations

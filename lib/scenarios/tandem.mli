@@ -1,0 +1,28 @@
+(** A tandem queueing network: the large-state-space benchmark family.
+
+    [stations] finite-capacity M/M/1/[capacity] queues in series.  Jobs
+    arrive at station 1, are served in order, and a served job moves to
+    the next station when that station has a free slot (service blocks
+    while the downstream queue is full); jobs served at the last
+    station depart.  Each station is one sequential PEPA component with
+    [capacity + 1] derivative states (its queue length), adjacent
+    stations cooperate on the hand-off action, so the model has exactly
+    [(capacity + 1) ^ stations] reachable states and the chain is
+    irreducible — a scalable family of exact solves with a closed-form
+    state count, the shape the paper's design environment must handle
+    when activity graphs are unrolled over many locations.
+
+    Three stations at capacity 99 give a million-state CTMC;
+    capacity 46 gives the 103,823-state instance the CI smoke test
+    solves exactly. *)
+
+val source : stations:int -> capacity:int -> string
+(** The PEPA source text of the model.  Raises [Invalid_argument]
+    unless [stations >= 1] and [capacity >= 1]. *)
+
+val n_states : stations:int -> capacity:int -> int
+(** [(capacity + 1) ^ stations] — the exact reachable state count. *)
+
+val throughput_action : string
+(** The action whose steady-state throughput the benchmarks report
+    (["depart"], completions at the last station). *)

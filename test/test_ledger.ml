@@ -163,6 +163,28 @@ let test_regress () =
     (Invalid_argument "Ledger.regress: threshold must be positive") (fun () ->
       ignore (L.regress ~threshold:0.0 ~history latest))
 
+let test_regress_memory () =
+  let history =
+    [ record ~stages:[ ("build", 1.0) ] (); record ~stages:[ ("build", 1.0) ] () ]
+  in
+  (* The helper pins every record at 120k words; a 2x latest must trip
+     the memory entry under the same threshold as the stages. *)
+  let latest = { (record ~stages:[ ("build", 1.0) ] ()) with L.gc_peak_heap_words = 240_000 } in
+  (match L.regress ~threshold:1.5 ~history latest with
+  | [ r ] ->
+      Alcotest.(check string) "synthetic stage name" "peak_heap_words" r.L.r_stage;
+      Alcotest.(check bool) "flagged as memory" true r.L.r_memory;
+      Alcotest.(check (float 1e-9)) "ratio" 2.0 r.L.ratio;
+      Alcotest.(check (float 1e-9)) "median in words" 120_000.0 r.L.median_s
+  | rs -> Alcotest.failf "expected one memory regression, got %d" (List.length rs));
+  (* Records predating the field (peak 0) drop out of the median rather
+     than dragging it to zero, and a zero latest never trips. *)
+  let unversioned = { (record ()) with L.gc_peak_heap_words = 0 } in
+  Alcotest.(check (list pass)) "history without the field is skipped" []
+    (L.regress ~threshold:1.5 ~history:[ unversioned; unversioned ] latest);
+  Alcotest.(check (list pass)) "zero latest never trips" []
+    (L.regress ~threshold:1.5 ~history { latest with L.gc_peak_heap_words = 0 })
+
 (* ------------------------------------------------------------------ *)
 (* Prometheus sink                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -342,6 +364,7 @@ let suite =
     Alcotest.test_case "diff stages incl. missing stage" `Quick test_diff_stages;
     Alcotest.test_case "diff metrics omits identical" `Quick test_diff_metrics;
     Alcotest.test_case "regression against the median" `Quick test_regress;
+    Alcotest.test_case "memory regression against the median" `Quick test_regress_memory;
     Alcotest.test_case "prometheus exposition format" `Quick test_prometheus_format;
     Alcotest.test_case "metrics format names" `Quick test_metrics_format_of_string;
     Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;

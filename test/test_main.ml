@@ -13,6 +13,7 @@ let () =
       ("equivalence", Test_equivalence.suite);
       ("ctmc", Test_ctmc.suite);
       ("perf-path", Test_perf_path.suite);
+      ("krylov", Test_krylov.suite);
       ("transient", Test_transient.suite);
       ("passage", Test_passage.suite);
       ("simulate", Test_simulate.suite);
