@@ -716,6 +716,108 @@ let fluid_net_scaling_row ~count =
     ns_heap_words = heap_words ();
   }
 
+(* ------------------------------------------------------------------ *)
+(* Daemon sweep family: warm-started parameter grids                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The service layer's batch verb ([choreographer client sweep]),
+   measured without the wire: one parsed model, the same rate grid
+   solved cold (every point from the uniform vector) and warm (each
+   point seeded with the previous point's steady distribution).  The
+   model needs named rate constants — that is what a sweep axis
+   redefines — and an iterative solve for the warm start to matter, so
+   the method is pinned to Gauss-Seidel on both sides.  Wall-clock is
+   recorded but the gates are deterministic: the warm grid must not
+   need more total iterations than the cold one, and both grids must
+   agree on every throughput to 1e-10 (the warm start changes where
+   the solver starts, never where it converges). *)
+
+let sweep_model n =
+  Printf.sprintf
+    {|
+      task_r = 1.0;
+      swap_r = 2.0;
+      log_r = 5.0;
+      Proc = (task, task_r).(swap, swap_r).Proc;
+      Srv = (task, 2.0).(log, log_r).Srv;
+      system (Proc[%d]) <task> (Srv[%d]);
+    |}
+    n
+    (max 1 (n / 4))
+
+type sweep_bench = {
+  sw_replicas : int;
+  sw_points : int;
+  sw_states : int;
+  sw_cold_s : float;
+  sw_warm_s : float;
+  sw_cold_iterations : int;
+  sw_warm_iterations : int;
+  sw_warm_started_points : int;
+  sw_divergence : float;  (** max |warm - cold| over every point's throughputs *)
+}
+
+let sweep_iteration_gate_breached = ref None
+let max_sweep_divergence = ref 0.0
+
+let sweep_bench_row ~replicas ~grid =
+  let model =
+    Choreographer.Workbench.parse_pepa ~name:"bench-sweep" (sweep_model replicas)
+  in
+  let options =
+    {
+      Service.Protocol.default_options with
+      Service.Protocol.method_ = Some Markov.Steady.Gauss_seidel;
+    }
+  in
+  let axes = [ { Service.Protocol.target = `Rate "task_r"; values = grid } ] in
+  let attrs = [ ("replicas", Obs.Span.Int replicas) ] in
+  let run warm_start =
+    Service.Sweep.run ~name:"bench-sweep" ~model ~options ~axes
+      ~backend:Service.Protocol.Exact ~warm_start
+  in
+  let cold, cold_s = time ~attrs "bench.sweep.cold" (fun _ -> run false) in
+  let warm, warm_s = time ~attrs "bench.sweep.warm" (fun _ -> run true) in
+  let iterations r =
+    List.fold_left (fun acc p -> acc + p.Service.Sweep.iterations) 0 r.Service.Sweep.points
+  in
+  let divergence =
+    List.fold_left2
+      (fun acc (w : Service.Sweep.point) (c : Service.Sweep.point) ->
+        Float.max acc (compare_throughputs w.Service.Sweep.throughputs c.Service.Sweep.throughputs))
+      0.0 warm.Service.Sweep.points cold.Service.Sweep.points
+  in
+  max_sweep_divergence := Float.max !max_sweep_divergence divergence;
+  let cold_iterations = iterations cold and warm_iterations = iterations warm in
+  if warm_iterations > cold_iterations && !sweep_iteration_gate_breached = None then
+    sweep_iteration_gate_breached :=
+      Some
+        (Printf.sprintf "replicas %d: warm grid took %d iterations, cold %d" replicas
+           warm_iterations cold_iterations);
+  {
+    sw_replicas = replicas;
+    sw_points = List.length cold.Service.Sweep.points;
+    sw_states =
+      (match cold.Service.Sweep.points with p :: _ -> p.Service.Sweep.n_states | [] -> 0);
+    sw_cold_s = cold_s;
+    sw_warm_s = warm_s;
+    sw_cold_iterations = cold_iterations;
+    sw_warm_iterations = warm_iterations;
+    sw_warm_started_points =
+      List.length (List.filter (fun p -> p.Service.Sweep.warm) warm.Service.Sweep.points);
+    sw_divergence = divergence;
+  }
+
+let sweep_bench_json r =
+  Printf.sprintf
+    {|    { "replicas": %d, "grid_points": %d, "states_per_point": %d,
+      "cold_s": %.6f, "warm_s": %.6f, "speedup": %.2f,
+      "cold_iterations": %d, "warm_iterations": %d, "warm_started_points": %d,
+      "throughput_divergence": %.3e }|}
+    r.sw_replicas r.sw_points r.sw_states r.sw_cold_s r.sw_warm_s
+    (if r.sw_warm_s > 0.0 then r.sw_cold_s /. r.sw_warm_s else 0.0)
+    r.sw_cold_iterations r.sw_warm_iterations r.sw_warm_started_points r.sw_divergence
+
 let fluid_net_row_json r =
   Printf.sprintf
     {|    { "tokens": %d, "ode_dim": %d, "lumped_states": %d,
@@ -920,6 +1022,23 @@ let () =
         r)
       net_scaling_tokens
   in
+  let linspace lo hi n =
+    List.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+  in
+  let sweep_cases =
+    if smoke then [ (4, linspace 0.5 2.0 3) ] else [ (8, linspace 0.25 2.0 8); (12, linspace 0.25 2.0 8) ]
+  in
+  let sweep_rows =
+    List.map
+      (fun (replicas, grid) ->
+        let r = sweep_bench_row ~replicas ~grid in
+        Printf.eprintf
+          "sweep replicas=%2d points=%d states=%6d cold=%.4fs (%d iterations) warm=%.4fs (%d iterations, %d warm-started) divergence=%.1e\n%!"
+          r.sw_replicas r.sw_points r.sw_states r.sw_cold_s r.sw_cold_iterations r.sw_warm_s
+          r.sw_warm_iterations r.sw_warm_started_points r.sw_divergence;
+        r)
+      sweep_cases
+  in
   (* The tandem family runs last: its million-state footprint would
      otherwise contaminate the monotone peak-heap numbers of the
      replicated family, which carry the memory gate. *)
@@ -996,6 +1115,10 @@ let () =
         "  ],";
         Printf.sprintf {|  "fluid_net_scaling_time_budget_s": %.2f,|}
           net_scaling_time_budget_s;
+        {|  "daemon_sweep_family": [|};
+        String.concat ",\n" (List.map sweep_bench_json sweep_rows);
+        "  ],";
+        {|  "daemon_sweep_gates": { "warm_iterations_le_cold": true, "throughput_divergence_tolerance": 1e-10 },|};
         Printf.sprintf
           {|  "parallel_speedup_gate": { "jobs": %d, "required_at_16_replicas": 2.0, "recommended_domains": %d, "enforced": %b },|}
           par_jobs (Par.recommended ()) speedup_gate_enforced;
@@ -1083,6 +1206,19 @@ let () =
     Printf.eprintf
       "error: parallel steady vectors diverge by %.3e from sequential (tolerance 1e-10)\n%!"
       !max_par_divergence;
+    exit 1
+  end;
+  (* Sweep gates: warm starting may only save work, never change the
+     answer. *)
+  (match !sweep_iteration_gate_breached with
+  | Some msg ->
+      Printf.eprintf "error: daemon sweep: %s\n%!" msg;
+      exit 1
+  | None -> ());
+  if !max_sweep_divergence > 1e-10 then begin
+    Printf.eprintf
+      "error: warm-started sweep throughputs diverge by %.3e from cold (tolerance 1e-10)\n%!"
+      !max_sweep_divergence;
     exit 1
   end;
   (* Tandem exactness gates: the Krylov solve must agree with

@@ -9,37 +9,22 @@
 open Cmdliner
 
 (* Inputs may be XMI documents or the plain-text notation of
-   [Uml.Diagram_text]; text models are converted to XMI at the door so
-   the rest of the pipeline is uniform. *)
+   [Uml.Diagram_text]; the sniffing and conversion live in
+   [Choreographer.Ingest], shared with the daemon.  The messages it
+   returns are the exact bytes this front end always printed. *)
 let read_document path =
-  let looks_like_xml =
-    In_channel.with_open_bin path (fun ic ->
-        match In_channel.input_char ic with Some '<' -> true | _ -> false)
-  in
-  if looks_like_xml then begin
-    try Xml_kit.Minixml.parse_file path
-    with Xml_kit.Minixml.Parse_error { line; col; message } ->
-      Printf.eprintf "%s: XML error at %d:%d: %s\n" path line col message;
+  match Choreographer.Ingest.document_of_file path with
+  | Ok doc -> doc
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
       exit 1
-  end
-  else begin
-    try
-      let activities, charts, interactions = Uml.Diagram_text.parse_document_file path in
-      Uml.Xmi_write.document_to_xml
-        ~model_name:(Filename.remove_extension (Filename.basename path))
-        ~interactions activities charts
-    with Uml.Diagram_text.Parse_error { line; message } ->
-      Printf.eprintf "%s: line %d: %s\n" path line message;
-      exit 1
-  end
 
-let load_rates = function
-  | None -> Uml.Rates_file.empty
-  | Some path -> (
-      try Uml.Rates_file.of_file path
-      with Uml.Rates_file.Syntax_error { line; message } ->
-        Printf.eprintf "%s: line %d: %s\n" path line message;
-        exit 1)
+let load_rates rates_path =
+  match Choreographer.Ingest.rates_of_file rates_path with
+  | Ok rates -> rates
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
 
 let input_arg =
   Arg.(required & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input XMI file.")
@@ -123,7 +108,7 @@ let pipeline_cmd =
         Cli_support.print_solver_stats ();
         Xml_kit.Minixml.write_file output outcome.Choreographer.Pipeline.reflected;
         List.iter
-          (fun results -> Format.printf "%a@." Choreographer.Results.pp results)
+          (fun results -> print_string (Choreographer.Render.results results))
           outcome.Choreographer.Pipeline.results;
         (match xmltable with
         | Some path ->
@@ -432,9 +417,384 @@ let obs_cmd =
              runs).")
     [ list_cmd; show_cmd; diff_cmd; regress_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* The daemon client: the analysis verbs served by choreographerd.     *)
+(*                                                                     *)
+(* Files are read (and, for documents, validated) locally, so a bad    *)
+(* input fails with the exact bytes and exit code of the one-shot      *)
+(* tools before anything crosses the wire; the daemon then sees only   *)
+(* model sources, never the client's filesystem.                       *)
+(* ------------------------------------------------------------------ *)
+
+let client_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Daemon socket (default: \\$CHOREOGRAPHER_SOCKET or \
+              ~/.choreographer/daemon.sock).")
+
+let client_tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some port when port > 0 && port < 65536 && host <> "" -> Ok (host, port)
+        | _ -> Error (`Msg (Printf.sprintf "invalid TCP address %s (expected HOST:PORT)" s)))
+    | None -> Error (`Msg (Printf.sprintf "invalid TCP address %s (expected HOST:PORT)" s))
+  in
+  Arg.conv (parse, fun fmt (h, p) -> Format.fprintf fmt "%s:%d" h p)
+
+let client_tcp_arg =
+  Arg.(
+    value
+    & opt (some client_tcp_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP instead of the Unix socket.")
+
+let with_conn socket tcp f =
+  match Service.Client.connect ?socket ?tcp () with
+  | exception Service.Client.Connection_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | conn ->
+      Fun.protect ~finally:(fun () -> Service.Client.close conn) (fun () ->
+          try f conn
+          with Service.Client.Connection_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+
+(* Replay the daemon's answer with the one-shot CLI's contract: an
+   error response carries the exact stderr bytes and exit code the
+   local tool would have produced. *)
+let ok_or_exit = function
+  | Service.Protocol.Ok_response { output; diagnostics; data } -> (output, diagnostics, data)
+  | Service.Protocol.Error_response { code; message } ->
+      Printf.eprintf "%s%!" message;
+      exit code
+
+let read_source path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let kind_of path explicit_net =
+  if explicit_net || Filename.check_suffix path ".pepanet" then Service.Protocol.Net
+  else Service.Protocol.Pepa
+
+let net_flag_arg =
+  Arg.(value & flag & info [ "net" ] ~doc:"Force PEPA net interpretation regardless of suffix.")
+
+let model_pos_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"A .pepa or .pepanet file.")
+
+let client_options jobs method_ aggregate fluid absorb =
+  {
+    Service.Protocol.default_options with
+    method_;
+    aggregate;
+    fluid;
+    jobs;
+    restart = (if absorb then `Absorb else `Cycle);
+  }
+
+let jobs_opt_arg =
+  (* The client's --jobs asks the daemon, so it must not auto-resolve
+     locally; 0 still means "auto" — on the daemon's machine. *)
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Domains the daemon should use for this request (0 auto-detects there).")
+
+let client_solve_cmd =
+  let run socket tcp jobs path net method_ aggregate fluid =
+    let options = client_options jobs method_ aggregate fluid false in
+    let request =
+      Service.Protocol.Solve
+        { kind = kind_of path net; name = Filename.basename path; source = read_source path; options }
+    in
+    with_conn socket tcp (fun conn ->
+        let output, diagnostics, _ = ok_or_exit (Service.Client.request conn request) in
+        print_string output;
+        Printf.eprintf "%s%!" diagnostics)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a model on the daemon (same output as workbench solve).")
+    Term.(
+      const run $ client_socket_arg $ client_tcp_arg $ jobs_opt_arg $ model_pos_arg
+      $ net_flag_arg $ method_arg $ Cli_support.aggregate_arg $ Cli_support.fluid_arg)
+
+let client_query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Measure expression, e.g. 'throughput(request)'.")
+  in
+  let run socket tcp jobs path net query method_ aggregate =
+    let options = client_options jobs method_ aggregate None false in
+    let request =
+      Service.Protocol.Query
+        { kind = kind_of path net; name = Filename.basename path; source = read_source path; query; options }
+    in
+    with_conn socket tcp (fun conn ->
+        let output, diagnostics, _ = ok_or_exit (Service.Client.request conn request) in
+        print_string output;
+        Printf.eprintf "%s%!" diagnostics)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a measure expression on the daemon.")
+    Term.(
+      const run $ client_socket_arg $ client_tcp_arg $ jobs_opt_arg $ model_pos_arg
+      $ net_flag_arg $ query_arg $ method_arg $ Cli_support.aggregate_arg)
+
+(* Document verbs ship the raw file contents after validating them
+   locally (for path-labelled error bytes); [name] carries the
+   basename-derived model name the CLI gives text-notation documents. *)
+let read_document_source path =
+  ignore (read_document path);
+  (Filename.remove_extension (Filename.basename path), read_source path)
+
+let read_rates_source rates_path =
+  ignore (load_rates rates_path);
+  Option.map read_source rates_path
+
+let data_field field data =
+  match Obs.Json.member field data with
+  | Some (Obs.Json.Str s) -> s
+  | _ ->
+      Printf.eprintf "error: malformed daemon response (missing %s)\n" field;
+      exit 125
+
+let write_file_string path contents =
+  try Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+  with Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+let client_pipeline_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Reflected XMI output file.")
+  in
+  let xmltable_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "xmltable" ] ~docv:"FILE" ~doc:"Also write results as an .xmltable document.")
+  in
+  let run socket tcp jobs input output rates_path method_ absorb aggregate fluid xmltable =
+    let name, document = read_document_source input in
+    let rates = read_rates_source rates_path in
+    let options = client_options jobs method_ aggregate fluid absorb in
+    let request = Service.Protocol.Pipeline { name; document; rates; options } in
+    with_conn socket tcp (fun conn ->
+        let out, diagnostics, data = ok_or_exit (Service.Client.request conn request) in
+        Printf.eprintf "%s%!" diagnostics;
+        write_file_string output (data_field "reflected" data);
+        print_string out;
+        (match xmltable with
+        | Some path -> write_file_string path (data_field "xmltable" data)
+        | None -> ());
+        Printf.printf "reflected model written to %s\n" output)
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Run the full extract-analyse-reflect tool chain on the daemon.")
+    Term.(
+      const run $ client_socket_arg $ client_tcp_arg $ jobs_opt_arg $ input_arg $ output_arg
+      $ rates_arg $ method_arg $ absorb_arg $ Cli_support.aggregate_arg
+      $ Cli_support.fluid_arg $ xmltable_arg)
+
+let client_reflect_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Reflected XMI output file.")
+  in
+  let run socket tcp jobs input output rates_path method_ absorb aggregate fluid =
+    let name, document = read_document_source input in
+    let rates = read_rates_source rates_path in
+    let options = client_options jobs method_ aggregate fluid absorb in
+    let request = Service.Protocol.Reflect { name; document; rates; options } in
+    with_conn socket tcp (fun conn ->
+        let _, diagnostics, data = ok_or_exit (Service.Client.request conn request) in
+        Printf.eprintf "%s%!" diagnostics;
+        write_file_string output (data_field "reflected" data);
+        Printf.printf "reflected model written to %s\n" output)
+  in
+  Cmd.v
+    (Cmd.info "reflect"
+       ~doc:"Analyse a UML document on the daemon and write only the reflected XMI.")
+    Term.(
+      const run $ client_socket_arg $ client_tcp_arg $ jobs_opt_arg $ input_arg $ output_arg
+      $ rates_arg $ method_arg $ absorb_arg $ Cli_support.aggregate_arg
+      $ Cli_support.fluid_arg)
+
+(* Sweep axes: NAME=V1,V2,... or NAME=LO:HI:N (N evenly spaced points,
+   endpoints included). *)
+let axis_values_of_spec spec =
+  let positive_int s = match int_of_string_opt s with Some n when n >= 2 -> Some n | _ -> None in
+  match String.split_on_char ':' spec with
+  | [ lo; hi; n ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi, positive_int n) with
+      | Some lo, Some hi, Some n ->
+          Some (List.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1))))
+      | _ -> None)
+  | [ _ ] -> (
+      let parts = String.split_on_char ',' spec in
+      let values = List.filter_map float_of_string_opt parts in
+      if List.length values = List.length parts && values <> [] then Some values else None)
+  | _ -> None
+
+let axis_conv target =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let spec = String.sub s (i + 1) (String.length s - i - 1) in
+        match axis_values_of_spec spec with
+        | Some values when name <> "" ->
+            Ok { Service.Protocol.target = target name; values }
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "invalid axis %s (expected NAME=V1,V2,... or NAME=LO:HI:N with N >= 2)" s)))
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid axis %s (expected NAME=VALUES)" s))
+  in
+  let print fmt (axis : Service.Protocol.axis) =
+    Format.fprintf fmt "%s=%s"
+      (match axis.Service.Protocol.target with `Rate n | `Replicas n -> n)
+      (String.concat "," (List.map (Printf.sprintf "%g") axis.Service.Protocol.values))
+  in
+  Arg.conv (parse, print)
+
+let client_sweep_cmd =
+  let rate_axes_arg =
+    Arg.(
+      value
+      & opt_all (axis_conv (fun n -> `Rate n)) []
+      & info [ "rate" ] ~docv:"NAME=VALUES"
+          ~doc:"Sweep the rate constant NAME over VALUES (V1,V2,... or LO:HI:N).  \
+                Repeatable; the grid is the cartesian product of all axes.")
+  in
+  let replica_axes_arg =
+    Arg.(
+      value
+      & opt_all (axis_conv (fun n -> `Replicas n)) []
+      & info [ "replicas" ] ~docv:"NAME=VALUES"
+          ~doc:"Sweep the replica count of component array NAME over VALUES.  Repeatable.")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("exact", Service.Protocol.Exact);
+               ("lump", Service.Protocol.Lump);
+               ("fluid", Service.Protocol.Fluid_ode);
+             ])
+          Service.Protocol.Exact
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:"Per-point solver: $(b,exact), $(b,lump) or $(b,fluid).")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:"Solve every grid point from scratch instead of warm-starting each \
+                point from its predecessor's solution.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the sweep JSON here (default: stdout).")
+  in
+  let run socket tcp jobs path net method_ aggregate fluid rates replicas backend cold out =
+    let axes = rates @ replicas in
+    if axes = [] then begin
+      Printf.eprintf "error: sweep needs at least one --rate or --replicas axis\n";
+      exit 2
+    end;
+    let options = client_options jobs method_ aggregate fluid false in
+    let request =
+      Service.Protocol.Sweep
+        {
+          kind = kind_of path net;
+          name = Filename.basename path;
+          source = read_source path;
+          options;
+          axes;
+          backend;
+          warm_start = not cold;
+        }
+    in
+    with_conn socket tcp (fun conn ->
+        let _, diagnostics, data = ok_or_exit (Service.Client.request conn request) in
+        Printf.eprintf "%s%!" diagnostics;
+        let text = Obs.Json.to_string ~pretty:true data ^ "\n" in
+        match out with
+        | Some path ->
+            write_file_string path text;
+            Printf.printf "sweep results written to %s\n" path
+        | None -> print_string text)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Solve a model over a parameter grid on the daemon, warm-starting \
+             successive points.")
+    Term.(
+      const run $ client_socket_arg $ client_tcp_arg $ jobs_opt_arg $ model_pos_arg
+      $ net_flag_arg $ method_arg $ Cli_support.aggregate_arg $ Cli_support.fluid_arg
+      $ rate_axes_arg $ replica_axes_arg $ backend_arg $ cold_arg $ out_arg)
+
+let client_stats_cmd =
+  let run socket tcp =
+    with_conn socket tcp (fun conn ->
+        let _, _, data = ok_or_exit (Service.Client.request conn Service.Protocol.Stats) in
+        print_endline (Obs.Json.to_string ~pretty:true data))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's uptime, request and cache statistics.")
+    Term.(const run $ client_socket_arg $ client_tcp_arg)
+
+let client_shutdown_cmd =
+  let run socket tcp =
+    with_conn socket tcp (fun conn ->
+        let _ = ok_or_exit (Service.Client.request conn Service.Protocol.Shutdown) in
+        print_endline "daemon stopped")
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Stop the daemon cleanly.")
+    Term.(const run $ client_socket_arg $ client_tcp_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running choreographerd: the analysis verbs with one-shot CLI \
+             output and exit codes, served from the daemon's model cache.")
+    [
+      client_solve_cmd;
+      client_query_cmd;
+      client_pipeline_cmd;
+      client_reflect_cmd;
+      client_sweep_cmd;
+      client_stats_cmd;
+      client_shutdown_cmd;
+    ]
+
 let () =
   let doc = "performance analysis of mobile UML designs via PEPA nets" in
   let info = Cmd.info "choreographer" ~version:"1.0.0" ~doc in
   exit
     (Cli_support.eval_cli
-       (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd; obs_cmd ]))
+       (Cmd.group info [ pipeline_cmd; extract_cmd; info_cmd; strip_cmd; obs_cmd; client_cmd ]))

@@ -152,10 +152,7 @@ let jobs_arg =
            agree to within the solver tolerance.")
 
 let print_fluid_stats (stats : Fluid.Rk45.stats) =
-  Printf.eprintf
-    "fluid: steps=%d rejected=%d evaluations=%d t_end=%g dx_norm=%.3e\n%!"
-    stats.Fluid.Rk45.steps stats.Fluid.Rk45.rejected stats.Fluid.Rk45.evaluations
-    stats.Fluid.Rk45.t_end stats.Fluid.Rk45.dx_norm
+  Printf.eprintf "%s%!" (Choreographer.Render.fluid_stats_line stats)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags                                                     *)
@@ -270,14 +267,10 @@ let model_hash path =
   | hash -> hash
   | exception Sys_error _ -> ""
 
-(* Option stringifiers for ledger records. *)
-let method_string = function
-  | None -> "auto"
-  | Some m -> Markov.Steady.method_name m
-
-let fluid_string = function
-  | None -> "off"
-  | Some t -> Printf.sprintf "%g,%g" t.Fluid.Rk45.rtol t.Fluid.Rk45.atol
+(* Option stringifiers for ledger records — the same normalised forms
+   the daemon uses in cache keys and its own ledger records. *)
+let method_string = Service.Protocol.method_to_string
+let fluid_string = Service.Protocol.fluid_to_string
 
 let arm_ledger ~tool ~model ~options =
   if !ledger_path <> None then begin
@@ -298,6 +291,12 @@ let append_ledger () =
       | Sys_error msg -> warn msg
       | Unix.Unix_error (e, _, _) -> warn (Unix.error_message e))
   | _ -> ()
+
+(* Where the daemon should append its per-request records: the
+   destination the telemetry flags resolved to, or [None] when
+   recording is off.  The daemon never uses the [at_exit] capture
+   path — it emits one record per served request instead. *)
+let daemon_ledger_path () = !ledger_path
 
 let ledger_disabled_by_env () =
   match Sys.getenv_opt "CHOREOGRAPHER_NO_LEDGER" with
@@ -351,39 +350,22 @@ let telemetry_term =
 
 let print_solver_stats () =
   match Markov.Steady.last_stats () with
-  | Some { Markov.Steady.method_used; iterations; residual } ->
-      Printf.eprintf "solver: method=%s iterations=%d residual=%.3e\n%!"
-        (Markov.Steady.method_name method_used)
-        iterations residual
+  | Some stats -> Printf.eprintf "%s%!" (Choreographer.Render.solver_stats_line stats)
   | None -> ()
 
 (* Non-convergence is distinguished from ordinary model errors (exit 1)
    so scripted callers can retry with another method or more
-   iterations. *)
-let exit_did_not_converge = 2
+   iterations.  The renderings live in [Service.Errors] so the daemon
+   ships the exact same bytes and exit codes over the wire. *)
+let exit_did_not_converge = Service.Errors.analysis_failure_code
+
+let report_rendered (r : Service.Errors.rendered) =
+  Printf.eprintf "%s%!" r.Service.Errors.message;
+  set_run_status r.Service.Errors.status;
+  exit r.Service.Errors.code
 
 let report_did_not_converge ~method_used ~iterations ~residual =
-  let name = Markov.Steady.method_name method_used in
-  (* Suggesting the method that just gave up would send the user in a
-     circle: under-relaxing is the way out of an SOR oscillation, and
-     the Krylov solver is only suggested while it is not the one that
-     failed. *)
-  let method_hint =
-    match method_used with
-    | Markov.Steady.Sor _ -> "--method sor:0.8 (damp the oscillation)"
-    | Markov.Steady.Bicgstab -> "--method sor (stationary sweeps can pass a stalled Krylov run)"
-    | _ -> "--method bicgstab (Krylov iteration), --method sor (faster mixing)"
-  in
-  Printf.eprintf
-    "error: %s solver did not converge after %d sweeps (last residual %g)\n\
-     hint: try %s, --aggregate (shrink the chain before the \
-     solve), or --fluid (ODE approximation)\n\
-     %!"
-    name iterations residual method_hint;
-  set_run_status
-    (Printf.sprintf "did-not-converge: %s after %d sweeps, residual %g" name iterations
-       residual);
-  exit exit_did_not_converge
+  report_rendered (Service.Errors.did_not_converge ~method_used ~iterations ~residual)
 
 (* Invalid option values (unknown --method, --aggregate, --fluid forms,
    ...) exit 2 rather than cmdliner's default 124, so scripts can treat
@@ -396,33 +378,7 @@ let eval_cli ?argv cmd =
   | Error `Exn -> 125
 
 let report_did_not_reach_steady ~steps ~t ~dx_norm =
-  Printf.eprintf
-    "error: fluid integration did not reach steady state after %d steps (t=%g, \
-     derivative norm %g)\n\
-     %!"
-    steps t dx_norm;
-  set_run_status
-    (Printf.sprintf "did-not-reach-steady: %d steps, t=%g, dx_norm=%g" steps t dx_norm);
-  exit exit_did_not_converge
+  report_rendered (Service.Errors.did_not_reach_steady ~steps ~t ~dx_norm)
 
 let report_step_budget_exhausted ~steps ~t ~error_estimate =
-  (* An error estimate near 1 means the controller was accuracy-limited
-     (every step ran at the tolerance ceiling); far below 1 means it was
-     stability-limited (a stiff model pinning the step size). *)
-  let hint =
-    if error_estimate >= 0.5 then
-      "relax the tolerances (e.g. --fluid 1e-6,1e-10): the integrator was \
-       accuracy-limited"
-    else
-      "the model looks stiff (steps limited by stability, not accuracy); relaxing \
-       --fluid tolerances may still help by lowering the steady-state threshold"
-  in
-  Printf.eprintf
-    "error: fluid integration exhausted its step budget (%d steps, t=%g, last error \
-     estimate %.3g) before steady state\n\
-     hint: %s\n\
-     %!"
-    steps t error_estimate hint;
-  set_run_status
-    (Printf.sprintf "step-budget-exhausted: %d steps, t=%g, err=%g" steps t error_estimate);
-  exit exit_did_not_converge
+  report_rendered (Service.Errors.step_budget_exhausted ~steps ~t ~error_estimate)

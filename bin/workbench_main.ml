@@ -39,56 +39,36 @@ let solve_cmd =
               ("fluid", Cli_support.fluid_string fluid);
               ("net", string_of_bool (is_net_file path net));
             ];
+        (* All solve output goes through [Choreographer.Render], the
+           rendering the daemon also ships — the service tests cmp the
+           two byte for byte. *)
         if is_net_file path net then begin
           match fluid with
           | Some tolerances ->
               let analysis =
                 Choreographer.Workbench.analyse_net_fluid_file ~tolerances path
               in
-              Format.printf "%a@." Choreographer.Results.pp
-                analysis.Choreographer.Workbench.net_fluid_results;
-              (* Fluid analogues of the net marking measures: token mass
-                 per place, and each family's distribution over them. *)
-              let form = analysis.Choreographer.Workbench.net_form in
-              let x = analysis.Choreographer.Workbench.net_populations in
-              let compiled = Fluid.Net_form.compiled form in
-              Array.iteri
-                (fun p _ ->
-                  let place = Pepanet.Net_compile.place_name compiled p in
-                  Printf.printf "tokens at %-20s %.6f\n" place
-                    (Fluid.Net_form.expected_tokens_at form x ~place))
-                compiled.Pepanet.Net_compile.places;
-              Array.iter
-                (fun family ->
-                  let root = family.Pepanet.Net_compile.family_root in
-                  List.iter
-                    (fun (place, share) ->
-                      Printf.printf "%s tokens at %-20s %.6f\n" root place share)
-                    (Fluid.Net_form.token_location_proportions form x ~family:root))
-                compiled.Pepanet.Net_compile.families;
+              print_string (Choreographer.Render.net_fluid_solve analysis);
               Cli_support.print_fluid_stats
                 analysis.Choreographer.Workbench.net_fluid_stats
           | None ->
               let analysis =
                 Choreographer.Workbench.analyse_net_file ?method_ ~aggregate ~jobs path
               in
-              Format.printf "%a@." Choreographer.Results.pp
-                analysis.Choreographer.Workbench.net_results;
+              print_string (Choreographer.Render.net_solve analysis);
               Cli_support.print_solver_stats ()
         end
         else
           match fluid with
           | Some tolerances ->
               let analysis = Choreographer.Workbench.analyse_pepa_fluid_file ~tolerances path in
-              Format.printf "%a@." Choreographer.Results.pp
-                analysis.Choreographer.Workbench.fluid_results;
+              print_string (Choreographer.Render.pepa_fluid_solve analysis);
               Cli_support.print_fluid_stats analysis.Choreographer.Workbench.fluid_stats
           | None ->
               let analysis =
                 Choreographer.Workbench.analyse_pepa_file ?method_ ~aggregate ~jobs path
               in
-              Format.printf "%a@." Choreographer.Results.pp
-                analysis.Choreographer.Workbench.results;
+              print_string (Choreographer.Render.pepa_solve analysis);
               Cli_support.print_solver_stats ())
   in
   Cmd.v

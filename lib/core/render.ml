@@ -1,0 +1,46 @@
+(* One rendering for both transports.  The CLIs used to build these
+   strings inline with Format.printf / Printf.printf; the daemon needs
+   the same bytes in a buffer it can ship over the wire, so the
+   formatting lives here and both sides call it. *)
+
+let results r = Format.asprintf "%a@." Results.pp r
+
+let pepa_solve (a : Workbench.pepa_analysis) = results a.Workbench.results
+let net_solve (a : Workbench.net_analysis) = results a.Workbench.net_results
+let pepa_fluid_solve (a : Workbench.fluid_analysis) = results a.Workbench.fluid_results
+
+let net_fluid_solve (a : Workbench.net_fluid_analysis) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (results a.Workbench.net_fluid_results);
+  (* Fluid analogues of the net marking measures: token mass per place,
+     and each family's distribution over them. *)
+  let form = a.Workbench.net_form in
+  let x = a.Workbench.net_populations in
+  let compiled = Fluid.Net_form.compiled form in
+  Array.iteri
+    (fun p _ ->
+      let place = Pepanet.Net_compile.place_name compiled p in
+      Buffer.add_string buf
+        (Printf.sprintf "tokens at %-20s %.6f\n" place
+           (Fluid.Net_form.expected_tokens_at form x ~place)))
+    compiled.Pepanet.Net_compile.places;
+  Array.iter
+    (fun family ->
+      let root = family.Pepanet.Net_compile.family_root in
+      List.iter
+        (fun (place, share) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s tokens at %-20s %.6f\n" root place share))
+        (Fluid.Net_form.token_location_proportions form x ~family:root))
+    compiled.Pepanet.Net_compile.families;
+  Buffer.contents buf
+
+let solver_stats_line { Markov.Steady.method_used; iterations; residual } =
+  Printf.sprintf "solver: method=%s iterations=%d residual=%.3e\n"
+    (Markov.Steady.method_name method_used)
+    iterations residual
+
+let fluid_stats_line (stats : Fluid.Rk45.stats) =
+  Printf.sprintf "fluid: steps=%d rejected=%d evaluations=%d t_end=%g dx_norm=%.3e\n"
+    stats.Fluid.Rk45.steps stats.Fluid.Rk45.rejected stats.Fluid.Rk45.evaluations
+    stats.Fluid.Rk45.t_end stats.Fluid.Rk45.dx_norm

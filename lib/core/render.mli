@@ -1,0 +1,26 @@
+(** Canonical textual rendering of analysis output, shared by the
+    one-shot CLIs and the daemon so that a solve served over the wire
+    is byte-identical to the same solve run locally — the contract the
+    service tests and the CI daemon smoke step [cmp] against.
+
+    Each function returns exactly the text the corresponding CLI
+    subcommand writes to stdout (the [*_stats] helpers return the
+    stderr diagnostics line), trailing newline included. *)
+
+val results : Results.t -> string
+(** One results table, as [workbench solve] / [choreographer pipeline]
+    print it. *)
+
+val pepa_solve : Workbench.pepa_analysis -> string
+val net_solve : Workbench.net_analysis -> string
+val pepa_fluid_solve : Workbench.fluid_analysis -> string
+
+val net_fluid_solve : Workbench.net_fluid_analysis -> string
+(** Includes the fluid net marking measures: token mass per place and
+    each family's distribution over the places. *)
+
+val solver_stats_line : Markov.Steady.stats -> string
+(** The [solver: method=... iterations=... residual=...] stderr line. *)
+
+val fluid_stats_line : Fluid.Rk45.stats -> string
+(** The [fluid: steps=... ...] stderr line. *)

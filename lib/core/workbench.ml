@@ -45,23 +45,41 @@ let wrap name thunk =
   | Markov.Steady.Not_solvable msg -> fail "%s: no steady state: %s" name msg
   | Fluid.Vector_form.Unsupported msg -> fail "%s: no fluid interpretation: %s" name msg
 
-let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg)
-    ?jobs model =
-  Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
-    (fun _ ->
+(* ------------------------------------------------------------------ *)
+(* Staged primitives.  Each stage of an analysis — parse, compile,
+   state-space derivation, solve, measure assembly — is its own wrapped
+   function, and the [analyse_*] entry points below are nothing but the
+   stages composed in order.  The daemon's content-hash cache memoises
+   individual stages; because it calls exactly these functions, a solve
+   assembled from cached artefacts is identical (to the byte, once
+   rendered) to a cold [analyse_*] run.                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_pepa ~name src = wrap name (fun () -> Pepa.Parser.model_of_string src)
+let parse_net ~name src = wrap name (fun () -> Pepanet.Net_parser.net_of_string src)
+
+let compile_pepa ~name model =
   wrap name (fun () ->
       let env = Pepa.Env.of_model model in
-      let compiled = Pepa.Compile.compile env in
-      let space =
-        Pepa.Statespace.build ?max_states ?jobs
-          ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
-          compiled
-      in
-      let distribution =
-        Pepa.Statespace.steady_state ?method_ ?jobs
-          ~lump:(Markov.Lump.lumping_enabled aggregate)
-          space
-      in
+      (Pepa.Compile.compile env, Pepa.Env.warnings env))
+
+let compile_net ~name net = wrap name (fun () -> Pepanet.Net_compile.compile net)
+
+let pepa_space ~name ?max_states ?jobs ~symmetry compiled =
+  wrap name (fun () -> Pepa.Statespace.build ?max_states ?jobs ~symmetry compiled)
+
+let net_space ~name ?max_markings ?jobs ~symmetry compiled =
+  wrap name (fun () -> Pepanet.Net_statespace.build ?max_markings ?jobs ~symmetry compiled)
+
+let solve_pepa ~name ?method_ ?jobs ~lump space =
+  wrap name (fun () -> Pepa.Statespace.steady_state ?method_ ?jobs ~lump space)
+
+let solve_net ~name ?method_ ?jobs ~lump space =
+  wrap name (fun () -> Pepanet.Net_statespace.steady_state ?method_ ?jobs ~lump space)
+
+let pepa_results ~name ~warnings space distribution =
+  wrap name (fun () ->
+      let compiled = Pepa.Statespace.compiled space in
       (* Component-state utilisations, one entry per (leaf, local state):
          the measure the Reflector writes onto state diagrams. *)
       let leaf_labels = Pepa.Compile.leaf_labels compiled in
@@ -78,18 +96,67 @@ let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lum
                         Pepa.Statespace.local_state_probability space distribution ~leaf ~label
                       ))))
       in
-      let results =
-        Results.make ~source:name ~kind:Results.Pepa_model
-          ~n_states:(Pepa.Statespace.n_states space)
-          ~n_transitions:(Pepa.Statespace.n_transitions space)
-          ~throughputs:(Pepa.Statespace.throughputs space distribution)
-          ~state_probabilities
-          ~warnings:(Pepa.Env.warnings env) ()
+      Results.make ~source:name ~kind:Results.Pepa_model
+        ~n_states:(Pepa.Statespace.n_states space)
+        ~n_transitions:(Pepa.Statespace.n_transitions space)
+        ~throughputs:(Pepa.Statespace.throughputs space distribution)
+        ~state_probabilities ~warnings ())
+
+let net_results ~name ~warnings space distribution =
+  wrap name (fun () ->
+      Results.make ~source:name ~kind:Results.Pepa_net
+        ~n_states:(Pepanet.Net_statespace.n_markings space)
+        ~n_transitions:(Pepanet.Net_statespace.n_transitions space)
+        ~throughputs:(Pepanet.Net_measures.throughputs space distribution)
+        ~warnings ())
+
+let pepa_fluid_form ~name compiled = wrap name (fun () -> Fluid.Vector_form.derive compiled)
+let net_fluid_form ~name compiled = wrap name (fun () -> Fluid.Net_form.derive compiled)
+
+let integrate_pepa_form ?tolerances ?x0 form =
+  let f ~t:_ ~x ~dx = Fluid.Vector_form.derivative form x dx in
+  let x0 = match x0 with Some x -> x | None -> Fluid.Vector_form.initial form in
+  Fluid.Rk45.integrate ?tolerances ~f ~x0 ()
+
+let integrate_net_form ?tolerances ?x0 form =
+  let f ~t:_ ~x ~dx = Fluid.Net_form.derivative form x dx in
+  let x0 = match x0 with Some x -> x | None -> Fluid.Net_form.initial form in
+  Fluid.Rk45.integrate ?tolerances ~f ~x0 ()
+
+let pepa_fluid_results ~name ~warnings form populations =
+  Results.make ~source:name ~kind:Results.Pepa_model
+    ~n_states:(Fluid.Vector_form.dim form)
+    ~n_transitions:(Fluid.Vector_form.n_flux_entries form)
+    ~throughputs:(Fluid.Vector_form.throughputs form populations)
+    ~state_probabilities:(Fluid.Vector_form.proportions form populations)
+    ~warnings ~approximation:"fluid" ()
+
+let net_fluid_results ~name ~warnings form populations =
+  Results.make ~source:name ~kind:Results.Pepa_net
+    ~n_states:(Fluid.Net_form.dim form)
+    ~n_transitions:(Fluid.Net_form.n_flux_entries form)
+    ~throughputs:(Fluid.Net_form.throughputs form populations)
+    ~state_probabilities:(Fluid.Net_form.proportions form populations)
+    ~warnings ~approximation:"fluid" ()
+
+let analyse_pepa ?(name = "model") ?method_ ?max_states ?(aggregate = Markov.Lump.No_agg)
+    ?jobs model =
+  Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa"
+    (fun _ ->
+      let compiled, warnings = compile_pepa ~name model in
+      let space =
+        pepa_space ~name ?max_states ?jobs
+          ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
+          compiled
       in
-      { space; distribution; results }))
+      let distribution =
+        solve_pepa ~name ?method_ ?jobs ~lump:(Markov.Lump.lumping_enabled aggregate) space
+      in
+      let results = pepa_results ~name ~warnings space distribution in
+      { space; distribution; results })
 
 let analyse_pepa_string ?(name = "model") ?method_ ?max_states ?aggregate ?jobs src =
-  let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
+  let model = parse_pepa ~name src in
   analyse_pepa ~name ?method_ ?max_states ?aggregate ?jobs model
 
 let analyse_pepa_file ?method_ ?max_states ?aggregate ?jobs path =
@@ -100,26 +167,14 @@ let analyse_pepa_file ?method_ ?max_states ?aggregate ?jobs path =
 let analyse_pepa_fluid ?(name = "model") ?tolerances model =
   Obs.Span.with_ ~attrs:[ ("model", Obs.Span.Str name) ] "workbench.analyse_pepa_fluid"
     (fun _ ->
-  wrap name (fun () ->
-      let env = Pepa.Env.of_model model in
-      let compiled = Pepa.Compile.compile env in
-      let form = Fluid.Vector_form.derive compiled in
-      let f ~t:_ ~x ~dx = Fluid.Vector_form.derivative form x dx in
-      let populations, fluid_stats =
-        Fluid.Rk45.integrate ?tolerances ~f ~x0:(Fluid.Vector_form.initial form) ()
-      in
-      let fluid_results =
-        Results.make ~source:name ~kind:Results.Pepa_model
-          ~n_states:(Fluid.Vector_form.dim form)
-          ~n_transitions:(Fluid.Vector_form.n_flux_entries form)
-          ~throughputs:(Fluid.Vector_form.throughputs form populations)
-          ~state_probabilities:(Fluid.Vector_form.proportions form populations)
-          ~warnings:(Pepa.Env.warnings env) ~approximation:"fluid" ()
-      in
-      { form; populations; fluid_stats; fluid_results }))
+      let compiled, warnings = compile_pepa ~name model in
+      let form = pepa_fluid_form ~name compiled in
+      let populations, fluid_stats = integrate_pepa_form ?tolerances form in
+      let fluid_results = pepa_fluid_results ~name ~warnings form populations in
+      { form; populations; fluid_stats; fluid_results })
 
 let analyse_pepa_fluid_string ?(name = "model") ?tolerances src =
-  let model = wrap name (fun () -> Pepa.Parser.model_of_string src) in
+  let model = parse_pepa ~name src in
   analyse_pepa_fluid ~name ?tolerances model
 
 let analyse_pepa_fluid_file ?tolerances path =
@@ -130,26 +185,18 @@ let analyse_pepa_fluid_file ?tolerances path =
 let analyse_net_fluid ?(name = "net") ?tolerances net =
   Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net_fluid"
     (fun _ ->
-  wrap name (fun () ->
-      let compiled = Pepanet.Net_compile.compile net in
-      let net_form = Fluid.Net_form.derive compiled in
-      let f ~t:_ ~x ~dx = Fluid.Net_form.derivative net_form x dx in
-      let net_populations, net_fluid_stats =
-        Fluid.Rk45.integrate ?tolerances ~f ~x0:(Fluid.Net_form.initial net_form) ()
-      in
+      let compiled = compile_net ~name net in
+      let net_form = net_fluid_form ~name compiled in
+      let net_populations, net_fluid_stats = integrate_net_form ?tolerances net_form in
       let net_fluid_results =
-        Results.make ~source:name ~kind:Results.Pepa_net
-          ~n_states:(Fluid.Net_form.dim net_form)
-          ~n_transitions:(Fluid.Net_form.n_flux_entries net_form)
-          ~throughputs:(Fluid.Net_form.throughputs net_form net_populations)
-          ~state_probabilities:(Fluid.Net_form.proportions net_form net_populations)
+        net_fluid_results ~name
           ~warnings:(Pepanet.Net_compile.warnings compiled)
-          ~approximation:"fluid" ()
+          net_form net_populations
       in
-      { net_form; net_populations; net_fluid_stats; net_fluid_results }))
+      { net_form; net_populations; net_fluid_stats; net_fluid_results })
 
 let analyse_net_fluid_string ?(name = "net") ?tolerances src =
-  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
+  let net = parse_net ~name src in
   analyse_net_fluid ~name ?tolerances net
 
 let analyse_net_fluid_file ?tolerances path =
@@ -161,29 +208,25 @@ let analyse_net ?(name = "net") ?method_ ?max_markings ?(aggregate = Markov.Lump
     ?jobs net =
   Obs.Span.with_ ~attrs:[ ("net", Obs.Span.Str name) ] "workbench.analyse_net"
     (fun _ ->
-  wrap name (fun () ->
-      let compiled = Pepanet.Net_compile.compile net in
+      let compiled = compile_net ~name net in
       let net_space =
-        Pepanet.Net_statespace.build ?max_markings ?jobs
+        net_space ~name ?max_markings ?jobs
           ~symmetry:(Markov.Lump.symmetry_enabled aggregate)
           compiled
       in
       let net_distribution =
-        Pepanet.Net_statespace.steady_state ?method_ ?jobs
-          ~lump:(Markov.Lump.lumping_enabled aggregate)
+        solve_net ~name ?method_ ?jobs ~lump:(Markov.Lump.lumping_enabled aggregate)
           net_space
       in
       let net_results =
-        Results.make ~source:name ~kind:Results.Pepa_net
-          ~n_states:(Pepanet.Net_statespace.n_markings net_space)
-          ~n_transitions:(Pepanet.Net_statespace.n_transitions net_space)
-          ~throughputs:(Pepanet.Net_measures.throughputs net_space net_distribution)
-          ~warnings:(Pepanet.Net_compile.warnings compiled) ()
+        net_results ~name
+          ~warnings:(Pepanet.Net_compile.warnings compiled)
+          net_space net_distribution
       in
-      { net_space; net_distribution; net_results }))
+      { net_space; net_distribution; net_results })
 
 let analyse_net_string ?(name = "net") ?method_ ?max_markings ?aggregate ?jobs src =
-  let net = wrap name (fun () -> Pepanet.Net_parser.net_of_string src) in
+  let net = parse_net ~name src in
   analyse_net ~name ?method_ ?max_markings ?aggregate ?jobs net
 
 let analyse_net_file ?method_ ?max_markings ?aggregate ?jobs path =

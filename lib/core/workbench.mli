@@ -157,6 +157,74 @@ val analyse_net_file :
   string ->
   net_analysis
 
+(** {1 Staged analysis}
+
+    The [analyse_*] entry points above are compositions of the stages
+    below — parse, compile, derive, solve, assemble measures — each
+    independently callable and each raising {!Analysis_error} with the
+    same messages.  The daemon's content-hash model cache memoises
+    individual stage outputs and re-runs only the stages an option
+    change dirties; because both paths call exactly these functions, a
+    response assembled from cached artefacts is identical to a cold
+    [analyse_*] run. *)
+
+val parse_pepa : name:string -> string -> Pepa.Syntax.model
+val parse_net : name:string -> string -> Pepanet.Net.t
+
+val compile_pepa : name:string -> Pepa.Syntax.model -> Pepa.Compile.t * string list
+(** The compiled component tree and the semantic warnings that
+    {!pepa_results} later reports. *)
+
+val compile_net : name:string -> Pepanet.Net.t -> Pepanet.Net_compile.t
+
+val pepa_space :
+  name:string -> ?max_states:int -> ?jobs:int -> symmetry:bool -> Pepa.Compile.t ->
+  Pepa.Statespace.t
+(** The reachable state space; [symmetry] is
+    [Markov.Lump.symmetry_enabled aggregate].  Independent of [jobs]
+    (deterministic numbering), so a cache may serve a space built at
+    any job count. *)
+
+val net_space :
+  name:string -> ?max_markings:int -> ?jobs:int -> symmetry:bool -> Pepanet.Net_compile.t ->
+  Pepanet.Net_statespace.t
+
+val solve_pepa :
+  name:string -> ?method_:Markov.Steady.method_ -> ?jobs:int -> lump:bool ->
+  Pepa.Statespace.t -> float array
+
+val solve_net :
+  name:string -> ?method_:Markov.Steady.method_ -> ?jobs:int -> lump:bool ->
+  Pepanet.Net_statespace.t -> float array
+
+val pepa_results :
+  name:string -> warnings:string list -> Pepa.Statespace.t -> float array -> Results.t
+
+val net_results :
+  name:string -> warnings:string list -> Pepanet.Net_statespace.t -> float array ->
+  Results.t
+
+val pepa_fluid_form : name:string -> Pepa.Compile.t -> Fluid.Vector_form.t
+val net_fluid_form : name:string -> Pepanet.Net_compile.t -> Fluid.Net_form.t
+
+val integrate_pepa_form :
+  ?tolerances:Fluid.Rk45.tolerances -> ?x0:float array -> Fluid.Vector_form.t ->
+  float array * Fluid.Rk45.stats
+(** [x0] overrides the form's initial populations — the sweep engine's
+    warm start, integrating from the previous grid point's fixed point.
+    Lets {!Fluid.Rk45.Did_not_reach_steady} escape, as [analyse_*]
+    do. *)
+
+val integrate_net_form :
+  ?tolerances:Fluid.Rk45.tolerances -> ?x0:float array -> Fluid.Net_form.t ->
+  float array * Fluid.Rk45.stats
+
+val pepa_fluid_results :
+  name:string -> warnings:string list -> Fluid.Vector_form.t -> float array -> Results.t
+
+val net_fluid_results :
+  name:string -> warnings:string list -> Fluid.Net_form.t -> float array -> Results.t
+
 val local_probabilities : pepa_analysis -> leaf:int -> (string * float) list
 (** Distribution over the local derivative states of one sequential
     component (used to reflect state-diagram probabilities). *)

@@ -70,6 +70,30 @@ let capture ~tool ~model ~model_hash ~options ~exit_status () =
     exit_status;
   }
 
+(* Explicit record construction for long-running processes: one record
+   per daemon request, stages timed by the request handler itself (the
+   global span list interleaves concurrent requests and [at_exit] only
+   fires at shutdown). *)
+let make ~tool ~model ~model_hash ~options ~stages ?(counters = []) ?(gauges = [])
+    ~exit_status () =
+  let gc = Gc.quick_stat () in
+  {
+    schema = schema_version;
+    timestamp = Clock.wall_now ();
+    tool;
+    model;
+    model_hash;
+    options;
+    stages;
+    counters;
+    gauges;
+    gc_minor = gc.Gc.minor_collections;
+    gc_major = gc.Gc.major_collections;
+    gc_peak_heap_words = max gc.Gc.top_heap_words gc.Gc.heap_words;
+    wall_s = Clock.since_origin ();
+    exit_status;
+  }
+
 (* ---------------------------------------------------------------- *)
 (* JSON round trip                                                   *)
 (* ---------------------------------------------------------------- *)
@@ -175,6 +199,11 @@ let append ~path record =
     (fun () ->
       output_string oc (Json.to_string (to_json record));
       output_char oc '\n')
+
+let emit_now ~path ~tool ~model ~model_hash ~options ~stages ?counters ?gauges
+    ~exit_status () =
+  append ~path
+    (make ~tool ~model ~model_hash ~options ~stages ?counters ?gauges ~exit_status ())
 
 let load ~path =
   if not (Sys.file_exists path) then []

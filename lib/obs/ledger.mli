@@ -47,6 +47,43 @@ val capture :
     Requires collection to have been on during the run for the stages
     and metrics to be non-empty. *)
 
+val make :
+  tool:string ->
+  model:string ->
+  model_hash:string ->
+  options:(string * string) list ->
+  stages:(string * float) list ->
+  ?counters:(string * int) list ->
+  ?gauges:(string * float) list ->
+  exit_status:string ->
+  unit ->
+  record
+(** Build a record from {e explicitly} measured stage timings and
+    (optionally) scoped metrics, instead of the process-global span
+    state {!capture} sums.  This is the per-request path for
+    long-running processes: a daemon serving many requests cannot rely
+    on [at_exit] (which fires once, at shutdown) or on the global span
+    list (which interleaves concurrent requests), so each handler
+    times its own stages and emits one record per request.  Timestamp,
+    GC figures and [wall_s] are still read from the live process. *)
+
+val emit_now :
+  path:string ->
+  tool:string ->
+  model:string ->
+  model_hash:string ->
+  options:(string * string) list ->
+  stages:(string * float) list ->
+  ?counters:(string * int) list ->
+  ?gauges:(string * float) list ->
+  exit_status:string ->
+  unit ->
+  unit
+(** [make] followed by {!append} — one immediate, self-contained ledger
+    write (one [write] syscall, so concurrent emitters interleave at
+    record granularity).  The one-shot CLIs keep their [at_exit]
+    {!capture} behaviour; the daemon calls this once per request. *)
+
 val to_json : record -> Json.t
 val of_json : Json.t -> record
 (** Round-trip partners; {!of_json} tolerates missing optional fields

@@ -143,6 +143,26 @@ let snapshot () =
         series_data = ordered all_series series_order series_points;
       })
 
+(* Counter deltas between two snapshots: the scoping primitive for
+   per-request attribution in a long-running process, where [reset]
+   would also zero the cumulative totals the live metrics endpoint
+   serves. *)
+let diff_snapshots (before : snapshot) (after : snapshot) =
+  {
+    counters =
+      List.filter_map
+        (fun (name, v) ->
+          let prior = Option.value ~default:0 (List.assoc_opt name before.counters) in
+          if v > prior then Some (name, v - prior) else None)
+        after.counters;
+    gauges =
+      List.filter
+        (fun (name, v) -> List.assoc_opt name before.gauges <> Some v)
+        after.gauges;
+    histograms = [];
+    series_data = [];
+  }
+
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ (c : counter) -> Atomic.set c.count 0) counters;

@@ -64,4 +64,17 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Every registered metric, each kind in registration order. *)
 
+val diff_snapshots : snapshot -> snapshot -> snapshot
+(** [diff_snapshots before after] scopes the registry to one unit of
+    work bracketed by two {!snapshot} calls: counters are the
+    per-counter difference [after - before] (clamped at zero; counters
+    that did not move are dropped), gauges are [after]'s values for
+    gauges that changed, and histograms/series — whose per-window
+    semantics are not subtractive — are empty.  A long-running process
+    (the daemon) uses this to attribute counter increments to one
+    request without {!reset}ting the cumulative totals its live
+    metrics endpoint exports.  Exact when the bracketed work is the
+    only mutator; concurrent mutators are attributed to whichever
+    window observes them. *)
+
 val reset : unit -> unit

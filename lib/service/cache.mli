@@ -1,0 +1,30 @@
+(** The daemon's model cache: a mutex-protected LRU map from content
+    hash to compiled artefacts.
+
+    The cache only manages {e identity and lifetime}; what it holds is
+    opaque (the engine stores a per-model artefact record with its own
+    lock, so requests for the same model serialise on the entry while
+    requests for distinct models proceed in parallel).  Hits, misses
+    and evictions are counted both per cache and in the global metrics
+    registry (["cache_hits"], ["cache_misses"], ["cache_evictions"] —
+    exported by the Prometheus endpoint as
+    [choreographer_cache_hits_total] and kin). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty cache evicting least-recently-used entries beyond
+    [capacity] (default 32).  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val find_or_create : 'a t -> key:string -> (unit -> 'a) -> 'a * [ `Hit | `Miss ]
+(** Look up [key], creating (and possibly evicting) under the cache
+    lock on a miss.  The builder must be cheap — it allocates the empty
+    artefact record; actual compilation happens outside, under the
+    entry's own lock. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val counts : 'a t -> int * int * int
+(** Lifetime [(hits, misses, evictions)] of this cache instance. *)

@@ -1,0 +1,49 @@
+type conn = Unix.file_descr
+
+exception Connection_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Connection_error msg)) fmt
+
+let connect ?socket ?tcp () =
+  match tcp with
+  | Some (host, port) -> (
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> fail "cannot resolve host %s" host)
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        fd
+      with Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "cannot connect to %s:%d: %s" host port (Unix.error_message err))
+  | None -> (
+      let path =
+        match socket with Some p -> p | None -> Server.default_socket_path ()
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      with Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "cannot connect to daemon at %s: %s (is choreographerd running?)"
+          path (Unix.error_message err))
+
+let request conn req =
+  let payload = Obs.Json.to_string (Protocol.request_to_json req) in
+  (try Frame.write conn payload
+   with Unix.Unix_error (err, _, _) ->
+     fail "cannot send request: %s" (Unix.error_message err));
+  match Frame.read conn with
+  | Some reply -> Protocol.response_of_json (Obs.Json.of_string reply)
+  | None -> fail "daemon closed the connection without answering"
+  | exception Frame.Frame_error msg -> fail "bad reply from daemon: %s" msg
+  | exception Unix.Unix_error (err, _, _) ->
+      fail "cannot read reply: %s" (Unix.error_message err)
+  | exception Obs.Json.Parse_error msg -> fail "bad reply from daemon: %s" msg
+
+let close conn = try Unix.close conn with Unix.Unix_error _ -> ()

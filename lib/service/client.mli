@@ -1,0 +1,27 @@
+(** Client side of the daemon protocol: connect, exchange framed JSON
+    requests, close.
+
+    The heavy lifting — reading model files, sniffing XML vs. textual
+    notation, reproducing the one-shot CLI's stdout/stderr/exit-code
+    contract — is the {e caller's} job (the [choreographer client]
+    verb does it with {!Choreographer.Ingest} and {!Errors}); this
+    module only moves frames. *)
+
+type conn
+
+exception Connection_error of string
+(** Connect or transport failure (daemon not running, socket missing,
+    connection dropped mid-exchange).  Distinct from
+    {!Protocol.Error_response}, which is the daemon {e answering} with
+    an analysis error. *)
+
+val connect : ?socket:string -> ?tcp:string * int -> unit -> conn
+(** Connect over TCP when [tcp] is given, else over the Unix-domain
+    socket [socket] (default {!Server.default_socket_path}). *)
+
+val request : conn -> Protocol.request -> Protocol.response
+(** One synchronous round-trip.  Raises {!Connection_error} on
+    transport failure and {!Protocol.Protocol_error} on a response the
+    codec cannot decode. *)
+
+val close : conn -> unit

@@ -1,0 +1,86 @@
+type rendered = { code : int; message : string; status : string }
+
+let model_error_code = 1
+let analysis_failure_code = 2
+
+let model_error msg =
+  {
+    code = model_error_code;
+    message = Printf.sprintf "error: %s\n" msg;
+    status = "error: " ^ msg;
+  }
+
+let did_not_converge ~method_used ~iterations ~residual =
+  let name = Markov.Steady.method_name method_used in
+  (* Suggesting the method that just gave up would send the user in a
+     circle: under-relaxing is the way out of an SOR oscillation, and
+     the Krylov solver is only suggested while it is not the one that
+     failed. *)
+  let method_hint =
+    match method_used with
+    | Markov.Steady.Sor _ -> "--method sor:0.8 (damp the oscillation)"
+    | Markov.Steady.Bicgstab ->
+        "--method sor (stationary sweeps can pass a stalled Krylov run)"
+    | _ -> "--method bicgstab (Krylov iteration), --method sor (faster mixing)"
+  in
+  {
+    code = analysis_failure_code;
+    message =
+      Printf.sprintf
+        "error: %s solver did not converge after %d sweeps (last residual %g)\n\
+         hint: try %s, --aggregate (shrink the chain before the \
+         solve), or --fluid (ODE approximation)\n"
+        name iterations residual method_hint;
+    status =
+      Printf.sprintf "did-not-converge: %s after %d sweeps, residual %g" name iterations
+        residual;
+  }
+
+let did_not_reach_steady ~steps ~t ~dx_norm =
+  {
+    code = analysis_failure_code;
+    message =
+      Printf.sprintf
+        "error: fluid integration did not reach steady state after %d steps (t=%g, \
+         derivative norm %g)\n"
+        steps t dx_norm;
+    status =
+      Printf.sprintf "did-not-reach-steady: %d steps, t=%g, dx_norm=%g" steps t dx_norm;
+  }
+
+let step_budget_exhausted ~steps ~t ~error_estimate =
+  (* An error estimate near 1 means the controller was accuracy-limited
+     (every step ran at the tolerance ceiling); far below 1 means it was
+     stability-limited (a stiff model pinning the step size). *)
+  let hint =
+    if error_estimate >= 0.5 then
+      "relax the tolerances (e.g. --fluid 1e-6,1e-10): the integrator was \
+       accuracy-limited"
+    else
+      "the model looks stiff (steps limited by stability, not accuracy); relaxing \
+       --fluid tolerances may still help by lowering the steady-state threshold"
+  in
+  {
+    code = analysis_failure_code;
+    message =
+      Printf.sprintf
+        "error: fluid integration exhausted its step budget (%d steps, t=%g, last error \
+         estimate %.3g) before steady state\n\
+         hint: %s\n"
+        steps t error_estimate hint;
+    status =
+      Printf.sprintf "step-budget-exhausted: %d steps, t=%g, err=%g" steps t error_estimate;
+  }
+
+let of_exn = function
+  | Choreographer.Workbench.Analysis_error msg
+  | Choreographer.Pipeline.Pipeline_error msg
+  | Choreographer.Query.Query_error msg ->
+      Some (model_error msg)
+  | Markov.Steady.Did_not_converge { method_used; iterations; residual } ->
+      Some (did_not_converge ~method_used ~iterations ~residual)
+  | Fluid.Rk45.Did_not_reach_steady { steps; t; dx_norm } ->
+      Some (did_not_reach_steady ~steps ~t ~dx_norm)
+  | Fluid.Rk45.Step_budget_exhausted { steps; t; error_estimate } ->
+      Some (step_budget_exhausted ~steps ~t ~error_estimate)
+  | _ -> None

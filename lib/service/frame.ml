@@ -1,0 +1,73 @@
+exception Frame_error of string
+
+let max_payload = 64 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then
+    raise (Frame_error (Printf.sprintf "payload of %d bytes exceeds the %d-byte frame limit" n max_payload));
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let decode_length header =
+  if String.length header <> 4 then
+    raise (Frame_error (Printf.sprintf "frame header is %d bytes, not 4" (String.length header)));
+  let n = Int32.to_int (String.get_int32_be header 0) in
+  (* A negative int32 or anything past the cap is a corrupt or hostile
+     header; 0x47455420 ("GET ") lands here too, by design. *)
+  if n < 0 || n > max_payload then
+    raise (Frame_error (Printf.sprintf "declared frame length %d outside [0, %d]" n max_payload));
+  n
+
+let rec really_read fd buf off len =
+  if len > 0 then begin
+    let k = try Unix.read fd buf off len with Unix.Unix_error (Unix.EINTR, _, _) -> -1 in
+    if k = 0 then
+      raise (Frame_error (Printf.sprintf "connection closed %d bytes into a frame" off));
+    if k < 0 then really_read fd buf off len
+    else really_read fd buf (off + k) (len - k)
+  end
+
+let read_exact fd n =
+  if n = 0 then Some ""
+  else begin
+    let buf = Bytes.create n in
+    (* The first read distinguishes clean EOF from truncation. *)
+    let k =
+      let rec first () =
+        try Unix.read fd buf 0 n with Unix.Unix_error (Unix.EINTR, _, _) -> first ()
+      in
+      first ()
+    in
+    if k = 0 then None
+    else begin
+      really_read fd buf k (n - k);
+      Some (Bytes.unsafe_to_string buf)
+    end
+  end
+
+let read_payload fd ~header =
+  let n = decode_length header in
+  if n = 0 then ""
+  else
+    match read_exact fd n with
+    | Some payload -> payload
+    | None -> raise (Frame_error (Printf.sprintf "connection closed before the %d-byte payload" n))
+
+let read fd =
+  match read_exact fd 4 with
+  | None -> None
+  | Some header -> Some (read_payload fd ~header)
+
+let write fd payload =
+  let framed = encode payload in
+  let b = Bytes.unsafe_of_string framed in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,41 @@
+(** Length-prefixed message framing for the daemon protocol: every
+    message is a 4-byte big-endian payload length followed by that many
+    bytes of JSON.  The prefix is what lets one socket carry both the
+    framed protocol and plain HTTP — an HTTP request line starts with
+    ["GET "], which would decode as a frame of over a gigabyte, far
+    beyond {!max_payload}, so the two are unambiguous from the first
+    four bytes. *)
+
+exception Frame_error of string
+(** A malformed frame on the wire: a declared length beyond
+    {!max_payload}, or a peer that closed the connection mid-frame.
+    Connection-level — the receiver cannot resynchronise and should
+    close. *)
+
+val max_payload : int
+(** Largest accepted payload (64 MiB).  Bounds the allocation an
+    untrusted peer can force with a single header. *)
+
+val encode : string -> string
+(** The payload with its 4-byte big-endian length prepended. *)
+
+val decode_length : string -> int
+(** Length encoded in a 4-byte header.  Raises {!Frame_error} when the
+    header is not exactly 4 bytes or declares more than
+    {!max_payload}. *)
+
+val read_exact : Unix.file_descr -> int -> string option
+(** Read exactly [n] bytes; [None] on end-of-file before the first
+    byte (a clean close between frames), {!Frame_error} on end-of-file
+    part-way through (a truncated frame). *)
+
+val read_payload : Unix.file_descr -> header:string -> string
+(** Read the payload announced by an already-consumed 4-byte header —
+    the server's path after sniffing the header against ["GET "]. *)
+
+val read : Unix.file_descr -> string option
+(** Read one whole frame; [None] on a clean end-of-file. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one payload as a frame, looping until all bytes are out.
+    Raises {!Frame_error} if the payload exceeds {!max_payload}. *)

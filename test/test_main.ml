@@ -39,4 +39,6 @@ let () =
       ("assets", Test_assets.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("surface", Test_surface.suite);
+      (* Last: Server.run flips the process-wide telemetry switch on. *)
+      ("service", Test_service.suite);
     ]
